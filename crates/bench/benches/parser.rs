@@ -1,0 +1,42 @@
+//! Criterion benches for the ITC'02 infrastructure and the processor
+//! substrate: `.soc` parsing/writing throughput and ISS execution rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use noctest_cpu::bist;
+use noctest_itc02::{data, parse_soc, write_soc};
+
+fn bench_parse(c: &mut Criterion) {
+    let d695_text = data::D695_SOC;
+    let p93791_text = write_soc(&data::p93791());
+    let mut group = c.benchmark_group("itc02_parse");
+    group.bench_function("d695", |b| {
+        b.iter(|| parse_soc(d695_text).expect("parses"));
+    });
+    group.bench_function("p93791", |b| {
+        b.iter(|| parse_soc(&p93791_text).expect("parses"));
+    });
+    group.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let soc = data::p93791();
+    c.bench_function("itc02_write/p93791", |b| {
+        b.iter(|| write_soc(&soc));
+    });
+}
+
+fn bench_iss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iss_bist_1k_words");
+    group.sample_size(20);
+    group.bench_function("mips", |b| {
+        b.iter(|| bist::run_mips_bist(bist::DEFAULT_SEED, 1000).expect("runs"));
+    });
+    group.bench_function("sparc", |b| {
+        b.iter(|| bist::run_sparc_bist(bist::DEFAULT_SEED, 1000).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_write, bench_iss);
+criterion_main!(benches);

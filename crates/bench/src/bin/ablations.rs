@@ -1,0 +1,264 @@
+//! Ablation studies for the design choices called out in `DESIGN.md`:
+//!
+//! 1. **Scheduler**: the paper's greedy (first-available-interface) vs. the
+//!    lookahead "smart" policy vs. the external-only serial baseline.
+//! 2. **Generation model**: the paper's flat 10-cycles-per-pattern vs. the
+//!    ISS-calibrated per-word software cost.
+//! 3. **Flit width**: 8 / 16 / 32-bit channels.
+//! 4. **Routing algorithm**: XY (paper) vs. YX vs. West-First.
+//! 5. **Priority policy**: distance (paper) vs. volume-descending vs.
+//!    declaration order.
+//! 6. **Test application** (the paper's future work): BIST (software
+//!    LFSR) vs. decompression of stored deterministic patterns, across
+//!    care-bit densities.
+//! 7. **Wrapper shift bound**: the transport-only model vs. bounding each
+//!    core's pattern rate by its longest wrapper scan chain.
+//! 8. **Optimality gap**: greedy and smart vs. the exact branch-and-bound
+//!    scheduler on down-scaled systems (the exact search is exponential).
+//!
+//! Each table reports the greedy makespan for the full-reuse configuration
+//! of every system (6 or 8 processors, no power limit) unless stated.
+
+use noctest_bench::{build_system, calibrated_profile, SystemId};
+use noctest_core::{
+    BudgetSpec, GenerationModel, GreedyScheduler, OptimalScheduler, PriorityPolicy, Scheduler,
+    SerialScheduler, SmartScheduler, SystemBuilder, TimingModel,
+};
+use noctest_cpu::decompress;
+use noctest_noc::RoutingKind;
+
+fn main() {
+    let profile = calibrated_profile("leon");
+
+    println!("== ablation 1: scheduler (no power limit) ==");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>12}",
+        "system", "procs", "serial", "greedy", "smart"
+    );
+    for id in SystemId::ALL {
+        for reused in id.sweep() {
+            let sys = build_system(id, &profile, reused, BudgetSpec::Unlimited)
+                .expect("system builds");
+            let serial = SerialScheduler.schedule(&sys).expect("serial").makespan();
+            let greedy = GreedyScheduler.schedule(&sys).expect("greedy").makespan();
+            let smart = SmartScheduler.schedule(&sys).expect("smart").makespan();
+            println!("{:>8} {reused:>6} {serial:>12} {greedy:>12} {smart:>12}", id.name());
+        }
+    }
+
+    println!();
+    println!("== ablation 2: generation model (full reuse, greedy) ==");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "system", "paper-flat-10cy", "iss-calibrated", "ratio"
+    );
+    for id in SystemId::ALL {
+        let (w, h) = id.mesh();
+        let mut makespans = Vec::new();
+        for generation in [GenerationModel::PaperFlat, GenerationModel::Calibrated] {
+            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
+                .processors(&profile, id.processors(), id.processors())
+                .timing(TimingModel {
+                    generation,
+                    ..TimingModel::default()
+                })
+                .build()
+                .expect("system builds");
+            makespans.push(GreedyScheduler.schedule(&sys).expect("greedy").makespan());
+        }
+        println!(
+            "{:>8} {:>16} {:>16} {:>8.2}",
+            id.name(),
+            makespans[0],
+            makespans[1],
+            makespans[1] as f64 / makespans[0] as f64
+        );
+    }
+
+    println!();
+    println!("== ablation 3: flit width (full reuse, greedy) ==");
+    println!("{:>8} {:>10} {:>10} {:>10}", "system", "8-bit", "16-bit", "32-bit");
+    for id in SystemId::ALL {
+        let (w, h) = id.mesh();
+        let mut row = format!("{:>8}", id.name());
+        for flit_width_bits in [8u32, 16, 32] {
+            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
+                .processors(&profile, id.processors(), id.processors())
+                .timing(TimingModel {
+                    flit_width_bits,
+                    ..TimingModel::default()
+                })
+                .build()
+                .expect("system builds");
+            row += &format!(
+                " {:>10}",
+                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
+            );
+        }
+        println!("{row}");
+    }
+
+    println!();
+    println!("== ablation 4: routing algorithm (full reuse, greedy) ==");
+    println!("{:>8} {:>10} {:>10} {:>12}", "system", "xy", "yx", "west-first");
+    for id in SystemId::ALL {
+        let (w, h) = id.mesh();
+        let mut row = format!("{:>8}", id.name());
+        for routing in [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::WestFirst] {
+            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
+                .processors(&profile, id.processors(), id.processors())
+                .routing(routing)
+                .build()
+                .expect("system builds");
+            row += &format!(
+                " {:>10}",
+                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
+            );
+        }
+        println!("{row}");
+    }
+
+    println!();
+    println!("== ablation 5: priority policy (full reuse, greedy) ==");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "system", "distance", "volume-desc", "index"
+    );
+    for id in SystemId::ALL {
+        let (w, h) = id.mesh();
+        let mut row = format!("{:>8}", id.name());
+        for priority in [
+            PriorityPolicy::Distance,
+            PriorityPolicy::VolumeDescending,
+            PriorityPolicy::Index,
+        ] {
+            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
+                .processors(&profile, id.processors(), id.processors())
+                .priority(priority)
+                .build()
+                .expect("system builds");
+            row += &format!(
+                " {:>10}",
+                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
+            );
+        }
+        println!("{row}");
+    }
+
+    println!();
+    println!("== ablation 6: test application, BIST vs decompression (full reuse, greedy) ==");
+    println!("(paper: \"in the near future we will also support decompression\")");
+    println!(
+        "{:>8} {:>10} {:>16} {:>16} {:>16}",
+        "system", "bist", "decomp d=0.02", "decomp d=0.10", "decomp d=0.50"
+    );
+    for id in SystemId::ALL {
+        let (w, h) = id.mesh();
+        let mut row = format!("{:>8}", id.name());
+        let bist_sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
+            .processors(&profile, id.processors(), id.processors())
+            .build()
+            .expect("system builds");
+        row += &format!(
+            " {:>10}",
+            GreedyScheduler.schedule(&bist_sys).expect("greedy").makespan()
+        );
+        for density in [0.02, 0.10, 0.50] {
+            let decomp_profile = profile
+                .clone()
+                .calibrated_decompression(density)
+                .expect("ISS decompression characterisation succeeds");
+            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
+                .processors(&decomp_profile, id.processors(), id.processors())
+                .build()
+                .expect("system builds");
+            row += &format!(
+                " {:>16}",
+                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
+            );
+        }
+        println!("{row}");
+    }
+    // The raw kernel characterisation behind the table.
+    println!("  decompressor characterisation (MIPS-I, 4096-word cubes):");
+    for density in [0.02, 0.10, 0.50] {
+        let data = decompress::synthetic_test_words(4096, density, 0x5EED);
+        let stream = decompress::compress(&data);
+        let run = decompress::run_mips_decompress(&stream).expect("kernel runs");
+        println!(
+            "    care density {density:>4}: ratio {:>5.2}x, {:>5.2} cy/word",
+            run.compression_ratio(),
+            run.cycles_per_word()
+        );
+    }
+
+    println!();
+    println!("== ablation 7: wrapper shift bound (full reuse, greedy) ==");
+    println!("{:>8} {:>16} {:>16} {:>8}", "system", "transport-only", "wrapper-bounded", "delta");
+    for id in SystemId::ALL {
+        let (w, h) = id.mesh();
+        let mut makespans = Vec::new();
+        for wrapper_shift in [false, true] {
+            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
+                .processors(&profile, id.processors(), id.processors())
+                .timing(TimingModel {
+                    wrapper_shift,
+                    ..TimingModel::default()
+                })
+                .build()
+                .expect("system builds");
+            makespans.push(GreedyScheduler.schedule(&sys).expect("greedy").makespan());
+        }
+        println!(
+            "{:>8} {:>16} {:>16} {:>7.2}%",
+            id.name(),
+            makespans[0],
+            makespans[1],
+            100.0 * (makespans[1] as f64 / makespans[0] as f64 - 1.0)
+        );
+    }
+
+
+    println!();
+    println!("== ablation 8: optimality gap (down-scaled systems, exact B&B) ==");
+    println!(
+        "{:>16} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "system", "optimal", "greedy", "smart", "g-gap", "s-gap"
+    );
+    // The exact search is exponential; evaluate on miniature systems that
+    // keep the structure (mixed core sizes, 2 reusable processors).
+    for (label, sizes) in [
+        ("mini-uniform", vec![(1600u32, 1600u32, 40u32); 6]),
+        (
+            "mini-longtail",
+            vec![
+                (4800, 4800, 120),
+                (2400, 2400, 80),
+                (1200, 1200, 60),
+                (600, 600, 40),
+                (300, 300, 30),
+                (150, 150, 20),
+            ],
+        ),
+    ] {
+        let mut b = SystemBuilder::new(label, 3, 3);
+        for (i, &(bi, bo, p)) in sizes.iter().enumerate() {
+            b = b.core(format!("c{i}"), bi, bo, p, 100.0 + 50.0 * i as f64);
+        }
+        let sys = b
+            .processors(&profile, 2, 2)
+            .build()
+            .expect("system builds");
+        let optimal = OptimalScheduler::new()
+            .schedule(&sys)
+            .expect("optimal plans")
+            .makespan();
+        let greedy = GreedyScheduler.schedule(&sys).expect("greedy").makespan();
+        let smart = SmartScheduler.schedule(&sys).expect("smart").makespan();
+        println!(
+            "{label:>16} {optimal:>10} {greedy:>10} {smart:>10} {:>8.1}% {:>8.1}%",
+            100.0 * (greedy as f64 / optimal as f64 - 1.0),
+            100.0 * (smart as f64 / optimal as f64 - 1.0)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Regenerates Figure 1 of the paper: test time vs. number of reused
+//! processors for d695/p22810/p93791 with Leon and Plasma processors, with
+//! and without the 50 % power limit.
+//!
+//! ```text
+//! cargo run -p noctest-bench --bin figure1 [-- --system d695 --proc leon --csv out.csv --summary]
+//! ```
+
+use std::process::ExitCode;
+
+use noctest_bench::{
+    ascii_panel, calibrated_profile, csv_panels, figure1_panel_greedy, Figure1Panel, SystemId,
+};
+
+struct Args {
+    systems: Vec<SystemId>,
+    processors: Vec<String>,
+    csv: Option<String>,
+    summary: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        systems: SystemId::ALL.to_vec(),
+        processors: vec!["leon".to_owned(), "plasma".to_owned()],
+        csv: None,
+        summary: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--system" => {
+                let v = it.next().ok_or("--system needs a value")?;
+                if v == "all" {
+                    args.systems = SystemId::ALL.to_vec();
+                } else {
+                    args.systems = vec![SystemId::from_name(&v)
+                        .ok_or_else(|| format!("unknown system `{v}`"))?];
+                }
+            }
+            "--proc" => {
+                let v = it.next().ok_or("--proc needs a value")?;
+                if v == "both" {
+                    args.processors = vec!["leon".to_owned(), "plasma".to_owned()];
+                } else if v == "leon" || v == "plasma" {
+                    args.processors = vec![v];
+                } else {
+                    return Err(format!("unknown processor family `{v}`"));
+                }
+            }
+            "--csv" => args.csv = Some(it.next().ok_or("--csv needs a path")?),
+            "--summary" => args.summary = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: figure1 [--system d695|p22810|p93791|all] \
+                     [--proc leon|plasma|both] [--csv PATH] [--summary]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut panels: Vec<Figure1Panel> = Vec::new();
+    for proc_name in &args.processors {
+        let profile = calibrated_profile(proc_name);
+        println!(
+            "processor {}: {:.2} cycles/word generate, {:.2} cycles/word check",
+            proc_name,
+            profile.gen_cycles_per_word.unwrap_or(f64::NAN),
+            profile.sink_cycles_per_word.unwrap_or(f64::NAN),
+        );
+        for &id in &args.systems {
+            match figure1_panel_greedy(id, &profile) {
+                Ok(panel) => panels.push(panel),
+                Err(e) => {
+                    eprintln!("error: {}/{proc_name}: {e}", id.name());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    println!();
+    for panel in &panels {
+        println!("{}", ascii_panel(panel));
+    }
+
+    if args.summary {
+        println!("summary (paper's headline claims vs. this reproduction):");
+        for panel in &panels {
+            println!(
+                "  {:>7} / {:<6}  noproc {:>9}  best {:>9}  reduction {:>5.1}% (50% limit: {:>5.1}%){}",
+                panel.system,
+                panel.processor,
+                panel.points.first().map_or(0, |p| p.no_limit),
+                panel.points.iter().map(|p| p.no_limit).min().unwrap_or(0),
+                panel.best_reduction_percent(),
+                panel.best_reduction_percent_limited(),
+                if panel.is_irregular() { "  [irregular]" } else { "" }
+            );
+        }
+        println!("  paper: d695 up to 28%, p93791 up to 44%, power-constrained up to 37%, p22810 irregular");
+    }
+
+    if let Some(path) = &args.csv {
+        let csv = csv_panels(&panels);
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

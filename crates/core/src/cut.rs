@@ -1,0 +1,189 @@
+//! Cores under test.
+
+use std::fmt;
+
+use noctest_cpu::ProcessorProfile;
+use noctest_itc02::Module;
+use noctest_noc::NodeId;
+
+use crate::wrapper::WrapperDesign;
+
+/// Identifier of a core under test within a [`crate::SystemUnderTest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CutId(pub u32);
+
+impl fmt::Display for CutId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// What kind of entity a CUT is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutKind {
+    /// An ordinary benchmark core.
+    Core,
+    /// An embedded processor; once its own test completes it may be reused
+    /// as a test interface. The payload is the processor index within the
+    /// system's interface list.
+    Processor(usize),
+}
+
+/// One core under test: test geometry plus test-set metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreUnderTest {
+    /// Planner-local id.
+    pub id: CutId,
+    /// Human-readable name (benchmark module or processor name).
+    pub name: String,
+    /// Router the core's local port attaches to.
+    pub node: NodeId,
+    /// Kind (plain core or reusable processor).
+    pub kind: CutKind,
+    /// Stimulus bits that must reach the core per pattern.
+    pub bits_in: u32,
+    /// Response bits produced per pattern.
+    pub bits_out: u32,
+    /// Number of TAM-delivered test patterns.
+    pub patterns: u32,
+    /// Test-mode power draw while this core is under test.
+    pub power: f64,
+    /// Longest scan-in wrapper chain (per-pattern stimulus shift bound in
+    /// cycles; 0 disables wrapper modelling for this core).
+    pub shift_in_bound: u32,
+    /// Longest scan-out wrapper chain (response shift bound; 0 disables).
+    pub shift_out_bound: u32,
+}
+
+impl CoreUnderTest {
+    /// Builds a CUT from an ITC'02 benchmark module placed at `node`,
+    /// designing a wrapper with up to `wrapper_chains` chains for the
+    /// shift bounds. Only TAM-delivered patterns count
+    /// ([`noctest_itc02::TamUse::Yes`]); BIST-only test sets occupy the
+    /// core but not the network and are out of scope for the planner
+    /// (none of the three benchmarks has any).
+    #[must_use]
+    pub fn from_module(id: CutId, module: &Module, node: NodeId, wrapper_chains: u32) -> Self {
+        let tam_patterns: u32 = module
+            .tests()
+            .iter()
+            .filter(|t| t.tam_use == noctest_itc02::TamUse::Yes)
+            .map(|t| t.patterns)
+            .sum();
+        let wrapper = WrapperDesign::design(
+            module.scan_chains(),
+            module.inputs() + module.bidirs(),
+            module.outputs() + module.bidirs(),
+            wrapper_chains.max(1),
+        );
+        CoreUnderTest {
+            id,
+            name: format!("{}.{}", "module", module.id().0),
+            node,
+            kind: CutKind::Core,
+            bits_in: module.pattern_bits_in(),
+            bits_out: module.pattern_bits_out(),
+            patterns: tam_patterns,
+            power: module.power().unwrap_or(0.0),
+            shift_in_bound: wrapper.max_in(),
+            shift_out_bound: wrapper.max_out(),
+        }
+    }
+
+    /// Builds the self-test CUT for a reusable processor placed at `node`.
+    /// `proc_index` is the processor's position in the system's interface
+    /// list (used to gate reuse on self-test completion).
+    #[must_use]
+    pub fn from_processor(
+        id: CutId,
+        profile: &ProcessorProfile,
+        proc_index: usize,
+        node: NodeId,
+    ) -> Self {
+        // The processor's own scan structure is not itemised in the
+        // profile; assume four balanced chains for the wrapper bound.
+        let chains = [profile.self_test_scan_bits.div_ceil(4); 4];
+        let wrapper = WrapperDesign::design(
+            &chains,
+            profile.self_test_inputs,
+            profile.self_test_outputs,
+            4,
+        );
+        CoreUnderTest {
+            id,
+            name: format!("{}#{}", profile.name, proc_index),
+            node,
+            kind: CutKind::Processor(proc_index),
+            bits_in: profile.self_test_bits_in(),
+            bits_out: profile.self_test_bits_out(),
+            patterns: profile.self_test_patterns,
+            power: profile.test_power,
+            shift_in_bound: wrapper.max_in(),
+            shift_out_bound: wrapper.max_out(),
+        }
+    }
+
+    /// Total test data volume in bits.
+    #[must_use]
+    pub fn volume_bits(&self) -> u64 {
+        u64::from(self.patterns) * (u64::from(self.bits_in) + u64::from(self.bits_out))
+    }
+
+    /// `true` if this CUT is a reusable processor.
+    #[must_use]
+    pub fn is_processor(&self) -> bool {
+        matches!(self.kind, CutKind::Processor(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noctest_itc02::{ModuleId, ScanUse, TamUse, TestDesc};
+
+    #[test]
+    fn from_module_counts_only_tam_patterns() {
+        let module = noctest_itc02::Module::new(
+            ModuleId(4),
+            1,
+            10,
+            20,
+            0,
+            vec![50],
+            vec![
+                TestDesc {
+                    id: 1,
+                    patterns: 30,
+                    scan_use: ScanUse::Yes,
+                    tam_use: TamUse::Yes,
+                },
+                TestDesc {
+                    id: 2,
+                    patterns: 99,
+                    scan_use: ScanUse::No,
+                    tam_use: TamUse::No,
+                },
+            ],
+        )
+        .with_power(321.0);
+        let cut = CoreUnderTest::from_module(CutId(0), &module, NodeId::new(5), 16);
+        assert_eq!(cut.patterns, 30);
+        assert_eq!(cut.bits_in, 60);
+        assert_eq!(cut.bits_out, 70);
+        assert_eq!(cut.power, 321.0);
+        assert!(!cut.is_processor());
+        assert_eq!(cut.volume_bits(), 30 * 130);
+    }
+
+    #[test]
+    fn from_processor_uses_self_test_numbers() {
+        let profile = ProcessorProfile::leon();
+        let cut = CoreUnderTest::from_processor(CutId(9), &profile, 2, NodeId::new(3));
+        assert_eq!(cut.kind, CutKind::Processor(2));
+        assert!(cut.is_processor());
+        assert_eq!(cut.patterns, profile.self_test_patterns);
+        assert_eq!(cut.bits_in, profile.self_test_bits_in());
+        assert_eq!(cut.power, profile.test_power);
+        assert!(cut.name.starts_with("leon#"));
+    }
+}

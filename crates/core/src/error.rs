@@ -1,0 +1,112 @@
+//! Error type for the test planner.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cut::CutId;
+
+/// Errors produced while building a system under test or planning its test.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The mesh has no room for the requested placement.
+    MeshTooSmall {
+        /// Nodes available.
+        nodes: usize,
+        /// Entities that must be placed.
+        required: usize,
+    },
+    /// The benchmark SoC has a core without a power annotation while a
+    /// power limit is in force.
+    MissingPower {
+        /// The offending core.
+        cut: CutId,
+    },
+    /// A single test exceeds the power budget on its own, so no schedule
+    /// can exist.
+    InfeasiblePower {
+        /// The offending core.
+        cut: CutId,
+        /// That test's power draw.
+        draw: f64,
+        /// The budget it exceeds.
+        budget: f64,
+    },
+    /// A core has no TAM-delivered test set (nothing to schedule).
+    NoTamTest {
+        /// The offending core.
+        cut: CutId,
+    },
+    /// The system has no test interface at all.
+    NoInterfaces,
+    /// Scheduling made no progress (internal invariant violation).
+    Stalled {
+        /// Simulation time at the stall.
+        at: u64,
+        /// Cores still waiting.
+        waiting: usize,
+    },
+    /// Schedule validation failed.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::MeshTooSmall { nodes, required } => {
+                write!(f, "mesh with {nodes} nodes cannot place {required} entities")
+            }
+            PlanError::MissingPower { cut } => {
+                write!(f, "core {cut} lacks a power annotation under a power limit")
+            }
+            PlanError::InfeasiblePower { cut, draw, budget } => write!(
+                f,
+                "core {cut} draws {draw} alone, exceeding the budget {budget}"
+            ),
+            PlanError::NoTamTest { cut } => {
+                write!(f, "core {cut} has no TAM-delivered test set")
+            }
+            PlanError::NoInterfaces => write!(f, "system has no test interfaces"),
+            PlanError::Stalled { at, waiting } => {
+                write!(f, "scheduler stalled at cycle {at} with {waiting} cores waiting")
+            }
+            PlanError::InvalidSchedule(reason) => write!(f, "invalid schedule: {reason}"),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            PlanError::MeshTooSmall {
+                nodes: 4,
+                required: 9,
+            },
+            PlanError::MissingPower { cut: CutId(3) },
+            PlanError::InfeasiblePower {
+                cut: CutId(1),
+                draw: 900.0,
+                budget: 500.0,
+            },
+            PlanError::NoTamTest { cut: CutId(2) },
+            PlanError::NoInterfaces,
+            PlanError::Stalled { at: 10, waiting: 2 },
+            PlanError::InvalidSchedule("overlap".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanError>();
+    }
+}

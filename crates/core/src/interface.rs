@@ -1,0 +1,189 @@
+//! Test interfaces: the external tester ports and reusable processors.
+
+use std::fmt;
+
+use noctest_cpu::ProcessorProfile;
+use noctest_noc::NodeId;
+
+/// Identifier of a test interface within a [`crate::SystemUnderTest`].
+///
+/// Interface 0 is always the external tester; processors follow in index
+/// order. The *paper's* greedy scheduler picks the lowest-numbered
+/// available interface, which makes this ordering semantically load-bearing
+/// (the external tester is preferred only if free *right now*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InterfaceId(pub usize);
+
+impl fmt::Display for InterfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// One test interface: a source of stimulus and sink of responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestInterface {
+    /// The external ATE attached to two boundary routers: patterns enter
+    /// the mesh at `input_node` and responses drain at `output_node` —
+    /// the paper's "two external interfaces (input and output)".
+    ExternalTester {
+        /// Router the ATE drives stimulus into.
+        input_node: NodeId,
+        /// Router the ATE collects responses from.
+        output_node: NodeId,
+    },
+    /// An embedded processor running the software-BIST application; it is
+    /// both source and sink at its own router.
+    Processor {
+        /// Index within the system's processor list.
+        index: usize,
+        /// Router the processor attaches to.
+        node: NodeId,
+        /// Characterisation of its BIST application.
+        profile: ProcessorProfile,
+    },
+}
+
+impl TestInterface {
+    /// Router from which stimulus is injected.
+    #[must_use]
+    pub fn source_node(&self) -> NodeId {
+        match self {
+            TestInterface::ExternalTester { input_node, .. } => *input_node,
+            TestInterface::Processor { node, .. } => *node,
+        }
+    }
+
+    /// Router at which responses are collected.
+    #[must_use]
+    pub fn sink_node(&self) -> NodeId {
+        match self {
+            TestInterface::ExternalTester { output_node, .. } => *output_node,
+            TestInterface::Processor { node, .. } => *node,
+        }
+    }
+
+    /// Flat cycles spent generating each pattern before transmission
+    /// (paper: 10 for a processor, 0 for the external tester).
+    #[must_use]
+    pub fn gen_cycles_per_pattern(&self) -> u32 {
+        match self {
+            TestInterface::ExternalTester { .. } => 0,
+            TestInterface::Processor { profile, .. } => profile.gen_cycles_per_pattern,
+        }
+    }
+
+    /// Measured cycles per generated 32-bit stimulus word for the
+    /// profile's configured source mode (BIST or decompression), when the
+    /// profile was calibrated on the instruction-set simulator. The
+    /// external tester streams at channel rate (None).
+    #[must_use]
+    pub fn gen_cycles_per_word(&self) -> Option<f64> {
+        match self {
+            TestInterface::ExternalTester { .. } => None,
+            TestInterface::Processor { profile, .. } => profile.source_cycles_per_word(),
+        }
+    }
+
+    /// Measured cycles per *checked* response word, when calibrated.
+    /// The external tester compares off-chip at channel rate (None).
+    #[must_use]
+    pub fn sink_cycles_per_word(&self) -> Option<f64> {
+        match self {
+            TestInterface::ExternalTester { .. } => None,
+            TestInterface::Processor { profile, .. } => profile.sink_cycles_per_word,
+        }
+    }
+
+    /// Power drawn by the interface while it drives a test (the BIST
+    /// application's power for a processor, 0 for the external tester
+    /// whose power is off-chip).
+    #[must_use]
+    pub fn active_power(&self) -> f64 {
+        match self {
+            TestInterface::ExternalTester { .. } => 0.0,
+            TestInterface::Processor { profile, .. } => profile.bist_power,
+        }
+    }
+
+    /// `true` for [`TestInterface::ExternalTester`].
+    #[must_use]
+    pub fn is_external(&self) -> bool {
+        matches!(self, TestInterface::ExternalTester { .. })
+    }
+
+    /// The processor index, if this interface is a processor.
+    #[must_use]
+    pub fn processor_index(&self) -> Option<usize> {
+        match self {
+            TestInterface::ExternalTester { .. } => None,
+            TestInterface::Processor { index, .. } => Some(*index),
+        }
+    }
+
+    /// Short display name.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TestInterface::ExternalTester { .. } => "ext".to_owned(),
+            TestInterface::Processor { index, profile, .. } => {
+                format!("{}#{index}", profile.name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext() -> TestInterface {
+        TestInterface::ExternalTester {
+            input_node: NodeId::new(0),
+            output_node: NodeId::new(15),
+        }
+    }
+
+    fn proc() -> TestInterface {
+        TestInterface::Processor {
+            index: 1,
+            node: NodeId::new(5),
+            profile: ProcessorProfile::plasma(),
+        }
+    }
+
+    #[test]
+    fn external_streams_at_channel_rate() {
+        let e = ext();
+        assert!(e.is_external());
+        assert_eq!(e.gen_cycles_per_pattern(), 0);
+        assert_eq!(e.gen_cycles_per_word(), None);
+        assert_eq!(e.active_power(), 0.0);
+        assert_eq!(e.source_node(), NodeId::new(0));
+        assert_eq!(e.sink_node(), NodeId::new(15));
+        assert_eq!(e.processor_index(), None);
+        assert_eq!(e.label(), "ext");
+    }
+
+    #[test]
+    fn processor_is_source_and_sink_at_its_node() {
+        let p = proc();
+        assert!(!p.is_external());
+        assert_eq!(p.source_node(), p.sink_node());
+        assert_eq!(p.gen_cycles_per_pattern(), 10);
+        assert!(p.active_power() > 0.0);
+        assert_eq!(p.processor_index(), Some(1));
+        assert_eq!(p.label(), "plasma#1");
+    }
+
+    #[test]
+    fn calibrated_processor_reports_word_cost() {
+        let profile = ProcessorProfile::plasma().calibrated().unwrap();
+        let p = TestInterface::Processor {
+            index: 0,
+            node: NodeId::new(0),
+            profile,
+        };
+        assert!(p.gen_cycles_per_word().unwrap() > 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! # noctest-core — power-constrained test planning for NoC-based SoCs
+//!
+//! The primary contribution of Amory et al., *"Test Time Reduction Reusing
+//! Multiple Processors in a Network-on-Chip Based Architecture"* (DATE
+//! 2005): a software-based test planning method that reuses embedded
+//! processors as test sources/sinks and the on-chip network as the test
+//! access mechanism.
+//!
+//! The flow mirrors the paper's three characterisation steps:
+//!
+//! 1. **NoC characterisation** — routing latency, flow-control latency and
+//!    per-router packet power live in [`TimingModel`] / [`PowerModel`]
+//!    (measured, if desired, with `noctest-noc`'s characterisation pass);
+//! 2. **processor characterisation** — [`noctest_cpu::ProcessorProfile`]
+//!    carries the BIST application's generation cost (the paper's 10
+//!    cycles/pattern, or the value measured on the instruction-set
+//!    simulators), self-test size, power, and memory footprint;
+//! 3. **CUT characterisation** — ITC'02 modules from `noctest-itc02`.
+//!
+//! [`SystemBuilder`] places everything on the mesh; [`GreedyScheduler`]
+//! implements the paper's first-available-interface algorithm (including
+//! its deliberate anomaly), [`SmartScheduler`] the lookahead ablation, and
+//! [`SerialScheduler`] the external-only baseline. [`Schedule::validate`]
+//! re-checks every invariant (coverage, interface exclusivity, link
+//! disjointness, power cap, processor-before-reuse precedence), and
+//! [`replay`] cross-checks the analytic timing against the cycle-level
+//! NoC simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noctest_core::{GreedyScheduler, Scheduler, SystemBuilder, BudgetSpec};
+//! use noctest_cpu::ProcessorProfile;
+//! use noctest_itc02::data;
+//!
+//! # fn main() -> Result<(), noctest_core::PlanError> {
+//! let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+//!     .processors(&ProcessorProfile::leon(), 6, 4)
+//!     .budget(BudgetSpec::Fraction(0.5))
+//!     .build()?;
+//! let schedule = GreedyScheduler.schedule(&sys)?;
+//! schedule.validate(&sys)?;
+//! println!("test time: {} cycles", schedule.makespan());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cut;
+pub mod error;
+pub mod interface;
+pub mod path;
+pub mod power;
+pub mod replay;
+pub mod report;
+pub mod sched;
+pub mod system;
+pub mod timing;
+pub mod wrapper;
+
+pub use cut::{CoreUnderTest, CutId, CutKind};
+pub use error::PlanError;
+pub use interface::{InterfaceId, TestInterface};
+pub use path::{LinkSet, TestPath};
+pub use power::{PowerBudget, PowerModel};
+pub use replay::{
+    replay_concurrent_streams, replay_stimulus_stream, ConcurrentReplay, StreamReplay,
+};
+pub use sched::{
+    GreedyScheduler, OptimalScheduler, Schedule, ScheduledTest, Scheduler, SerialScheduler,
+    SmartScheduler,
+};
+pub use system::{BudgetSpec, PriorityPolicy, SystemBuilder, SystemUnderTest};
+pub use timing::{GenerationModel, TimingModel};
+pub use wrapper::WrapperDesign;

@@ -1,0 +1,325 @@
+//! Replaying planned test streams on the cycle-level NoC simulator.
+//!
+//! The planner schedules with the *analytic* timing model of
+//! [`crate::timing`]; this module replays a session's stimulus stream flit
+//! by flit on `noctest-noc`'s wormhole simulator and reports both numbers,
+//! so the analytic model can be validated rather than trusted (the
+//! `validate_model` binary and the `sim_vs_model` integration tests build
+//! on this).
+//!
+//! The replay covers the *transport* half of a session: `patterns` stimulus
+//! packets streamed source → CUT. Responses travel an independent path
+//! with the same arithmetic, and generation overhead is a property of the
+//! source, not the network, so the stimulus stream is the part where the
+//! analytic and simulated worlds must agree.
+
+use noctest_noc::{Network, NocConfig, NocError, Packet};
+
+use crate::cut::CutId;
+use crate::interface::InterfaceId;
+use crate::system::SystemUnderTest;
+
+/// Outcome of replaying one session's stimulus stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReplay {
+    /// Packets (= patterns) replayed.
+    pub packets: u32,
+    /// Flits per packet (header included).
+    pub flits_per_packet: u32,
+    /// Cycle at which the simulator delivered the last tail flit.
+    pub simulated_cycles: u64,
+    /// The analytic model's prediction for the same stream.
+    pub analytic_cycles: u64,
+}
+
+impl StreamReplay {
+    /// Relative error of the analytic model against the simulation.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        if self.simulated_cycles == 0 {
+            return 0.0;
+        }
+        (self.analytic_cycles as f64 - self.simulated_cycles as f64).abs()
+            / self.simulated_cycles as f64
+    }
+}
+
+/// Analytic prediction for a back-to-back stream of `packets` packets of
+/// `flits` flits over `hops` hops: per-packet serialisation plus one
+/// routing bubble, plus the pipeline fill of the first packet.
+#[must_use]
+pub fn analytic_stream_cycles(
+    sys: &SystemUnderTest,
+    packets: u32,
+    flits: u32,
+    hops: u32,
+) -> u64 {
+    let t = sys.timing();
+    let per_packet =
+        u64::from(flits) * u64::from(t.flow_latency) + u64::from(t.routing_latency);
+    u64::from(packets) * per_packet
+        + u64::from(hops) * u64::from(t.routing_latency + t.flow_latency)
+}
+
+/// Replays the stimulus stream of testing `cut` from `iface` on the
+/// cycle-level simulator. Uses `patterns_cap` to bound the replayed
+/// pattern count (large cores have hundreds of patterns; the steady state
+/// is reached after a handful).
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`NocError::Timeout`] would indicate a
+/// transport bug).
+pub fn replay_stimulus_stream(
+    sys: &SystemUnderTest,
+    iface: InterfaceId,
+    cut: CutId,
+    patterns_cap: u32,
+) -> Result<StreamReplay, NocError> {
+    let t = sys.timing();
+    let mesh = sys.mesh();
+    let config = NocConfig::builder(mesh.width(), mesh.height())
+        .flit_width_bits(t.flit_width_bits)
+        .flow_latency(t.flow_latency)
+        .routing_latency(t.routing_latency)
+        .routing(sys.routing())
+        .build()?;
+    let mut net = Network::new(config)?;
+
+    let core = sys.cut(cut);
+    let interface = sys.interface(iface);
+    let src = interface.source_node();
+    let dst = core.node;
+    let packets = core.patterns.min(patterns_cap);
+    let flits_total = t.flits(core.bits_in);
+    let payload = flits_total - 1;
+
+    for i in 0..packets {
+        net.inject(Packet::new(src, dst, payload).with_tag(u64::from(i)))?;
+    }
+    let budget = 1_000 + 100 * u64::from(packets) * u64::from(flits_total)
+        * u64::from(t.flow_latency);
+    let delivered = net.run_until_idle(budget)?;
+    let simulated_cycles = delivered
+        .iter()
+        .map(|d| d.tail_delivered_at)
+        .max()
+        .unwrap_or(0);
+    let hops = mesh.distance(src, dst);
+    Ok(StreamReplay {
+        packets,
+        flits_per_packet: flits_total,
+        simulated_cycles,
+        analytic_cycles: analytic_stream_cycles(sys, packets, flits_total, hops),
+    })
+}
+
+/// Outcome of replaying two sessions' stimulus streams concurrently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrentReplay {
+    /// Tail-delivery cycle of the first stream when run alone.
+    pub solo_a: u64,
+    /// Tail-delivery cycle of the second stream when run alone.
+    pub solo_b: u64,
+    /// Tail-delivery cycles of both streams when injected together.
+    pub together: (u64, u64),
+}
+
+impl ConcurrentReplay {
+    /// Worst slowdown either stream suffered from sharing the network.
+    #[must_use]
+    pub fn worst_slowdown(&self) -> f64 {
+        let a = self.together.0 as f64 / self.solo_a.max(1) as f64;
+        let b = self.together.1 as f64 / self.solo_b.max(1) as f64;
+        a.max(b)
+    }
+}
+
+/// Replays the stimulus streams of two sessions, first in isolation and
+/// then concurrently, on the cycle-level simulator. The planner declares
+/// two sessions compatible only when their link sets are disjoint; this
+/// function lets tests verify that such sessions indeed do not slow each
+/// other down (and that conflicting ones do).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn replay_concurrent_streams(
+    sys: &SystemUnderTest,
+    a: (InterfaceId, CutId),
+    b: (InterfaceId, CutId),
+    patterns_cap: u32,
+) -> Result<ConcurrentReplay, NocError> {
+    let t = sys.timing();
+    let mesh = sys.mesh();
+    let config = NocConfig::builder(mesh.width(), mesh.height())
+        .flit_width_bits(t.flit_width_bits)
+        .flow_latency(t.flow_latency)
+        .routing_latency(t.routing_latency)
+        .routing(sys.routing())
+        .build()?;
+
+    let stream = |(iface, cut): (InterfaceId, CutId)| {
+        let core = sys.cut(cut);
+        let src = sys.interface(iface).source_node();
+        let packets = core.patterns.min(patterns_cap);
+        let payload = t.flits(core.bits_in) - 1;
+        (src, core.node, packets, payload)
+    };
+    let (src_a, dst_a, n_a, pay_a) = stream(a);
+    let (src_b, dst_b, n_b, pay_b) = stream(b);
+
+    let run = |pairs: &[(noctest_noc::NodeId, noctest_noc::NodeId, u32, u32, u64)]|
+     -> Result<Vec<u64>, NocError> {
+        let mut net = Network::new(config.clone())?;
+        for &(src, dst, n, payload, tag) in pairs {
+            for i in 0..n {
+                net.inject(
+                    Packet::new(src, dst, payload).with_tag(tag * 1_000_000 + u64::from(i)),
+                )?;
+            }
+        }
+        let budget = 10_000
+            + 200
+                * pairs
+                    .iter()
+                    .map(|&(_, _, n, p, _)| u64::from(n) * u64::from(p + 1))
+                    .sum::<u64>()
+                * u64::from(t.flow_latency);
+        let delivered = net.run_until_idle(budget)?;
+        Ok(pairs
+            .iter()
+            .map(|&(_, _, _, _, tag)| {
+                delivered
+                    .iter()
+                    .filter(|d| d.tag / 1_000_000 == tag)
+                    .map(|d| d.tail_delivered_at)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect())
+    };
+
+    let solo_a = run(&[(src_a, dst_a, n_a, pay_a, 1)])?[0];
+    let solo_b = run(&[(src_b, dst_b, n_b, pay_b, 2)])?[0];
+    let both = run(&[
+        (src_a, dst_a, n_a, pay_a, 1),
+        (src_b, dst_b, n_b, pay_b, 2),
+    ])?;
+    Ok(ConcurrentReplay {
+        solo_a,
+        solo_b,
+        together: (both[0], both[1]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+    use noctest_cpu::ProcessorProfile;
+    use noctest_itc02::data;
+
+    fn system() -> SystemUnderTest {
+        SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+            .processors(&ProcessorProfile::leon(), 6, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn analytic_model_tracks_simulation() {
+        let sys = system();
+        // Replay a medium core from the external tester.
+        let cut = sys
+            .cuts()
+            .iter()
+            .find(|c| c.name.ends_with("m6"))
+            .unwrap()
+            .id;
+        let replay = replay_stimulus_stream(&sys, InterfaceId(0), cut, 12).unwrap();
+        assert_eq!(replay.packets, 12);
+        assert!(replay.simulated_cycles > 0);
+        assert!(
+            replay.relative_error() < 0.25,
+            "analytic {} vs simulated {} (err {:.1}%)",
+            replay.analytic_cycles,
+            replay.simulated_cycles,
+            replay.relative_error() * 100.0
+        );
+    }
+
+    #[test]
+    fn link_disjoint_sessions_do_not_interfere() {
+        // Find two (interface, cut) sessions the planner deems compatible
+        // and verify the simulator agrees: concurrent replay costs at most
+        // a few percent over solo replay.
+        let sys = system();
+        let mut found = None;
+        'outer: for a_cut in sys.cuts() {
+            for b_cut in sys.cuts() {
+                if a_cut.id == b_cut.id {
+                    continue;
+                }
+                let a = (InterfaceId(1), a_cut.id);
+                let b = (InterfaceId(2), b_cut.id);
+                let la = &sys.path(a.0, a.1).links;
+                let lb = &sys.path(b.0, b.1).links;
+                if !la.conflicts_with(lb) {
+                    found = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = found.expect("some disjoint session pair exists");
+        let replay = replay_concurrent_streams(&sys, a, b, 8).unwrap();
+        assert!(
+            replay.worst_slowdown() < 1.05,
+            "disjoint sessions interfered: {replay:?}"
+        );
+    }
+
+    #[test]
+    fn conflicting_sessions_do_interfere() {
+        // Two streams from the same source must serialize at its
+        // injection link: the later one roughly doubles.
+        let sys = system();
+        let mut cuts = sys.cuts().iter().filter(|c| !c.is_processor());
+        let a_cut = cuts.next().unwrap().id;
+        let b_cut = cuts.next().unwrap().id;
+        let a = (InterfaceId(0), a_cut);
+        let b = (InterfaceId(0), b_cut);
+        assert!(sys
+            .path(a.0, a.1)
+            .links
+            .conflicts_with(&sys.path(b.0, b.1).links));
+        let replay = replay_concurrent_streams(&sys, a, b, 8).unwrap();
+        assert!(
+            replay.worst_slowdown() > 1.3,
+            "shared-source sessions should contend: {replay:?}"
+        );
+    }
+
+    #[test]
+    fn replay_caps_pattern_count() {
+        let sys = system();
+        let cut = sys.cuts().iter().max_by_key(|c| c.patterns).unwrap();
+        let replay = replay_stimulus_stream(&sys, InterfaceId(0), cut.id, 5).unwrap();
+        assert_eq!(replay.packets, 5);
+    }
+
+    #[test]
+    fn longer_streams_cost_proportionally_more() {
+        let sys = system();
+        let cut = sys
+            .cuts()
+            .iter()
+            .find(|c| c.name.ends_with("m4"))
+            .unwrap()
+            .id;
+        let r4 = replay_stimulus_stream(&sys, InterfaceId(0), cut, 4).unwrap();
+        let r8 = replay_stimulus_stream(&sys, InterfaceId(0), cut, 8).unwrap();
+        let ratio = r8.simulated_cycles as f64 / r4.simulated_cycles as f64;
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Human-readable and machine-readable schedule reports.
+
+use std::fmt::Write as _;
+
+use crate::sched::Schedule;
+use crate::system::SystemUnderTest;
+
+/// Renders a text Gantt chart of the schedule (one row per core, time
+/// bucketed into `width` columns).
+///
+/// ```
+/// use noctest_core::{report, GreedyScheduler, Scheduler, SystemBuilder};
+/// # use noctest_cpu::ProcessorProfile;
+/// # use noctest_itc02::data;
+/// let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+///     .processors(&ProcessorProfile::leon(), 6, 2)
+///     .build()?;
+/// let schedule = GreedyScheduler.schedule(&sys)?;
+/// let chart = report::gantt(&sys, &schedule, 60);
+/// assert!(chart.contains("leon#0"));
+/// # Ok::<(), noctest_core::PlanError>(())
+/// ```
+#[must_use]
+pub fn gantt(sys: &SystemUnderTest, schedule: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let makespan = schedule.makespan().max(1);
+    let mut out = String::new();
+    let name_w = sys
+        .cuts()
+        .iter()
+        .map(|c| c.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:<8}  0{:>w$}",
+        "core",
+        "iface",
+        makespan,
+        w = width.saturating_sub(1)
+    );
+    for e in schedule.entries() {
+        let cut = sys.cut(e.cut);
+        let iface = sys.interface(e.interface);
+        let from = (e.start as u128 * width as u128 / makespan as u128) as usize;
+        let to = ((e.end as u128 * width as u128).div_ceil(makespan as u128) as usize)
+            .clamp(from + 1, width);
+        let mut bar = String::with_capacity(width);
+        for i in 0..width {
+            bar.push(if (from..to).contains(&i) { '#' } else { '.' });
+        }
+        let _ = writeln!(out, "{:<name_w$}  {:<8}  {bar}", cut.name, iface.label());
+    }
+    let _ = writeln!(
+        out,
+        "makespan {} cycles, peak concurrency {}, mean {:.2}",
+        schedule.makespan(),
+        schedule.peak_concurrency(),
+        schedule.mean_concurrency()
+    );
+    out
+}
+
+/// Serialises the schedule as CSV (`cut,name,interface,start,end,cycles`).
+#[must_use]
+pub fn csv(sys: &SystemUnderTest, schedule: &Schedule) -> String {
+    let mut out = String::from("cut,name,interface,start,end,cycles\n");
+    for e in schedule.entries() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            e.cut.0,
+            sys.cut(e.cut).name,
+            sys.interface(e.interface).label(),
+            e.start,
+            e.end,
+            e.duration()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{GreedyScheduler, Scheduler};
+    use crate::system::SystemBuilder;
+    use noctest_cpu::ProcessorProfile;
+    use noctest_itc02::data;
+
+    fn setup() -> (SystemUnderTest, Schedule) {
+        let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+            .processors(&ProcessorProfile::leon(), 6, 2)
+            .build()
+            .unwrap();
+        let schedule = GreedyScheduler.schedule(&sys).unwrap();
+        (sys, schedule)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_core() {
+        let (sys, schedule) = setup();
+        let chart = gantt(&sys, &schedule, 50);
+        // Header + 16 rows + footer.
+        assert_eq!(chart.lines().count(), 1 + sys.cuts().len() + 1);
+        assert!(chart.contains('#'));
+        assert!(chart.contains("makespan"));
+    }
+
+    #[test]
+    fn csv_is_parsable_and_complete() {
+        let (sys, schedule) = setup();
+        let text = csv(&sys, &schedule);
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "cut,name,interface,start,end,cycles"
+        );
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), sys.cuts().len());
+        for row in rows {
+            let fields: Vec<&str> = row.split(',').collect();
+            assert_eq!(fields.len(), 6);
+            let start: u64 = fields[3].parse().unwrap();
+            let end: u64 = fields[4].parse().unwrap();
+            let cycles: u64 = fields[5].parse().unwrap();
+            assert_eq!(end - start, cycles);
+        }
+    }
+
+    #[test]
+    fn gantt_width_is_clamped() {
+        let (sys, schedule) = setup();
+        let chart = gantt(&sys, &schedule, 0);
+        assert!(chart.lines().count() > 2);
+    }
+}

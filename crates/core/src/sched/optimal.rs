@@ -1,0 +1,352 @@
+//! Exact (branch-and-bound) test scheduling for small systems.
+//!
+//! The paper's greedy heuristic is fast but — as its own p22810 results
+//! show — not optimal. For systems small enough to enumerate, this module
+//! finds the *provably minimal* makespan under exactly the same rules the
+//! heuristics play by (interface exclusivity, link-disjoint paths, power
+//! budget, processor-before-reuse precedence). The `ablations` binary uses
+//! it to measure the greedy/smart optimality gap; tests use it as ground
+//! truth on randomly generated small systems.
+//!
+//! The search branches, at every event instant, on which feasible
+//! (core, interface) session to start next (in canonical order, so
+//! permutations of simultaneous starts are explored once) or on advancing
+//! time to the next completion. Pruning: a lower bound combining the
+//! longest remaining single session and per-interface remaining work
+//! against the incumbent.
+
+use crate::cut::{CutId, CutKind};
+use crate::error::PlanError;
+use crate::interface::InterfaceId;
+use crate::path::LinkSet;
+use crate::sched::{Schedule, ScheduledTest, Scheduler};
+use crate::system::SystemUnderTest;
+
+/// Exact scheduler with a size guard (exponential search).
+#[derive(Debug, Clone, Copy)]
+pub struct OptimalScheduler {
+    /// Refuse systems with more cores than this (default 10).
+    pub max_cores: usize,
+}
+
+impl Default for OptimalScheduler {
+    fn default() -> Self {
+        OptimalScheduler { max_cores: 10 }
+    }
+}
+
+impl OptimalScheduler {
+    /// Creates the scheduler with the default size guard.
+    #[must_use]
+    pub fn new() -> Self {
+        OptimalScheduler::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    cut: CutId,
+    interface: InterfaceId,
+    end: u64,
+    power: f64,
+    links: LinkSet,
+}
+
+struct Search<'a> {
+    sys: &'a SystemUnderTest,
+    best: u64,
+    best_entries: Vec<ScheduledTest>,
+    /// Minimal session duration per cut over all usable interfaces.
+    min_dur: Vec<u64>,
+}
+
+impl Search<'_> {
+    fn feasible_now(
+        &self,
+        active: &[Active],
+        active_power: f64,
+        proc_ready: &[Option<u64>],
+        now: u64,
+        cut: CutId,
+        iface: InterfaceId,
+    ) -> bool {
+        if active.iter().any(|a| a.interface == iface) {
+            return false;
+        }
+        let interface = self.sys.interface(iface);
+        if let Some(idx) = interface.processor_index() {
+            match proc_ready[idx] {
+                Some(t) if t <= now => {}
+                _ => return false,
+            }
+            if self.sys.cut(cut).kind == CutKind::Processor(idx) {
+                return false;
+            }
+        }
+        let links = &self.sys.path(iface, cut).links;
+        if active.iter().any(|a| a.links.conflicts_with(links)) {
+            return false;
+        }
+        self.sys
+            .budget()
+            .allows(active_power + self.sys.session_power(iface, cut))
+    }
+
+    /// A makespan lower bound for the current partial schedule.
+    fn lower_bound(&self, now: u64, active: &[Active], remaining: &[CutId]) -> u64 {
+        let active_bound = active.iter().map(|a| a.end).max().unwrap_or(now);
+        let longest_remaining = remaining
+            .iter()
+            .map(|&c| now + self.min_dur[c.0 as usize])
+            .max()
+            .unwrap_or(0);
+        // Work bound: all remaining sessions spread perfectly over all
+        // interfaces cannot finish earlier than total/interfaces.
+        let total_work: u64 = remaining.iter().map(|&c| self.min_dur[c.0 as usize]).sum();
+        let spread = now + total_work / self.sys.interfaces().len() as u64;
+        active_bound.max(longest_remaining).max(spread)
+    }
+
+    #[allow(clippy::too_many_arguments)] // recursive search state
+    fn dfs(
+        &mut self,
+        now: u64,
+        active: &mut Vec<Active>,
+        active_power: f64,
+        proc_ready: &mut Vec<Option<u64>>,
+        remaining: &mut Vec<CutId>,
+        entries: &mut Vec<ScheduledTest>,
+        min_start: Option<(CutId, InterfaceId)>,
+    ) {
+        if remaining.is_empty() {
+            let makespan = entries.iter().map(|e| e.end).max().unwrap_or(0);
+            if makespan < self.best {
+                self.best = makespan;
+                self.best_entries = entries.clone();
+            }
+            return;
+        }
+        if self.lower_bound(now, active, remaining) >= self.best {
+            return;
+        }
+
+        // Branch 1: start a feasible session now (canonical order to avoid
+        // exploring permutations of simultaneous starts twice).
+        let candidates: Vec<(CutId, InterfaceId)> = remaining
+            .iter()
+            .flat_map(|&cut| {
+                self.sys
+                    .interface_ids()
+                    .map(move |iface| (cut, iface))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|&(cut, iface)| min_start.is_none_or(|m| (cut, iface) > m))
+            .filter(|&(cut, iface)| {
+                self.feasible_now(active, active_power, proc_ready, now, cut, iface)
+            })
+            .collect();
+        for (cut, iface) in candidates {
+            let dur = self.sys.session_cycles(iface, cut);
+            let end = now + dur;
+            if end >= self.best {
+                continue;
+            }
+            let power = self.sys.session_power(iface, cut);
+            active.push(Active {
+                cut,
+                interface: iface,
+                end,
+                power,
+                links: self.sys.path(iface, cut).links.clone(),
+            });
+            let pos = remaining.iter().position(|&c| c == cut).expect("waiting");
+            remaining.remove(pos);
+            entries.push(ScheduledTest {
+                cut,
+                interface: iface,
+                start: now,
+                end,
+            });
+            self.dfs(
+                now,
+                active,
+                active_power + power,
+                proc_ready,
+                remaining,
+                entries,
+                Some((cut, iface)),
+            );
+            entries.pop();
+            remaining.insert(pos, cut);
+            // The recursive call may have reordered `active` (the time
+            // branch drains and re-extends it), so remove by identity.
+            let mine = active
+                .iter()
+                .position(|a| a.cut == cut)
+                .expect("session still active on unwind");
+            active.remove(mine);
+        }
+
+        // Branch 2: advance time to the next completion (only meaningful
+        // when something is running).
+        if let Some(next) = active.iter().map(|a| a.end).min() {
+            let mut finished: Vec<Active> = Vec::new();
+            let mut still: Vec<Active> = Vec::new();
+            for a in active.drain(..) {
+                if a.end <= next {
+                    finished.push(a);
+                } else {
+                    still.push(a);
+                }
+            }
+            *active = still;
+            let freed_power: f64 = finished.iter().map(|a| a.power).sum();
+            let mut ready_updates = Vec::new();
+            for a in &finished {
+                if let CutKind::Processor(idx) = self.sys.cut(a.cut).kind {
+                    ready_updates.push((idx, proc_ready[idx]));
+                    proc_ready[idx] = Some(a.end);
+                }
+            }
+            self.dfs(
+                next,
+                active,
+                active_power - freed_power,
+                proc_ready,
+                remaining,
+                entries,
+                None,
+            );
+            for (idx, old) in ready_updates {
+                proc_ready[idx] = old;
+            }
+            active.extend(finished);
+        }
+    }
+}
+
+impl Scheduler for OptimalScheduler {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn schedule(&self, sys: &SystemUnderTest) -> Result<Schedule, PlanError> {
+        if sys.interfaces().is_empty() {
+            return Err(PlanError::NoInterfaces);
+        }
+        if sys.cuts().len() > self.max_cores {
+            return Err(PlanError::InvalidSchedule(format!(
+                "optimal scheduler is exponential; {} cores exceed the {}-core guard",
+                sys.cuts().len(),
+                self.max_cores
+            )));
+        }
+        // Seed the incumbent with the greedy solution: correct upper bound
+        // and strong pruning from the start.
+        let greedy = crate::sched::GreedyScheduler.schedule(sys)?;
+        let min_dur: Vec<u64> = sys
+            .cuts()
+            .iter()
+            .map(|cut| {
+                sys.interface_ids()
+                    .filter(|iface| {
+                        sys.interface(*iface)
+                            .processor_index()
+                            .is_none_or(|idx| cut.kind != CutKind::Processor(idx))
+                    })
+                    .map(|iface| sys.session_cycles(iface, cut.id))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect();
+        let mut search = Search {
+            sys,
+            best: greedy.makespan(),
+            best_entries: greedy.entries().to_vec(),
+            min_dur,
+        };
+        let proc_count = sys.interfaces().iter().filter(|i| !i.is_external()).count();
+        let mut remaining: Vec<CutId> = sys.cuts().iter().map(|c| c.id).collect();
+        search.dfs(
+            0,
+            &mut Vec::new(),
+            0.0,
+            &mut vec![None; proc_count],
+            &mut remaining,
+            &mut Vec::new(),
+            None,
+        );
+        Ok(Schedule::new(search.best_entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{GreedyScheduler, SmartScheduler};
+    use crate::system::SystemBuilder;
+    use noctest_cpu::ProcessorProfile;
+
+    fn small_system(cores: usize, procs: usize) -> SystemUnderTest {
+        let mut b = SystemBuilder::new("small", 3, 3);
+        for i in 0..cores {
+            b = b.core(
+                format!("c{i}"),
+                100 + 90 * i as u32,
+                80 + 70 * i as u32,
+                10 + 7 * i as u32,
+                50.0 + 10.0 * i as f64,
+            );
+        }
+        b.processors(&ProcessorProfile::plasma().calibrated().unwrap(), procs, procs)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn optimal_schedule_is_valid_and_never_worse_than_heuristics() {
+        for (cores, procs) in [(3usize, 1usize), (4, 2), (5, 2)] {
+            let sys = small_system(cores, procs);
+            let optimal = OptimalScheduler::new().schedule(&sys).unwrap();
+            optimal.validate(&sys).unwrap();
+            let greedy = GreedyScheduler.schedule(&sys).unwrap();
+            let smart = SmartScheduler.schedule(&sys).unwrap();
+            assert!(optimal.makespan() <= greedy.makespan());
+            assert!(optimal.makespan() <= smart.makespan());
+        }
+    }
+
+    #[test]
+    fn optimal_matches_serial_when_only_external_exists() {
+        let sys = small_system(4, 0);
+        let optimal = OptimalScheduler::new().schedule(&sys).unwrap();
+        // One interface: any order gives the same serial sum.
+        assert_eq!(optimal.makespan(), sys.serial_external_cycles());
+    }
+
+    #[test]
+    fn optimal_finds_known_parallel_packing() {
+        // With enough equal cores queued on the external tester, diverting
+        // one to the (slower) processor strictly beats pure serial: the
+        // optimum must be parallel and beat the serial bound.
+        let mut b = SystemBuilder::new("packing", 3, 3);
+        for i in 0..5 {
+            b = b.core(format!("c{i}"), 1600, 1600, 40, 50.0);
+        }
+        let sys = b
+            .processors(&ProcessorProfile::plasma().calibrated().unwrap(), 1, 1)
+            .build()
+            .unwrap();
+        let optimal = OptimalScheduler::new().schedule(&sys).unwrap();
+        optimal.validate(&sys).unwrap();
+        assert!(optimal.peak_concurrency() >= 2);
+        assert!(optimal.makespan() < sys.serial_external_cycles());
+    }
+
+    #[test]
+    fn size_guard_rejects_large_systems() {
+        let sys = small_system(7, 4); // 11 cuts > 10
+        let err = OptimalScheduler::new().schedule(&sys).unwrap_err();
+        assert!(matches!(err, PlanError::InvalidSchedule(_)));
+    }
+}

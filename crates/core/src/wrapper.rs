@@ -1,0 +1,212 @@
+//! Test-wrapper design (IEEE 1500-style) for cores under test.
+//!
+//! The ITC'02 modules expose raw scan chains and port counts; a real
+//! core-based flow stitches those into *wrapper scan chains* so the test
+//! access mechanism can shift stimulus/response in parallel. This module
+//! implements the classic **Best-Fit-Decreasing partitioning** used by the
+//! modular-test literature (Iyengar/Chakrabarty/Marinissen's wrapper
+//! design step): internal scan chains are sorted by descending length and
+//! each is appended to the currently shortest wrapper chain; wrapper
+//! input/output cells for the functional ports are then balanced across
+//! the chains the same way.
+//!
+//! The planner uses the resulting longest-wrapper-chain length as a *shift
+//! bound*: a core cannot absorb stimulus faster than one bit per cycle per
+//! wrapper chain, so per-pattern delivery time is at least the longest
+//! wrapper chain. With the Hermes-class 16-bit/2-cycle channel the NoC
+//! usually dominates, but cores with few internal chains (d695's s838 has
+//! one) become wrapper-limited — enabling
+//! [`crate::TimingModel::wrapper_shift`] exposes exactly that effect.
+
+/// A designed wrapper: the lengths of each wrapper scan chain, counting
+/// internal scan cells plus the wrapper boundary cells assigned to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrapperDesign {
+    in_chains: Vec<u32>,
+    out_chains: Vec<u32>,
+}
+
+impl WrapperDesign {
+    /// Designs a wrapper with at most `max_chains` wrapper chains for a
+    /// core with the given internal scan chains and functional port
+    /// counts. Follows Best-Fit-Decreasing: longest internal chain first,
+    /// always into the currently shortest wrapper chain; input cells then
+    /// pad the input-side chains, output cells the output side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_chains` is zero.
+    #[must_use]
+    pub fn design(scan_chains: &[u32], inputs: u32, outputs: u32, max_chains: u32) -> Self {
+        assert!(max_chains > 0, "a wrapper needs at least one chain");
+        let w = max_chains as usize;
+        let mut sorted: Vec<u32> = scan_chains.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+
+        // Scan-in and scan-out sides see the same internal chains; wrapper
+        // IO cells differ (input cells on the stimulus side, output cells
+        // on the response side). Wrapper chains may hold IO cells only.
+        let mut in_chains = vec![0u32; w];
+        for &len in &sorted {
+            let shortest = Self::shortest_index(&in_chains);
+            in_chains[shortest] += len;
+        }
+        let mut out_chains = in_chains.clone();
+        Self::spread_cells(&mut in_chains, inputs);
+        Self::spread_cells(&mut out_chains, outputs);
+        // Prune chains that ended up empty on both sides (requested width
+        // wider than the core has cells for).
+        let keep: Vec<usize> = (0..w)
+            .filter(|&i| in_chains[i] > 0 || out_chains[i] > 0)
+            .collect();
+        let in_chains: Vec<u32> = keep.iter().map(|&i| in_chains[i]).collect();
+        let out_chains: Vec<u32> = keep.iter().map(|&i| out_chains[i]).collect();
+        WrapperDesign {
+            in_chains,
+            out_chains,
+        }
+    }
+
+    fn shortest_index(chains: &[u32]) -> usize {
+        chains
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &len)| (len, i))
+            .map(|(i, _)| i)
+            .expect("wrapper has at least one chain")
+    }
+
+    /// Distributes `cells` one at a time onto the shortest chain — the
+    /// optimal way to add unit-length items to a fixed partition.
+    fn spread_cells(chains: &mut [u32], cells: u32) {
+        for _ in 0..cells {
+            let shortest = Self::shortest_index(chains);
+            chains[shortest] += 1;
+        }
+    }
+
+    /// Number of wrapper chains.
+    #[must_use]
+    pub fn chains(&self) -> usize {
+        self.in_chains.len()
+    }
+
+    /// The scan-in wrapper chain lengths.
+    #[must_use]
+    pub fn in_chains(&self) -> &[u32] {
+        &self.in_chains
+    }
+
+    /// The scan-out wrapper chain lengths.
+    #[must_use]
+    pub fn out_chains(&self) -> &[u32] {
+        &self.out_chains
+    }
+
+    /// Longest scan-in wrapper chain — the per-pattern stimulus shift
+    /// bound in cycles.
+    #[must_use]
+    pub fn max_in(&self) -> u32 {
+        self.in_chains.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Longest scan-out wrapper chain — the per-pattern response shift
+    /// bound in cycles.
+    #[must_use]
+    pub fn max_out(&self) -> u32 {
+        self.out_chains.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The balance quality: longest minus shortest scan-in chain. BFD on
+    /// unit cells is optimal (0 or bounded by the largest internal chain).
+    #[must_use]
+    pub fn imbalance(&self) -> u32 {
+        let max = self.in_chains.iter().copied().max().unwrap_or(0);
+        let min = self.in_chains.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfd_balances_equal_chains() {
+        let w = WrapperDesign::design(&[50, 50, 50, 50], 0, 0, 4);
+        assert_eq!(w.chains(), 4);
+        assert_eq!(w.in_chains(), &[50, 50, 50, 50]);
+        assert_eq!(w.imbalance(), 0);
+    }
+
+    #[test]
+    fn bfd_packs_uneven_chains() {
+        // 100 + 60 + 40 into 2 chains: BFD gives {100} and {60+40}.
+        let w = WrapperDesign::design(&[100, 60, 40], 0, 0, 2);
+        let mut chains = w.in_chains().to_vec();
+        chains.sort_unstable();
+        assert_eq!(chains, vec![100, 100]);
+        assert_eq!(w.max_in(), 100);
+    }
+
+    #[test]
+    fn io_cells_fill_shortest_chains() {
+        // One internal chain of 30 plus 10 input cells on 2 wrapper
+        // chains: the empty chain absorbs all 10 input cells.
+        let w = WrapperDesign::design(&[30], 10, 4, 2);
+        let mut ins = w.in_chains().to_vec();
+        ins.sort_unstable();
+        assert_eq!(ins, vec![10, 30]);
+        let mut outs = w.out_chains().to_vec();
+        outs.sort_unstable();
+        assert_eq!(outs, vec![4, 30]);
+    }
+
+    #[test]
+    fn combinational_core_gets_io_only_wrapper() {
+        // No internal scan: the IO cells spread across all four chains.
+        let w = WrapperDesign::design(&[], 32, 32, 4);
+        assert_eq!(w.chains(), 4);
+        assert_eq!(w.max_in(), 8);
+        assert_eq!(w.max_out(), 8);
+    }
+
+    #[test]
+    fn more_wrapper_chains_never_lengthen_the_max() {
+        let chains = [120u32, 90, 70, 44, 33, 21, 10, 5];
+        let mut prev = u32::MAX;
+        for w in 1..=8 {
+            let design = WrapperDesign::design(&chains, 60, 80, w);
+            assert!(
+                design.max_in() <= prev,
+                "max_in grew at w={w}: {} > {prev}",
+                design.max_in()
+            );
+            prev = design.max_in();
+        }
+    }
+
+    #[test]
+    fn empty_wrapper_chains_are_pruned() {
+        // Two scan chains, no IO, sixteen requested: only two survive.
+        let w = WrapperDesign::design(&[40, 40], 0, 0, 16);
+        assert_eq!(w.chains(), 2);
+        assert_eq!(w.in_chains(), &[40, 40]);
+    }
+
+    #[test]
+    fn total_cells_are_conserved() {
+        let scan = [77u32, 31, 9];
+        let (inputs, outputs) = (13u32, 29u32);
+        let w = WrapperDesign::design(&scan, inputs, outputs, 3);
+        let scan_total: u32 = scan.iter().sum();
+        assert_eq!(w.in_chains().iter().sum::<u32>(), scan_total + inputs);
+        assert_eq!(w.out_chains().iter().sum::<u32>(), scan_total + outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn zero_chains_rejected() {
+        let _ = WrapperDesign::design(&[10], 1, 1, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Errors raised by the instruction-set simulators and assemblers.
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime fault in an instruction-set simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Memory access outside the configured address space.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u32,
+        /// Size of the address space in bytes.
+        size: u32,
+    },
+    /// Load/store with an address not aligned to the access width.
+    Unaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// An opcode the simulated subset does not implement.
+    UnknownInstruction {
+        /// The raw instruction word.
+        word: u32,
+        /// Address it was fetched from.
+        pc: u32,
+    },
+    /// SPARC `save` beyond the register-window stack (window overflow
+    /// traps are not modelled; the BIST kernels never nest that deep).
+    WindowOverflow {
+        /// Current window pointer at the fault.
+        cwp: usize,
+    },
+    /// SPARC `restore` past the initial window.
+    WindowUnderflow {
+        /// Current window pointer at the fault.
+        cwp: usize,
+    },
+    /// Integer division by zero (the subset has no trap handling).
+    DivisionByZero {
+        /// Address of the dividing instruction.
+        pc: u32,
+    },
+    /// The cycle budget given to `run` expired before the program halted.
+    CycleBudgetExhausted {
+        /// The exhausted budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { addr, size } => {
+                write!(f, "address {addr:#010x} outside {size}-byte memory")
+            }
+            ExecError::Unaligned { addr, align } => {
+                write!(f, "address {addr:#010x} not aligned to {align} bytes")
+            }
+            ExecError::UnknownInstruction { word, pc } => {
+                write!(f, "unknown instruction {word:#010x} at {pc:#010x}")
+            }
+            ExecError::WindowOverflow { cwp } => {
+                write!(f, "register window overflow at cwp {cwp}")
+            }
+            ExecError::WindowUnderflow { cwp } => {
+                write!(f, "register window underflow at cwp {cwp}")
+            }
+            ExecError::DivisionByZero { pc } => {
+                write!(f, "division by zero at {pc:#010x}")
+            }
+            ExecError::CycleBudgetExhausted { budget } => {
+                write!(f, "program did not halt within {budget} cycles")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// An error produced while assembling source text, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let errs: Vec<Box<dyn Error>> = vec![
+            Box::new(ExecError::OutOfBounds { addr: 4, size: 2 }),
+            Box::new(ExecError::Unaligned { addr: 3, align: 4 }),
+            Box::new(ExecError::UnknownInstruction { word: 1, pc: 0 }),
+            Box::new(ExecError::WindowOverflow { cwp: 7 }),
+            Box::new(ExecError::WindowUnderflow { cwp: 0 }),
+            Box::new(ExecError::DivisionByZero { pc: 8 }),
+            Box::new(ExecError::CycleBudgetExhausted { budget: 10 }),
+            Box::new(AsmError {
+                line: 3,
+                message: "bad register".into(),
+            }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # noctest-cpu — embedded-processor substrate for software-based test
+//!
+//! The DATE'05 paper reuses two open processor cores as test sources/sinks:
+//! **Plasma** (MIPS-I compatible, opencores.org) and **Leon** (SPARC V8
+//! compatible, Gaisler). Section 2 requires each reused processor to be
+//! *characterised*: "the BIST application consumes time to generate the
+//! BIST pattern and to send it to the CUT ... The test application has to be
+//! characterized in terms of time, memory requirements and power to each
+//! processor in the system reused for test."
+//!
+//! Rather than assuming the paper's "10 clock cycles to generate a test
+//! pattern", this crate *derives* the figure from first principles:
+//!
+//! * [`mips`] — an instruction-set simulator for the MIPS-I subset the
+//!   Plasma core implements (branch delay slots included), plus a small
+//!   two-pass assembler;
+//! * [`sparc`] — an ISS for a SPARC V8 subset (register windows, condition
+//!   codes, delayed control transfer with annul bits), plus an assembler;
+//! * [`bist`] — the software-BIST kernel (a 32-bit Galois LFSR emitting
+//!   pattern words to a memory-mapped network-interface port) in both
+//!   assembly dialects, a host reference implementation, and harnesses
+//!   proving the simulated processors produce the exact LFSR sequence;
+//! * [`characterize`] — measures cycles-per-pattern-word on each ISS;
+//! * [`profile`] — [`ProcessorProfile`]s for Leon and Plasma consumed by
+//!   the test planner (generation overhead, self-test size, power, memory).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noctest_cpu::bist;
+//!
+//! // Run the BIST kernel on the Plasma (MIPS-I) simulator: 8 words.
+//! let run = bist::run_mips_bist(0xACE1_u32, 8)?;
+//! assert_eq!(run.words, bist::reference_sequence(0xACE1, 8));
+//! assert!(run.cycles_per_word() > 5.0 && run.cycles_per_word() < 20.0);
+//! # Ok::<(), noctest_cpu::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bist;
+pub mod characterize;
+pub mod decompress;
+pub mod error;
+pub mod mem;
+pub mod mips;
+pub mod profile;
+pub mod sparc;
+
+pub use characterize::GenCharacterization;
+pub use error::ExecError;
+pub use mem::Memory;
+pub use profile::{Isa, ProcessorProfile, SourceMode};

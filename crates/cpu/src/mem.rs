@@ -1,0 +1,241 @@
+//! Byte-addressable memory with a memory-mapped network-interface port.
+//!
+//! The BIST kernel "sends" each generated pattern word to the core under
+//! test by storing it to [`Memory::TX_PORT`]; the harness collects those
+//! words from [`Memory::take_tx`] exactly as the NoC network interface
+//! would serialise them into flits. Both simulated ISAs are big-endian
+//! (SPARC is; the Plasma core configures MIPS big-endian as well).
+
+use crate::error::ExecError;
+
+/// Simple flat memory plus the transmit and receive ports.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    tx: Vec<u32>,
+    rx: std::collections::VecDeque<u32>,
+}
+
+impl Memory {
+    /// Address of the memory-mapped transmit port (word writes only).
+    pub const TX_PORT: u32 = 0xFFFF_0000;
+
+    /// Address of the memory-mapped receive port: each word load pops the
+    /// next word of the response stream queued with [`Memory::feed_rx`]
+    /// (0 once the stream is exhausted).
+    pub const RX_PORT: u32 = 0xFFFF_0004;
+
+    /// Creates a zeroed memory of `size` bytes (rounded up to 4).
+    #[must_use]
+    pub fn new(size: u32) -> Self {
+        Memory {
+            bytes: vec![0; ((size + 3) & !3) as usize],
+            tx: Vec::new(),
+            rx: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Queues words for the receive port (the response stream arriving
+    /// from the core under test, as the NoC wrapper would deliver it).
+    pub fn feed_rx<I: IntoIterator<Item = u32>>(&mut self, words: I) {
+        self.rx.extend(words);
+    }
+
+    /// Words still waiting at the receive port.
+    #[must_use]
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Size of the backing store in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Words stored to the TX port so far, drained.
+    pub fn take_tx(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Words stored to the TX port so far, by reference.
+    #[must_use]
+    pub fn tx(&self) -> &[u32] {
+        &self.tx
+    }
+
+    /// Loads a program image at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::OutOfBounds`] if the image does not fit.
+    pub fn load_image(&mut self, base: u32, words: &[u32]) -> Result<(), ExecError> {
+        for (i, w) in words.iter().enumerate() {
+            self.store_word(base + (i as u32) * 4, *w)?;
+        }
+        Ok(())
+    }
+
+    fn check(&self, addr: u32, width: u32) -> Result<usize, ExecError> {
+        if !addr.is_multiple_of(width) {
+            return Err(ExecError::Unaligned { addr, align: width });
+        }
+        let end = addr as u64 + u64::from(width);
+        if end > self.bytes.len() as u64 {
+            return Err(ExecError::OutOfBounds {
+                addr,
+                size: self.size(),
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads a big-endian word; loads from [`Memory::RX_PORT`] pop the
+    /// queued response stream instead (0 when exhausted).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unaligned`] / [`ExecError::OutOfBounds`].
+    pub fn load_word(&mut self, addr: u32) -> Result<u32, ExecError> {
+        if addr == Self::RX_PORT {
+            return Ok(self.rx.pop_front().unwrap_or(0));
+        }
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_be_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Loads a big-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unaligned`] / [`ExecError::OutOfBounds`].
+    pub fn load_half(&self, addr: u32) -> Result<u16, ExecError> {
+        let i = self.check(addr, 2)?;
+        Ok(u16::from_be_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Loads a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OutOfBounds`].
+    pub fn load_byte(&self, addr: u32) -> Result<u8, ExecError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Stores a big-endian word; stores to [`Memory::TX_PORT`] are captured
+    /// as network-interface traffic instead of hitting the backing store.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unaligned`] / [`ExecError::OutOfBounds`].
+    pub fn store_word(&mut self, addr: u32, value: u32) -> Result<(), ExecError> {
+        if addr == Self::TX_PORT {
+            self.tx.push(value);
+            return Ok(());
+        }
+        let i = self.check(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_be_bytes());
+        Ok(())
+    }
+
+    /// Stores a big-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unaligned`] / [`ExecError::OutOfBounds`].
+    pub fn store_half(&mut self, addr: u32, value: u16) -> Result<(), ExecError> {
+        let i = self.check(addr, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&value.to_be_bytes());
+        Ok(())
+    }
+
+    /// Stores a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OutOfBounds`].
+    pub fn store_byte(&mut self, addr: u32, value: u8) -> Result<(), ExecError> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_big_endian() {
+        let mut m = Memory::new(16);
+        m.store_word(4, 0x1234_5678).unwrap();
+        assert_eq!(m.load_word(4).unwrap(), 0x1234_5678);
+        assert_eq!(m.load_byte(4).unwrap(), 0x12);
+        assert_eq!(m.load_byte(7).unwrap(), 0x78);
+        assert_eq!(m.load_half(4).unwrap(), 0x1234);
+        assert_eq!(m.load_half(6).unwrap(), 0x5678);
+    }
+
+    #[test]
+    fn unaligned_word_rejected() {
+        let mut m = Memory::new(16);
+        assert_eq!(
+            m.load_word(2),
+            Err(ExecError::Unaligned { addr: 2, align: 4 })
+        );
+    }
+
+    #[test]
+    fn rx_port_pops_queued_stream() {
+        let mut m = Memory::new(8);
+        m.feed_rx([7, 8]);
+        assert_eq!(m.rx_pending(), 2);
+        assert_eq!(m.load_word(Memory::RX_PORT).unwrap(), 7);
+        assert_eq!(m.load_word(Memory::RX_PORT).unwrap(), 8);
+        // Exhausted stream reads as zero.
+        assert_eq!(m.load_word(Memory::RX_PORT).unwrap(), 0);
+        assert_eq!(m.rx_pending(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = Memory::new(8);
+        assert!(matches!(
+            m.store_word(8, 1),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        assert!(matches!(m.load_byte(8), Err(ExecError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn tx_port_captures_words() {
+        let mut m = Memory::new(8);
+        m.store_word(Memory::TX_PORT, 0xAA).unwrap();
+        m.store_word(Memory::TX_PORT, 0xBB).unwrap();
+        assert_eq!(m.tx(), &[0xAA, 0xBB]);
+        assert_eq!(m.take_tx(), vec![0xAA, 0xBB]);
+        assert!(m.tx().is_empty());
+    }
+
+    #[test]
+    fn size_rounds_up_to_word() {
+        assert_eq!(Memory::new(5).size(), 8);
+        assert_eq!(Memory::new(8).size(), 8);
+    }
+
+    #[test]
+    fn image_loading() {
+        let mut m = Memory::new(32);
+        m.load_image(8, &[1, 2, 3]).unwrap();
+        assert_eq!(m.load_word(8).unwrap(), 1);
+        assert_eq!(m.load_word(16).unwrap(), 3);
+        assert!(m.load_image(28, &[1, 2]).is_err());
+    }
+}

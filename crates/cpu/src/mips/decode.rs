@@ -1,0 +1,220 @@
+//! MIPS-I instruction decoding (the subset the Plasma core implements).
+
+use crate::error::ExecError;
+
+/// A decoded MIPS-I instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings follow the architecture manual
+#[non_exhaustive]
+pub enum Instr {
+    // R-type ALU
+    Sll { rd: u8, rt: u8, sa: u8 },
+    Srl { rd: u8, rt: u8, sa: u8 },
+    Sra { rd: u8, rt: u8, sa: u8 },
+    Sllv { rd: u8, rt: u8, rs: u8 },
+    Srlv { rd: u8, rt: u8, rs: u8 },
+    Srav { rd: u8, rt: u8, rs: u8 },
+    Jr { rs: u8 },
+    Jalr { rd: u8, rs: u8 },
+    Break,
+    Mfhi { rd: u8 },
+    Mthi { rs: u8 },
+    Mflo { rd: u8 },
+    Mtlo { rs: u8 },
+    Mult { rs: u8, rt: u8 },
+    Multu { rs: u8, rt: u8 },
+    Div { rs: u8, rt: u8 },
+    Divu { rs: u8, rt: u8 },
+    Addu { rd: u8, rs: u8, rt: u8 },
+    Subu { rd: u8, rs: u8, rt: u8 },
+    And { rd: u8, rs: u8, rt: u8 },
+    Or { rd: u8, rs: u8, rt: u8 },
+    Xor { rd: u8, rs: u8, rt: u8 },
+    Nor { rd: u8, rs: u8, rt: u8 },
+    Slt { rd: u8, rs: u8, rt: u8 },
+    Sltu { rd: u8, rs: u8, rt: u8 },
+    // I-type
+    Beq { rs: u8, rt: u8, offset: i16 },
+    Bne { rs: u8, rt: u8, offset: i16 },
+    Blez { rs: u8, offset: i16 },
+    Bgtz { rs: u8, offset: i16 },
+    Bltz { rs: u8, offset: i16 },
+    Bgez { rs: u8, offset: i16 },
+    Addiu { rt: u8, rs: u8, imm: i16 },
+    Slti { rt: u8, rs: u8, imm: i16 },
+    Sltiu { rt: u8, rs: u8, imm: i16 },
+    Andi { rt: u8, rs: u8, imm: u16 },
+    Ori { rt: u8, rs: u8, imm: u16 },
+    Xori { rt: u8, rs: u8, imm: u16 },
+    Lui { rt: u8, imm: u16 },
+    Lb { rt: u8, rs: u8, offset: i16 },
+    Lh { rt: u8, rs: u8, offset: i16 },
+    Lw { rt: u8, rs: u8, offset: i16 },
+    Lbu { rt: u8, rs: u8, offset: i16 },
+    Lhu { rt: u8, rs: u8, offset: i16 },
+    Sb { rt: u8, rs: u8, offset: i16 },
+    Sh { rt: u8, rs: u8, offset: i16 },
+    Sw { rt: u8, rs: u8, offset: i16 },
+    // J-type
+    J { target: u32 },
+    Jal { target: u32 },
+}
+
+/// Decodes one instruction word fetched from `pc`.
+///
+/// # Errors
+///
+/// [`ExecError::UnknownInstruction`] for encodings outside the subset.
+/// `addi`/`add`/`sub` (trapping arithmetic) decode to their wrapping
+/// counterparts, as the Plasma core itself treats overflow traps as
+/// unimplemented.
+pub fn decode(word: u32, pc: u32) -> Result<Instr, ExecError> {
+    let op = word >> 26;
+    let rs = ((word >> 21) & 31) as u8;
+    let rt = ((word >> 16) & 31) as u8;
+    let rd = ((word >> 11) & 31) as u8;
+    let sa = ((word >> 6) & 31) as u8;
+    let funct = word & 63;
+    let imm = (word & 0xFFFF) as u16;
+    let simm = imm as i16;
+    let target = word & 0x03FF_FFFF;
+
+    let unknown = || ExecError::UnknownInstruction { word, pc };
+
+    Ok(match op {
+        0 => match funct {
+            0x00 => Instr::Sll { rd, rt, sa },
+            0x02 => Instr::Srl { rd, rt, sa },
+            0x03 => Instr::Sra { rd, rt, sa },
+            0x04 => Instr::Sllv { rd, rt, rs },
+            0x06 => Instr::Srlv { rd, rt, rs },
+            0x07 => Instr::Srav { rd, rt, rs },
+            0x08 => Instr::Jr { rs },
+            0x09 => Instr::Jalr { rd, rs },
+            0x0D => Instr::Break,
+            0x10 => Instr::Mfhi { rd },
+            0x11 => Instr::Mthi { rs },
+            0x12 => Instr::Mflo { rd },
+            0x13 => Instr::Mtlo { rs },
+            0x18 => Instr::Mult { rs, rt },
+            0x19 => Instr::Multu { rs, rt },
+            0x1A => Instr::Div { rs, rt },
+            0x1B => Instr::Divu { rs, rt },
+            0x20 | 0x21 => Instr::Addu { rd, rs, rt },
+            0x22 | 0x23 => Instr::Subu { rd, rs, rt },
+            0x24 => Instr::And { rd, rs, rt },
+            0x25 => Instr::Or { rd, rs, rt },
+            0x26 => Instr::Xor { rd, rs, rt },
+            0x27 => Instr::Nor { rd, rs, rt },
+            0x2A => Instr::Slt { rd, rs, rt },
+            0x2B => Instr::Sltu { rd, rs, rt },
+            _ => return Err(unknown()),
+        },
+        1 => match rt {
+            0 => Instr::Bltz { rs, offset: simm },
+            1 => Instr::Bgez { rs, offset: simm },
+            _ => return Err(unknown()),
+        },
+        2 => Instr::J { target },
+        3 => Instr::Jal { target },
+        4 => Instr::Beq { rs, rt, offset: simm },
+        5 => Instr::Bne { rs, rt, offset: simm },
+        6 => Instr::Blez { rs, offset: simm },
+        7 => Instr::Bgtz { rs, offset: simm },
+        8 | 9 => Instr::Addiu { rt, rs, imm: simm },
+        10 => Instr::Slti { rt, rs, imm: simm },
+        11 => Instr::Sltiu { rt, rs, imm: simm },
+        12 => Instr::Andi { rt, rs, imm },
+        13 => Instr::Ori { rt, rs, imm },
+        14 => Instr::Xori { rt, rs, imm },
+        15 => Instr::Lui { rt, imm },
+        32 => Instr::Lb { rt, rs, offset: simm },
+        33 => Instr::Lh { rt, rs, offset: simm },
+        35 => Instr::Lw { rt, rs, offset: simm },
+        36 => Instr::Lbu { rt, rs, offset: simm },
+        37 => Instr::Lhu { rt, rs, offset: simm },
+        40 => Instr::Sb { rt, rs, offset: simm },
+        41 => Instr::Sh { rt, rs, offset: simm },
+        43 => Instr::Sw { rt, rs, offset: simm },
+        _ => return Err(unknown()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_r_type() {
+        // addu $3, $1, $2 => 000000 00001 00010 00011 00000 100001
+        let word = (1 << 21) | (2 << 16) | (3 << 11) | 0x21;
+        assert_eq!(
+            decode(word, 0).unwrap(),
+            Instr::Addu {
+                rd: 3,
+                rs: 1,
+                rt: 2
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_shift_with_shamt() {
+        // sll $5, $4, 7
+        let word = (4 << 16) | (5 << 11) | (7 << 6);
+        assert_eq!(decode(word, 0).unwrap(), Instr::Sll { rd: 5, rt: 4, sa: 7 });
+    }
+
+    #[test]
+    fn decodes_i_type_sign_extension() {
+        // addiu $2, $1, -4
+        let word = (9 << 26) | (1 << 21) | (2 << 16) | 0xFFFC;
+        assert_eq!(
+            decode(word, 0).unwrap(),
+            Instr::Addiu {
+                rt: 2,
+                rs: 1,
+                imm: -4
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_jumps() {
+        let word = (2 << 26) | 0x123;
+        assert_eq!(decode(word, 0).unwrap(), Instr::J { target: 0x123 });
+        let word = (3 << 26) | 0x456;
+        assert_eq!(decode(word, 0).unwrap(), Instr::Jal { target: 0x456 });
+    }
+
+    #[test]
+    fn decodes_regimm_branches() {
+        let word = (1 << 26) | (3 << 21) | (1 << 16) | 0x0010;
+        assert_eq!(
+            decode(word, 0).unwrap(),
+            Instr::Bgez { rs: 3, offset: 16 }
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_reports_pc() {
+        let err = decode(0xFC00_0000, 0x40).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnknownInstruction {
+                word: 0xFC00_0000,
+                pc: 0x40
+            }
+        );
+    }
+
+    #[test]
+    fn trapping_arith_maps_to_wrapping() {
+        // add (funct 0x20) decodes as Addu.
+        let word = (1 << 21) | (2 << 16) | (3 << 11) | 0x20;
+        assert!(matches!(decode(word, 0).unwrap(), Instr::Addu { .. }));
+        // addi (op 8) decodes as Addiu.
+        let word = (8 << 26) | 5;
+        assert!(matches!(decode(word, 0).unwrap(), Instr::Addiu { .. }));
+    }
+}

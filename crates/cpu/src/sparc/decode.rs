@@ -1,0 +1,288 @@
+//! SPARC V8 instruction decoding (the subset the Leon core's BIST use
+//! needs: integer ALU with condition codes, loads/stores, delayed control
+//! transfer with annul bits, register windows, `sethi`, `call`, traps).
+
+use crate::error::ExecError;
+
+/// Branch condition (on integer condition codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // names follow the architecture manual
+pub enum Cond {
+    Never,
+    Equal,
+    LessOrEqual,
+    Less,
+    LessOrEqualUnsigned,
+    CarrySet,
+    Negative,
+    OverflowSet,
+    Always,
+    NotEqual,
+    Greater,
+    GreaterOrEqual,
+    GreaterUnsigned,
+    CarryClear,
+    Positive,
+    OverflowClear,
+}
+
+impl Cond {
+    fn from_bits(bits: u32) -> Cond {
+        match bits & 0xF {
+            0x0 => Cond::Never,
+            0x1 => Cond::Equal,
+            0x2 => Cond::LessOrEqual,
+            0x3 => Cond::Less,
+            0x4 => Cond::LessOrEqualUnsigned,
+            0x5 => Cond::CarrySet,
+            0x6 => Cond::Negative,
+            0x7 => Cond::OverflowSet,
+            0x8 => Cond::Always,
+            0x9 => Cond::NotEqual,
+            0xA => Cond::Greater,
+            0xB => Cond::GreaterOrEqual,
+            0xC => Cond::GreaterUnsigned,
+            0xD => Cond::CarryClear,
+            0xE => Cond::Positive,
+            _ => Cond::OverflowClear,
+        }
+    }
+}
+
+/// The second operand of a format-3 instruction: register or simm13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand2 {
+    /// Register rs2.
+    Reg(u8),
+    /// Sign-extended 13-bit immediate.
+    Imm(i32),
+}
+
+/// ALU operation selector for format-3 instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    AddCc,
+    Sub,
+    SubCc,
+    And,
+    AndCc,
+    Or,
+    OrCc,
+    Xor,
+    XorCc,
+    AndN,
+    OrN,
+    XNor,
+    Sll,
+    Srl,
+    Sra,
+    UMul,
+    SMul,
+}
+
+/// A decoded SPARC V8 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+#[non_exhaustive]
+pub enum Instr {
+    SetHi { rd: u8, imm22: u32 },
+    Branch { cond: Cond, annul: bool, disp22: i32 },
+    Call { disp30: i32 },
+    Alu { op: AluOp, rd: u8, rs1: u8, op2: Operand2 },
+    Jmpl { rd: u8, rs1: u8, op2: Operand2 },
+    Save { rd: u8, rs1: u8, op2: Operand2 },
+    Restore { rd: u8, rs1: u8, op2: Operand2 },
+    Load { rd: u8, rs1: u8, op2: Operand2, width: u8, signed: bool },
+    Store { rd: u8, rs1: u8, op2: Operand2, width: u8 },
+    Trap { op2: Operand2 },
+    RdY { rd: u8 },
+    WrY { rs1: u8, op2: Operand2 },
+}
+
+fn op2_field(word: u32) -> Operand2 {
+    if word & (1 << 13) != 0 {
+        // simm13, sign extended.
+        let imm = (word & 0x1FFF) as i32;
+        Operand2::Imm((imm << 19) >> 19)
+    } else {
+        Operand2::Reg((word & 31) as u8)
+    }
+}
+
+/// Decodes one instruction word fetched from `pc`.
+///
+/// # Errors
+///
+/// [`ExecError::UnknownInstruction`] outside the implemented subset.
+pub fn decode(word: u32, pc: u32) -> Result<Instr, ExecError> {
+    let op = word >> 30;
+    let rd = ((word >> 25) & 31) as u8;
+    let rs1 = ((word >> 14) & 31) as u8;
+    let unknown = || ExecError::UnknownInstruction { word, pc };
+
+    Ok(match op {
+        0 => {
+            let op2 = (word >> 22) & 7;
+            match op2 {
+                0b100 => Instr::SetHi {
+                    rd,
+                    imm22: word & 0x003F_FFFF,
+                },
+                0b010 => {
+                    let disp22 = ((word & 0x003F_FFFF) as i32) << 10 >> 10;
+                    Instr::Branch {
+                        cond: Cond::from_bits(word >> 25),
+                        annul: word & (1 << 29) != 0,
+                        disp22,
+                    }
+                }
+                _ => return Err(unknown()),
+            }
+        }
+        1 => {
+            let disp30 = ((word & 0x3FFF_FFFF) as i32) << 2 >> 2;
+            Instr::Call { disp30 }
+        }
+        2 => {
+            let op3 = (word >> 19) & 63;
+            let o2 = op2_field(word);
+            let alu = |op: AluOp| Instr::Alu {
+                op,
+                rd,
+                rs1,
+                op2: o2,
+            };
+            match op3 {
+                0x00 => alu(AluOp::Add),
+                0x10 => alu(AluOp::AddCc),
+                0x04 => alu(AluOp::Sub),
+                0x14 => alu(AluOp::SubCc),
+                0x01 => alu(AluOp::And),
+                0x11 => alu(AluOp::AndCc),
+                0x02 => alu(AluOp::Or),
+                0x12 => alu(AluOp::OrCc),
+                0x03 => alu(AluOp::Xor),
+                0x13 => alu(AluOp::XorCc),
+                0x05 => alu(AluOp::AndN),
+                0x06 => alu(AluOp::OrN),
+                0x07 => alu(AluOp::XNor),
+                0x25 => alu(AluOp::Sll),
+                0x26 => alu(AluOp::Srl),
+                0x27 => alu(AluOp::Sra),
+                0x0A => alu(AluOp::UMul),
+                0x0B => alu(AluOp::SMul),
+                0x38 => Instr::Jmpl { rd, rs1, op2: o2 },
+                0x3C => Instr::Save { rd, rs1, op2: o2 },
+                0x3D => Instr::Restore { rd, rs1, op2: o2 },
+                0x28 if rs1 == 0 => Instr::RdY { rd },
+                0x30 if rd == 0 => Instr::WrY { rs1, op2: o2 },
+                0x3A => Instr::Trap { op2: o2 },
+                _ => return Err(unknown()),
+            }
+        }
+        3 => {
+            let op3 = (word >> 19) & 63;
+            let o2 = op2_field(word);
+            match op3 {
+                0x00 => Instr::Load { rd, rs1, op2: o2, width: 4, signed: false },
+                0x01 => Instr::Load { rd, rs1, op2: o2, width: 1, signed: false },
+                0x02 => Instr::Load { rd, rs1, op2: o2, width: 2, signed: false },
+                0x09 => Instr::Load { rd, rs1, op2: o2, width: 1, signed: true },
+                0x0A => Instr::Load { rd, rs1, op2: o2, width: 2, signed: true },
+                0x04 => Instr::Store { rd, rs1, op2: o2, width: 4 },
+                0x05 => Instr::Store { rd, rs1, op2: o2, width: 1 },
+                0x06 => Instr::Store { rd, rs1, op2: o2, width: 2 },
+                _ => return Err(unknown()),
+            }
+        }
+        _ => return Err(unknown()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_sethi() {
+        // sethi %hi(0x80200000), %g2 : op=0, rd=2, op2=100, imm22
+        let imm22 = 0x8020_0000u32 >> 10;
+        let word = (2 << 25) | (0b100 << 22) | imm22;
+        assert_eq!(decode(word, 0).unwrap(), Instr::SetHi { rd: 2, imm22 });
+    }
+
+    #[test]
+    fn decodes_branch_with_annul() {
+        // ba,a -8 : cond=8, a=1, disp22 = -2
+        let disp = (-2i32 as u32) & 0x003F_FFFF;
+        let word = (1 << 29) | (8 << 25) | (0b010 << 22) | disp;
+        let i = decode(word, 0).unwrap();
+        assert_eq!(
+            i,
+            Instr::Branch {
+                cond: Cond::Always,
+                annul: true,
+                disp22: -2
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_alu_imm_sign_extension() {
+        // sub %o1, 1, %o1 with immediate: op=2, rd=9, op3=0x04, rs1=9, i=1, simm13=-1?
+        let word = (2u32 << 30) | (9 << 25) | (0x04 << 19) | (9 << 14) | (1 << 13) | 0x1FFF;
+        let i = decode(word, 0).unwrap();
+        assert_eq!(
+            i,
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: 9,
+                rs1: 9,
+                op2: Operand2::Imm(-1)
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_load_store() {
+        // ld [%g1], %g2
+        #[allow(clippy::identity_op)] // spell out the op3 field for symmetry
+        let word = (3u32 << 30) | (2 << 25) | (0x00 << 19) | (1 << 14) | (1 << 13);
+        assert!(matches!(
+            decode(word, 0).unwrap(),
+            Instr::Load {
+                rd: 2,
+                rs1: 1,
+                width: 4,
+                signed: false,
+                ..
+            }
+        ));
+        // st %g2, [%g1]
+        let word = (3u32 << 30) | (2 << 25) | (0x04 << 19) | (1 << 14) | (1 << 13);
+        assert!(matches!(
+            decode(word, 0).unwrap(),
+            Instr::Store {
+                rd: 2,
+                rs1: 1,
+                width: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decodes_call_disp() {
+        let word = (1u32 << 30) | 0x10;
+        assert_eq!(decode(word, 0).unwrap(), Instr::Call { disp30: 0x10 });
+    }
+
+    #[test]
+    fn unknown_instruction_rejected() {
+        // FPU op (op=2, op3=0x34) is outside the subset.
+        let word = (2u32 << 30) | (0x34 << 19);
+        assert!(decode(word, 4).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! The three benchmark instances the paper evaluates on.
+//!
+//! * [`d695`] is parsed from an embedded `.soc` reconstruction of the
+//!   published module table (see `data/d695.soc` for provenance notes).
+//! * [`p22810`] and [`p93791`] are **structurally calibrated stand-ins**:
+//!   the original Philips files are no longer distributed, so these tables
+//!   keep the real module counts (28 and 32 cores), a realistic long-tail
+//!   distribution of scan/pattern volumes (a few dominant scan cores, a
+//!   body of medium cores, a tail of small and logic-only cores), and a
+//!   total test-data volume calibrated so the serialized NoC test time
+//!   lands at the paper's reported scale (~0.9 M / ~1.4 M cycles). See
+//!   `DESIGN.md` substitution #1.
+//!
+//! All three are memoised behind `OnceLock`; calls are cheap after the
+//! first.
+
+use std::sync::OnceLock;
+
+use crate::model::{Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
+use crate::parser::parse_soc;
+use crate::power::annotate_synthetic;
+
+/// Embedded `.soc` source for d695.
+pub const D695_SOC: &str = include_str!("../data/d695.soc");
+
+/// Synthetic core table row: `(inputs, outputs, scan_total, chains, patterns)`.
+type Row = (u32, u32, u32, u32, u32);
+
+/// p22810 stand-in core table (28 cores). See module docs.
+const P22810_ROWS: [Row; 28] = [
+    (173, 198, 4912, 26, 131),
+    (96, 123, 3430, 16, 186),
+    (64, 112, 2609, 14, 245),
+    (52, 76, 1984, 12, 210),
+    (40, 44, 1260, 8, 160),
+    (38, 58, 1040, 8, 130),
+    (34, 40, 890, 6, 150),
+    (30, 36, 760, 6, 120),
+    (28, 30, 640, 4, 140),
+    (24, 28, 560, 4, 110),
+    (22, 26, 480, 4, 100),
+    (20, 24, 400, 4, 90),
+    (18, 20, 320, 2, 85),
+    (16, 18, 256, 2, 75),
+    (16, 16, 200, 2, 70),
+    (14, 16, 160, 2, 60),
+    (12, 14, 128, 1, 55),
+    (12, 12, 96, 1, 50),
+    (10, 12, 64, 1, 45),
+    (10, 10, 48, 1, 40),
+    (64, 32, 0, 0, 120),
+    (48, 48, 0, 0, 100),
+    (36, 36, 0, 0, 90),
+    (32, 24, 0, 0, 80),
+    (24, 24, 0, 0, 70),
+    (20, 16, 0, 0, 60),
+    (16, 16, 0, 0, 50),
+    (12, 8, 0, 0, 40),
+];
+
+/// p93791 stand-in core table (32 cores). See module docs.
+const P93791_ROWS: [Row; 32] = [
+    (109, 32, 5402, 28, 140),
+    (88, 104, 4636, 24, 150),
+    (82, 96, 4096, 22, 160),
+    (66, 88, 3724, 20, 165),
+    (60, 74, 3232, 18, 170),
+    (54, 68, 2800, 16, 180),
+    (48, 60, 1880, 12, 110),
+    (44, 52, 1660, 10, 115),
+    (40, 48, 1480, 10, 105),
+    (38, 44, 1310, 8, 100),
+    (34, 40, 1160, 8, 95),
+    (32, 36, 1020, 8, 90),
+    (28, 34, 900, 6, 85),
+    (26, 30, 800, 6, 80),
+    (24, 28, 700, 6, 75),
+    (22, 26, 620, 4, 70),
+    (20, 24, 520, 4, 66),
+    (18, 22, 440, 4, 62),
+    (18, 20, 380, 2, 58),
+    (16, 18, 320, 2, 54),
+    (16, 16, 260, 2, 50),
+    (14, 16, 210, 2, 46),
+    (12, 14, 170, 1, 42),
+    (12, 12, 130, 1, 38),
+    (10, 12, 100, 1, 34),
+    (10, 10, 70, 1, 30),
+    (72, 40, 0, 0, 110),
+    (56, 48, 0, 0, 95),
+    (44, 36, 0, 0, 80),
+    (36, 28, 0, 0, 70),
+    (28, 20, 0, 0, 60),
+    (20, 12, 0, 0, 50),
+];
+
+/// Splits `total` scan flip-flops into `n` chains whose lengths differ by
+/// at most one (the balanced partition every stitching tool aims for).
+///
+/// ```
+/// use noctest_itc02::data::balanced_chains;
+/// assert_eq!(balanced_chains(10, 3), vec![4, 3, 3]);
+/// assert!(balanced_chains(0, 0).is_empty());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n > 0 && total < n` (chains may not be empty) or if
+/// `n == 0 && total > 0`.
+#[must_use]
+pub fn balanced_chains(total: u32, n: u32) -> Vec<u32> {
+    if n == 0 {
+        assert_eq!(total, 0, "scan flip-flops without chains");
+        return Vec::new();
+    }
+    assert!(total >= n, "cannot split {total} flip-flops into {n} chains");
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(|i| base + u32::from(i < extra)).collect()
+}
+
+fn synth_soc(name: &str, rows: &[Row]) -> SocDesc {
+    let mut modules = vec![Module::new(ModuleId(0), 0, 0, 0, 0, vec![], vec![])];
+    for (i, &(inputs, outputs, scan, chains, patterns)) in rows.iter().enumerate() {
+        let scan_chains = balanced_chains(scan, chains);
+        let test = TestDesc {
+            id: 1,
+            patterns,
+            scan_use: if scan > 0 { ScanUse::Yes } else { ScanUse::No },
+            tam_use: TamUse::Yes,
+        };
+        modules.push(Module::new(
+            ModuleId(i as u32 + 1),
+            1,
+            inputs,
+            outputs,
+            0,
+            scan_chains,
+            vec![test],
+        ));
+    }
+    annotate_synthetic(&SocDesc::new(name, modules))
+}
+
+/// The d695 benchmark (10 cores), parsed from the embedded reconstruction.
+///
+/// # Panics
+///
+/// Panics only if the embedded file is corrupt (checked by tests).
+#[must_use]
+pub fn d695() -> SocDesc {
+    static SOC: OnceLock<SocDesc> = OnceLock::new();
+    SOC.get_or_init(|| parse_soc(D695_SOC).expect("embedded d695.soc is valid"))
+        .clone()
+}
+
+/// The p22810 stand-in (28 cores). See module docs for the substitution.
+#[must_use]
+pub fn p22810() -> SocDesc {
+    static SOC: OnceLock<SocDesc> = OnceLock::new();
+    SOC.get_or_init(|| synth_soc("p22810", &P22810_ROWS)).clone()
+}
+
+/// The p93791 stand-in (32 cores). See module docs for the substitution.
+#[must_use]
+pub fn p93791() -> SocDesc {
+    static SOC: OnceLock<SocDesc> = OnceLock::new();
+    SOC.get_or_init(|| synth_soc("p93791", &P93791_ROWS)).clone()
+}
+
+/// Looks a benchmark up by name (`"d695"`, `"p22810"`, `"p93791"`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<SocDesc> {
+    match name {
+        "d695" => Some(d695()),
+        "p22810" => Some(p22810()),
+        "p93791" => Some(p93791()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d695_matches_published_table() {
+        let soc = d695();
+        assert_eq!(soc.name(), "d695");
+        assert_eq!(soc.modules().len(), 11);
+        assert_eq!(soc.cores().count(), 10);
+        let m10 = soc.module(ModuleId(10)).unwrap();
+        assert_eq!(m10.scan_total(), 4 * 52 + 28 * 51); // s38417: 1636 FFs
+        assert_eq!(m10.total_patterns(), 99);
+        assert_eq!(m10.power(), Some(1144.0));
+        let m1 = soc.module(ModuleId(1)).unwrap();
+        assert_eq!(m1.scan_total(), 0); // c6288 is combinational
+    }
+
+    #[test]
+    fn d695_total_volume_is_in_calibrated_range() {
+        // DESIGN.md: the serialized d695 NoC test lands near the paper's
+        // ~160k cycles with 16-bit flits at 2 cycles/flit, which pins the
+        // total volume around 1.35 Mbit.
+        let v = d695().total_test_volume_bits();
+        assert!((1_200_000..1_500_000).contains(&v), "volume {v}");
+    }
+
+    #[test]
+    fn p22810_has_28_cores_all_powered() {
+        let soc = p22810();
+        assert_eq!(soc.cores().count(), 28);
+        assert!(soc.cores().all(|m| m.power().is_some()));
+    }
+
+    #[test]
+    fn p93791_has_32_cores() {
+        let soc = p93791();
+        assert_eq!(soc.cores().count(), 32);
+    }
+
+    #[test]
+    fn stand_in_volumes_keep_paper_ratio() {
+        // Paper figure 1: noproc test times ~160k (d695) / ~900k (p22810)
+        // / ~1.4M (p93791); volumes must keep roughly those ratios.
+        let v695 = d695().total_test_volume_bits() as f64;
+        let v228 = p22810().total_test_volume_bits() as f64;
+        let v937 = p93791().total_test_volume_bits() as f64;
+        let r1 = v228 / v695;
+        let r2 = v937 / v228;
+        assert!((3.5..7.0).contains(&r1), "p22810/d695 ratio {r1}");
+        assert!((1.3..1.8).contains(&r2), "p93791/p22810 ratio {r2}");
+    }
+
+    #[test]
+    fn stand_ins_have_long_tail_distribution() {
+        for soc in [p22810(), p93791()] {
+            let mut volumes: Vec<u64> = soc.cores().map(|m| m.test_volume_bits()).collect();
+            volumes.sort_unstable();
+            let total: u64 = volumes.iter().sum();
+            let top4: u64 = volumes.iter().rev().take(4).sum();
+            let share = top4 as f64 / total as f64;
+            assert!(
+                (0.35..0.85).contains(&share),
+                "{}: top-4 share {share}",
+                soc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_chains_sums_and_balance() {
+        for total in [1u32, 7, 100, 4912] {
+            for n in [1u32, 2, 3, 13] {
+                if total < n {
+                    continue;
+                }
+                let chains = balanced_chains(total, n);
+                assert_eq!(chains.len() as u32, n);
+                assert_eq!(chains.iter().sum::<u32>(), total);
+                let max = chains.iter().max().unwrap();
+                let min = chains.iter().min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn balanced_chains_rejects_too_many_chains() {
+        let _ = balanced_chains(2, 3);
+    }
+
+    #[test]
+    fn by_name_resolves_all_three() {
+        for name in ["d695", "p22810", "p93791"] {
+            assert_eq!(by_name(name).unwrap().name(), name);
+        }
+        assert!(by_name("g1023").is_none());
+    }
+
+    #[test]
+    fn stand_ins_roundtrip_through_soc_format() {
+        for soc in [p22810(), p93791()] {
+            let text = crate::writer::write_soc(&soc);
+            let parsed = parse_soc(&text).unwrap();
+            assert_eq!(parsed, soc);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Parse errors for the `.soc` format.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error encountered while parsing a `.soc` file, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the error was detected.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The specific parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// A keyword was expected but something else (or nothing) was found.
+    ExpectedKeyword {
+        /// The keyword the grammar requires here.
+        expected: &'static str,
+        /// What was actually found.
+        found: String,
+    },
+    /// A numeric field failed to parse.
+    InvalidNumber {
+        /// The field being parsed.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A yes/no field held something else.
+    InvalidFlag {
+        /// The field being parsed.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// The file ended before the structure was complete.
+    UnexpectedEof,
+    /// `TotalModules`/`TotalTests` did not match the actual count.
+    CountMismatch {
+        /// The field whose declared count disagrees.
+        field: &'static str,
+        /// Count declared in the file.
+        declared: usize,
+        /// Count actually parsed.
+        actual: usize,
+    },
+    /// Two modules declared the same id.
+    DuplicateModule {
+        /// The repeated module id.
+        id: u32,
+    },
+    /// A `ScanChains` entry declared `count` chains but listed a different
+    /// number of lengths.
+    ScanChainArity {
+        /// Number of chains declared.
+        declared: usize,
+        /// Number of lengths listed.
+        listed: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::ExpectedKeyword { expected, found } => {
+                write!(f, "expected keyword `{expected}`, found `{found}`")
+            }
+            ParseErrorKind::InvalidNumber { field, token } => {
+                write!(f, "invalid number `{token}` for field `{field}`")
+            }
+            ParseErrorKind::InvalidFlag { field, token } => {
+                write!(f, "invalid flag `{token}` for field `{field}` (expected yes/no)")
+            }
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of file"),
+            ParseErrorKind::CountMismatch {
+                field,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "`{field}` declares {declared} entries but {actual} were found"
+            ),
+            ParseErrorKind::DuplicateModule { id } => {
+                write!(f, "module {id} declared more than once")
+            }
+            ParseErrorKind::ScanChainArity { declared, listed } => write!(
+                f,
+                "ScanChains declares {declared} chains but lists {listed} lengths"
+            ),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError {
+            line: 7,
+            kind: ParseErrorKind::UnexpectedEof,
+        };
+        assert!(e.to_string().starts_with("line 7:"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(ParseError {
+            line: 1,
+            kind: ParseErrorKind::DuplicateModule { id: 3 },
+        });
+        assert!(e.to_string().contains("module 3"));
+    }
+}

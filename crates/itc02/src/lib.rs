@@ -1,0 +1,50 @@
+//! # noctest-itc02 — ITC'02 SoC Test Benchmarks infrastructure
+//!
+//! The DATE'05 paper evaluates its processor-reuse test planner on three
+//! systems derived from the ITC'02 SoC Test Benchmarks (Marinissen et al.,
+//! ITC 2002): **d695**, **p22810** and **p93791**. This crate provides
+//!
+//! * a data model for a benchmark SoC — modules with port counts, scan
+//!   chains and test sets ([`SocDesc`], [`Module`], [`TestDesc`]),
+//! * a parser and writer for a `.soc` text format ([`parse_soc`],
+//!   [`write_soc`]) — the grammar is a documented reconstruction of the
+//!   original distribution format (see [`parser`] docs),
+//! * derived test metrics used by the planner (pattern bit volumes, scan
+//!   totals) as methods on [`Module`],
+//! * test-mode power annotation ([`power`]) — ITC'02 itself carries no
+//!   power data; d695 uses the de-facto standard literature values, the
+//!   other two use a documented synthetic model, and
+//! * the three benchmark instances themselves ([`data`]): d695 is a
+//!   faithful reconstruction of the published module table; p22810 and
+//!   p93791 are *structurally calibrated* stand-ins (same module counts,
+//!   realistic scan/pattern distributions, total test volume tuned to the
+//!   paper's reported test-time scale) because the original files are no
+//!   longer distributed. See `DESIGN.md` at the workspace root.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noctest_itc02::data;
+//!
+//! let soc = data::d695();
+//! assert_eq!(soc.name(), "d695");
+//! assert_eq!(soc.cores().count(), 10);
+//! let volume: u64 = soc.cores().map(|m| m.test_volume_bits()).sum();
+//! assert!(volume > 1_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod data;
+pub mod error;
+pub mod model;
+pub mod parser;
+pub mod power;
+pub mod writer;
+
+pub use error::ParseError;
+pub use model::{Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
+pub use parser::parse_soc;
+pub use writer::write_soc;

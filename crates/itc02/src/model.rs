@@ -1,0 +1,360 @@
+//! The SoC test benchmark data model and derived test metrics.
+
+use std::fmt;
+
+/// Identifier of a module within its SoC (module 0 is the SoC top level by
+/// ITC'02 convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ModuleId(pub u32);
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Whether a test set uses the module's scan chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanUse {
+    /// Patterns are shifted through the scan chains.
+    Yes,
+    /// Combinational / functional patterns only.
+    No,
+}
+
+/// Whether a test set is delivered over the test access mechanism (as
+/// opposed to built-in self-test local to the module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TamUse {
+    /// Patterns travel over the TAM (the NoC, in this reproduction).
+    Yes,
+    /// Local BIST; occupies the core but not the TAM.
+    No,
+}
+
+/// One test set of a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestDesc {
+    /// 1-based test id within the module.
+    pub id: u32,
+    /// Number of test patterns.
+    pub patterns: u32,
+    /// Scan usage flag.
+    pub scan_use: ScanUse,
+    /// TAM usage flag.
+    pub tam_use: TamUse,
+}
+
+/// One module (core) of a benchmark SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    id: ModuleId,
+    level: u32,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    scan_chains: Vec<u32>,
+    tests: Vec<TestDesc>,
+    power: Option<f64>,
+}
+
+impl Module {
+    /// Creates a module. `scan_chains` lists individual chain lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scan chain has zero length.
+    #[must_use]
+    pub fn new(
+        id: ModuleId,
+        level: u32,
+        inputs: u32,
+        outputs: u32,
+        bidirs: u32,
+        scan_chains: Vec<u32>,
+        tests: Vec<TestDesc>,
+    ) -> Self {
+        assert!(
+            scan_chains.iter().all(|&l| l > 0),
+            "scan chains must have positive length"
+        );
+        Module {
+            id,
+            level,
+            inputs,
+            outputs,
+            bidirs,
+            scan_chains,
+            tests,
+            power: None,
+        }
+    }
+
+    /// Sets the test-mode power annotation (an extension to the ITC'02
+    /// format; see [`crate::power`]).
+    #[must_use]
+    pub fn with_power(mut self, power: f64) -> Self {
+        self.power = Some(power);
+        self
+    }
+
+    /// Module id.
+    #[must_use]
+    pub fn id(&self) -> ModuleId {
+        self.id
+    }
+
+    /// Hierarchy level (0 = SoC top).
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Primary input count.
+    #[must_use]
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Primary output count.
+    #[must_use]
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// Bidirectional port count.
+    #[must_use]
+    pub fn bidirs(&self) -> u32 {
+        self.bidirs
+    }
+
+    /// Individual scan chain lengths.
+    #[must_use]
+    pub fn scan_chains(&self) -> &[u32] {
+        &self.scan_chains
+    }
+
+    /// Test sets.
+    #[must_use]
+    pub fn tests(&self) -> &[TestDesc] {
+        &self.tests
+    }
+
+    /// Test-mode power, if annotated.
+    #[must_use]
+    pub fn power(&self) -> Option<f64> {
+        self.power
+    }
+
+    /// Total scan flip-flops across all chains.
+    #[must_use]
+    pub fn scan_total(&self) -> u32 {
+        self.scan_chains.iter().sum()
+    }
+
+    /// Length of the longest scan chain (0 if none).
+    #[must_use]
+    pub fn max_chain(&self) -> u32 {
+        self.scan_chains.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total patterns across all test sets.
+    #[must_use]
+    pub fn total_patterns(&self) -> u32 {
+        self.tests.iter().map(|t| t.patterns).sum()
+    }
+
+    /// Stimulus bits that must reach the module per pattern: one load of
+    /// every scan chain plus the primary/bidirectional input values.
+    #[must_use]
+    pub fn pattern_bits_in(&self) -> u32 {
+        self.scan_total() + self.inputs + self.bidirs
+    }
+
+    /// Response bits produced per pattern: one unload of every scan chain
+    /// plus the primary/bidirectional output values.
+    #[must_use]
+    pub fn pattern_bits_out(&self) -> u32 {
+        self.scan_total() + self.outputs + self.bidirs
+    }
+
+    /// Total test data volume in bits (stimulus + response over all
+    /// patterns of all test sets).
+    #[must_use]
+    pub fn test_volume_bits(&self) -> u64 {
+        u64::from(self.total_patterns())
+            * (u64::from(self.pattern_bits_in()) + u64::from(self.pattern_bits_out()))
+    }
+
+    /// `true` if any test set uses the TAM — only those travel on the NoC.
+    #[must_use]
+    pub fn uses_tam(&self) -> bool {
+        self.tests.iter().any(|t| t.tam_use == TamUse::Yes)
+    }
+}
+
+/// A complete benchmark SoC: a named collection of modules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocDesc {
+    name: String,
+    modules: Vec<Module>,
+}
+
+impl SocDesc {
+    /// Creates a SoC description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two modules share an id.
+    #[must_use]
+    pub fn new(name: impl Into<String>, modules: Vec<Module>) -> Self {
+        let mut ids: Vec<u32> = modules.iter().map(|m| m.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), modules.len(), "duplicate module ids");
+        SocDesc {
+            name: name.into(),
+            modules,
+        }
+    }
+
+    /// The SoC's name (e.g. `"d695"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All modules, including the level-0 SoC module if present.
+    #[must_use]
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The testable cores: every module except hierarchy level 0.
+    pub fn cores(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter().filter(|m| m.level() > 0)
+    }
+
+    /// Finds a module by id.
+    #[must_use]
+    pub fn module(&self, id: ModuleId) -> Option<&Module> {
+        self.modules.iter().find(|m| m.id() == id)
+    }
+
+    /// Sum of all cores' test-mode power annotations (unannotated cores
+    /// count as zero). The paper's power limit is a percentage of this sum.
+    #[must_use]
+    pub fn total_test_power(&self) -> f64 {
+        self.cores().filter_map(Module::power).sum()
+    }
+
+    /// Total test data volume across all cores, in bits.
+    #[must_use]
+    pub fn total_test_volume_bits(&self) -> u64 {
+        self.cores().map(Module::test_volume_bits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_module() -> Module {
+        Module::new(
+            ModuleId(1),
+            1,
+            10,
+            20,
+            2,
+            vec![30, 40],
+            vec![TestDesc {
+                id: 1,
+                patterns: 5,
+                scan_use: ScanUse::Yes,
+                tam_use: TamUse::Yes,
+            }],
+        )
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let m = sample_module();
+        assert_eq!(m.scan_total(), 70);
+        assert_eq!(m.max_chain(), 40);
+        assert_eq!(m.total_patterns(), 5);
+        assert_eq!(m.pattern_bits_in(), 70 + 10 + 2);
+        assert_eq!(m.pattern_bits_out(), 70 + 20 + 2);
+        assert_eq!(m.test_volume_bits(), 5 * (82 + 92));
+        assert!(m.uses_tam());
+    }
+
+    #[test]
+    fn no_scan_module_metrics() {
+        let m = Module::new(
+            ModuleId(2),
+            1,
+            32,
+            32,
+            0,
+            vec![],
+            vec![TestDesc {
+                id: 1,
+                patterns: 12,
+                scan_use: ScanUse::No,
+                tam_use: TamUse::Yes,
+            }],
+        );
+        assert_eq!(m.scan_total(), 0);
+        assert_eq!(m.max_chain(), 0);
+        assert_eq!(m.pattern_bits_in(), 32);
+        assert_eq!(m.test_volume_bits(), 12 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_length_chain_panics() {
+        let _ = Module::new(ModuleId(1), 1, 1, 1, 0, vec![0], vec![]);
+    }
+
+    #[test]
+    fn soc_filters_level_zero() {
+        let top = Module::new(ModuleId(0), 0, 0, 0, 0, vec![], vec![]);
+        let soc = SocDesc::new("x", vec![top, sample_module()]);
+        assert_eq!(soc.modules().len(), 2);
+        assert_eq!(soc.cores().count(), 1);
+        assert!(soc.module(ModuleId(0)).is_some());
+        assert!(soc.module(ModuleId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate module ids")]
+    fn duplicate_ids_panic() {
+        let _ = SocDesc::new("x", vec![sample_module(), sample_module()]);
+    }
+
+    #[test]
+    fn total_power_sums_annotations() {
+        let a = sample_module().with_power(100.0);
+        let mut b = sample_module().with_power(50.0);
+        b = Module::new(
+            ModuleId(2),
+            1,
+            1,
+            1,
+            0,
+            vec![],
+            vec![],
+        )
+        .with_power(b.power().unwrap());
+        let soc = SocDesc::new("x", vec![a, b]);
+        assert!((soc.total_test_power() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_annotation_roundtrip() {
+        let m = sample_module();
+        assert_eq!(m.power(), None);
+        let m = m.with_power(660.0);
+        assert_eq!(m.power(), Some(660.0));
+    }
+}

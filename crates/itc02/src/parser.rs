@@ -1,0 +1,416 @@
+//! Parser for the `.soc` benchmark text format.
+//!
+//! ## Grammar (reconstruction)
+//!
+//! The original ITC'02 distribution files are no longer publicly hosted;
+//! this grammar is reconstructed from the format described in Marinissen,
+//! Iyengar and Chakrabarty, *"A Set of Benchmarks for Modular Testing of
+//! SoCs"*, ITC 2002. Whitespace is free-form; `#` starts a comment that
+//! runs to end of line; keywords are case-sensitive.
+//!
+//! ```text
+//! file        := "SocName" ident "TotalModules" int module*
+//! module      := "Module" int field*
+//! field       := "Level" int
+//!              | "Inputs" int | "Outputs" int | "Bidirs" int
+//!              | "ScanChains" int int*          # count, then that many lengths
+//!              | "TotalTests" int test*
+//!              | "Power" float                  # extension (test-mode power)
+//! test        := "Test" int "Patterns" int "ScanUse" yn "TamUse" yn
+//! yn          := "yes" | "no"
+//! ```
+//!
+//! Fields may appear in any order inside a module; missing numeric fields
+//! default to zero. `TotalModules` and `TotalTests` are validated against
+//! the actual counts.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::model::{Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
+
+/// Parses a `.soc` document into a [`SocDesc`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on any lexical or structural
+/// problem, including count mismatches and duplicate module ids.
+///
+/// ```
+/// let text = "SocName tiny\nTotalModules 1\nModule 0\n Level 0\n";
+/// let soc = noctest_itc02::parse_soc(text)?;
+/// assert_eq!(soc.name(), "tiny");
+/// # Ok::<(), noctest_itc02::ParseError>(())
+/// ```
+pub fn parse_soc(text: &str) -> Result<SocDesc, ParseError> {
+    let mut tokens = Tokenizer::new(text);
+    tokens.expect_keyword("SocName")?;
+    let name = tokens.next_token("SocName value")?;
+    tokens.expect_keyword("TotalModules")?;
+    let declared_modules = tokens.parse_number::<usize>("TotalModules")?;
+
+    let mut modules: Vec<Module> = Vec::new();
+    while let Some(tok) = tokens.peek() {
+        if tok != "Module" {
+            return Err(tokens.error(ParseErrorKind::ExpectedKeyword {
+                expected: "Module",
+                found: tok.to_owned(),
+            }));
+        }
+        let module = parse_module(&mut tokens)?;
+        if modules.iter().any(|m| m.id() == module.id()) {
+            return Err(tokens.error(ParseErrorKind::DuplicateModule { id: module.id().0 }));
+        }
+        modules.push(module);
+    }
+
+    if modules.len() != declared_modules {
+        return Err(tokens.error(ParseErrorKind::CountMismatch {
+            field: "TotalModules",
+            declared: declared_modules,
+            actual: modules.len(),
+        }));
+    }
+    Ok(SocDesc::new(name, modules))
+}
+
+fn parse_module(tokens: &mut Tokenizer<'_>) -> Result<Module, ParseError> {
+    tokens.expect_keyword("Module")?;
+    let id = tokens.parse_number::<u32>("Module id")?;
+    let mut level = 0u32;
+    let mut inputs = 0u32;
+    let mut outputs = 0u32;
+    let mut bidirs = 0u32;
+    let mut scan_chains: Vec<u32> = Vec::new();
+    let mut declared_tests: Option<usize> = None;
+    let mut tests: Vec<TestDesc> = Vec::new();
+    let mut power: Option<f64> = None;
+
+    while let Some(tok) = tokens.peek() {
+        match tok {
+            "Module" => break,
+            "Level" => {
+                tokens.advance();
+                level = tokens.parse_number("Level")?;
+            }
+            "Inputs" => {
+                tokens.advance();
+                inputs = tokens.parse_number("Inputs")?;
+            }
+            "Outputs" => {
+                tokens.advance();
+                outputs = tokens.parse_number("Outputs")?;
+            }
+            "Bidirs" => {
+                tokens.advance();
+                bidirs = tokens.parse_number("Bidirs")?;
+            }
+            "ScanChains" => {
+                tokens.advance();
+                let count = tokens.parse_number::<usize>("ScanChains count")?;
+                let mut lengths = Vec::with_capacity(count);
+                for _ in 0..count {
+                    match tokens.peek() {
+                        Some(t) if t.parse::<u32>().is_ok() => {
+                            lengths.push(tokens.parse_number("ScanChains length")?);
+                        }
+                        _ => break,
+                    }
+                }
+                if lengths.len() != count {
+                    return Err(tokens.error(ParseErrorKind::ScanChainArity {
+                        declared: count,
+                        listed: lengths.len(),
+                    }));
+                }
+                scan_chains = lengths;
+            }
+            "TotalTests" => {
+                tokens.advance();
+                declared_tests = Some(tokens.parse_number("TotalTests")?);
+            }
+            "Test" => {
+                tests.push(parse_test(tokens)?);
+            }
+            "Power" => {
+                tokens.advance();
+                power = Some(tokens.parse_float("Power")?);
+            }
+            other => {
+                return Err(tokens.error(ParseErrorKind::ExpectedKeyword {
+                    expected: "a module field",
+                    found: other.to_owned(),
+                }));
+            }
+        }
+    }
+
+    if let Some(declared) = declared_tests {
+        if declared != tests.len() {
+            return Err(tokens.error(ParseErrorKind::CountMismatch {
+                field: "TotalTests",
+                declared,
+                actual: tests.len(),
+            }));
+        }
+    }
+
+    let mut module = Module::new(ModuleId(id), level, inputs, outputs, bidirs, scan_chains, tests);
+    if let Some(p) = power {
+        module = module.with_power(p);
+    }
+    Ok(module)
+}
+
+fn parse_test(tokens: &mut Tokenizer<'_>) -> Result<TestDesc, ParseError> {
+    tokens.expect_keyword("Test")?;
+    let id = tokens.parse_number::<u32>("Test id")?;
+    tokens.expect_keyword("Patterns")?;
+    let patterns = tokens.parse_number::<u32>("Patterns")?;
+    tokens.expect_keyword("ScanUse")?;
+    let scan_use = tokens.parse_flag("ScanUse")?;
+    tokens.expect_keyword("TamUse")?;
+    let tam_use = tokens.parse_flag("TamUse")?;
+    Ok(TestDesc {
+        id,
+        patterns,
+        scan_use: if scan_use { ScanUse::Yes } else { ScanUse::No },
+        tam_use: if tam_use { TamUse::Yes } else { TamUse::No },
+    })
+}
+
+/// Whitespace/comment-aware token stream with line tracking.
+struct Tokenizer<'a> {
+    tokens: Vec<(usize, &'a str)>,
+    cursor: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(text: &'a str) -> Self {
+        let mut tokens = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let content = line.split('#').next().unwrap_or("");
+            for tok in content.split_whitespace() {
+                tokens.push((lineno + 1, tok));
+            }
+        }
+        Tokenizer { tokens, cursor: 0 }
+    }
+
+    fn current_line(&self) -> usize {
+        self.tokens
+            .get(self.cursor.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn error(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            line: self.current_line(),
+            kind,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.cursor).map(|(_, t)| *t)
+    }
+
+    fn advance(&mut self) {
+        self.cursor += 1;
+    }
+
+    fn next_token(&mut self, _what: &'static str) -> Result<String, ParseError> {
+        match self.tokens.get(self.cursor) {
+            Some((_, t)) => {
+                self.cursor += 1;
+                Ok((*t).to_owned())
+            }
+            None => Err(self.error(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == kw => {
+                self.advance();
+                Ok(())
+            }
+            Some(t) => Err(self.error(ParseErrorKind::ExpectedKeyword {
+                expected: kw,
+                found: t.to_owned(),
+            })),
+            None => Err(self.error(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn parse_number<T: std::str::FromStr>(&mut self, field: &'static str) -> Result<T, ParseError> {
+        let tok = self.next_token(field)?;
+        tok.parse().map_err(|_| {
+            ParseError {
+                line: self.current_line(),
+                kind: ParseErrorKind::InvalidNumber { field, token: tok },
+            }
+        })
+    }
+
+    fn parse_float(&mut self, field: &'static str) -> Result<f64, ParseError> {
+        self.parse_number::<f64>(field)
+    }
+
+    fn parse_flag(&mut self, field: &'static str) -> Result<bool, ParseError> {
+        let tok = self.next_token(field)?;
+        match tok.as_str() {
+            "yes" | "Yes" | "YES" => Ok(true),
+            "no" | "No" | "NO" => Ok(false),
+            _ => Err(self.error(ParseErrorKind::InvalidFlag { field, token: tok })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# toy benchmark
+SocName toy
+TotalModules 2
+
+Module 0
+  Level 0
+
+Module 1
+  Level 1
+  Inputs 3
+  Outputs 4
+  Bidirs 1
+  ScanChains 2 10 12
+  TotalTests 1
+  Test 1 Patterns 25 ScanUse yes TamUse yes
+  Power 123.5
+";
+
+    #[test]
+    fn parses_sample() {
+        let soc = parse_soc(SAMPLE).unwrap();
+        assert_eq!(soc.name(), "toy");
+        assert_eq!(soc.modules().len(), 2);
+        let m = soc.module(ModuleId(1)).unwrap();
+        assert_eq!(m.inputs(), 3);
+        assert_eq!(m.outputs(), 4);
+        assert_eq!(m.bidirs(), 1);
+        assert_eq!(m.scan_chains(), &[10, 12]);
+        assert_eq!(m.tests().len(), 1);
+        assert_eq!(m.tests()[0].patterns, 25);
+        assert_eq!(m.power(), Some(123.5));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# c\nSocName x # trailing\n\n\nTotalModules 0\n";
+        let soc = parse_soc(text).unwrap();
+        assert_eq!(soc.name(), "x");
+        assert!(soc.modules().is_empty());
+    }
+
+    #[test]
+    fn missing_socname_is_error() {
+        let err = parse_soc("TotalModules 0").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::ExpectedKeyword {
+                expected: "SocName",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn module_count_mismatch_detected() {
+        let err = parse_soc("SocName x\nTotalModules 2\nModule 0\nLevel 0\n").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::CountMismatch {
+                field: "TotalModules",
+                declared: 2,
+                actual: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn test_count_mismatch_detected() {
+        let text = "SocName x\nTotalModules 1\nModule 1\nTotalTests 2\n\
+                    Test 1 Patterns 1 ScanUse no TamUse yes\n";
+        let err = parse_soc(text).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::CountMismatch {
+                field: "TotalTests",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_module_rejected() {
+        let text = "SocName x\nTotalModules 2\nModule 1\nLevel 1\nModule 1\nLevel 1\n";
+        let err = parse_soc(text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DuplicateModule { id: 1 });
+    }
+
+    #[test]
+    fn scan_chain_arity_enforced() {
+        let text = "SocName x\nTotalModules 1\nModule 1\nScanChains 3 10 20\n";
+        let err = parse_soc(text).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::ScanChainArity {
+                declared: 3,
+                listed: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_number_reports_field() {
+        let text = "SocName x\nTotalModules 1\nModule 1\nInputs banana\n";
+        let err = parse_soc(text).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::InvalidNumber {
+                field: "Inputs",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_flag_reports_field() {
+        let text = "SocName x\nTotalModules 1\nModule 1\nTotalTests 1\n\
+                    Test 1 Patterns 1 ScanUse maybe TamUse yes\n";
+        let err = parse_soc(text).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::InvalidFlag {
+                field: "ScanUse",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn eof_mid_module_is_error() {
+        let text = "SocName x\nTotalModules 1\nModule 1\nInputs\n";
+        let err = parse_soc(text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn fields_in_any_order() {
+        let text = "SocName x\nTotalModules 1\nModule 5\n\
+                    Outputs 7\nLevel 2\nInputs 3\n";
+        let soc = parse_soc(text).unwrap();
+        let m = soc.module(ModuleId(5)).unwrap();
+        assert_eq!(m.level(), 2);
+        assert_eq!(m.inputs(), 3);
+        assert_eq!(m.outputs(), 7);
+    }
+}

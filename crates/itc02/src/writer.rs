@@ -1,0 +1,107 @@
+//! Writer emitting the canonical `.soc` form parsed by [`crate::parse_soc`].
+
+use std::fmt::Write as _;
+
+use crate::model::{ScanUse, SocDesc, TamUse};
+
+/// Serialises `soc` to the canonical `.soc` text form.
+///
+/// The output is accepted by [`crate::parse_soc`] and round-trips exactly
+/// (structure, not byte-for-byte comment preservation).
+///
+/// ```
+/// use noctest_itc02::{data, parse_soc, write_soc};
+/// let soc = data::d695();
+/// let text = write_soc(&soc);
+/// assert_eq!(parse_soc(&text).unwrap(), soc);
+/// ```
+#[must_use]
+pub fn write_soc(soc: &SocDesc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SocName {}", soc.name());
+    let _ = writeln!(out, "TotalModules {}", soc.modules().len());
+    for m in soc.modules() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Module {}", m.id().0);
+        let _ = writeln!(out, "  Level {}", m.level());
+        let _ = writeln!(out, "  Inputs {}", m.inputs());
+        let _ = writeln!(out, "  Outputs {}", m.outputs());
+        let _ = writeln!(out, "  Bidirs {}", m.bidirs());
+        let _ = write!(out, "  ScanChains {}", m.scan_chains().len());
+        for len in m.scan_chains() {
+            let _ = write!(out, " {len}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  TotalTests {}", m.tests().len());
+        for t in m.tests() {
+            let _ = writeln!(
+                out,
+                "  Test {} Patterns {} ScanUse {} TamUse {}",
+                t.id,
+                t.patterns,
+                if t.scan_use == ScanUse::Yes { "yes" } else { "no" },
+                if t.tam_use == TamUse::Yes { "yes" } else { "no" },
+            );
+        }
+        if let Some(p) = m.power() {
+            let _ = writeln!(out, "  Power {p}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Module, ModuleId, TestDesc};
+    use crate::parser::parse_soc;
+
+    fn sample() -> SocDesc {
+        SocDesc::new(
+            "w",
+            vec![
+                Module::new(ModuleId(0), 0, 0, 0, 0, vec![], vec![]),
+                Module::new(
+                    ModuleId(1),
+                    1,
+                    5,
+                    6,
+                    0,
+                    vec![11, 13],
+                    vec![TestDesc {
+                        id: 1,
+                        patterns: 9,
+                        scan_use: ScanUse::Yes,
+                        tam_use: TamUse::Yes,
+                    }],
+                )
+                .with_power(42.25),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let soc = sample();
+        let text = write_soc(&soc);
+        let parsed = parse_soc(&text).unwrap();
+        assert_eq!(parsed, soc);
+    }
+
+    #[test]
+    fn output_contains_all_keywords() {
+        let text = write_soc(&sample());
+        for kw in ["SocName", "TotalModules", "Module", "ScanChains", "Power"] {
+            assert!(text.contains(kw), "missing {kw} in output");
+        }
+    }
+
+    #[test]
+    fn power_is_omitted_when_unannotated() {
+        let soc = SocDesc::new(
+            "x",
+            vec![Module::new(ModuleId(1), 1, 1, 1, 0, vec![], vec![])],
+        );
+        assert!(!write_soc(&soc).contains("Power"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: writer/parser round-trip over arbitrary SoC descriptions.
+
+use proptest::prelude::*;
+
+use noctest_itc02::{parse_soc, write_soc, Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
+
+fn arb_test(id: u32) -> impl Strategy<Value = TestDesc> {
+    (1u32..10_000, any::<bool>(), any::<bool>()).prop_map(move |(patterns, scan, tam)| TestDesc {
+        id,
+        patterns,
+        scan_use: if scan { ScanUse::Yes } else { ScanUse::No },
+        tam_use: if tam { TamUse::Yes } else { TamUse::No },
+    })
+}
+
+fn arb_module(id: u32, level: u32) -> impl Strategy<Value = Module> {
+    (
+        0u32..512,
+        0u32..512,
+        0u32..64,
+        prop::collection::vec(1u32..2000, 0..16),
+        prop::collection::vec(any::<bool>(), 0..4),
+        prop::option::of(0.0f64..10_000.0),
+    )
+        .prop_flat_map(move |(inputs, outputs, bidirs, chains, test_mask, power)| {
+            let tests: Vec<_> = test_mask
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_test(i as u32 + 1))
+                .collect();
+            (Just((inputs, outputs, bidirs, chains, power)), tests).prop_map(
+                move |((inputs, outputs, bidirs, chains, power), tests)| {
+                    let mut m = Module::new(
+                        ModuleId(id),
+                        level,
+                        inputs,
+                        outputs,
+                        bidirs,
+                        chains.clone(),
+                        tests,
+                    );
+                    if let Some(p) = power {
+                        // Keep power representable exactly in decimal text.
+                        m = m.with_power((p * 16.0).round() / 16.0);
+                    }
+                    m
+                },
+            )
+        })
+}
+
+fn arb_soc() -> impl Strategy<Value = SocDesc> {
+    (1usize..8).prop_flat_map(|cores| {
+        let modules: Vec<_> = (0..=cores)
+            .map(|i| arb_module(i as u32, u32::from(i > 0)))
+            .collect();
+        ("[a-z][a-z0-9_]{0,12}", modules)
+            .prop_map(|(name, modules)| SocDesc::new(name, modules))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write -> parse is the identity on the model.
+    #[test]
+    fn write_parse_roundtrip(soc in arb_soc()) {
+        let text = write_soc(&soc);
+        let parsed = parse_soc(&text).expect("writer output must parse");
+        prop_assert_eq!(parsed, soc);
+    }
+
+    /// Parsing is insensitive to comment and blank-line injection.
+    #[test]
+    fn parse_survives_comment_noise(soc in arb_soc(), noise in 0usize..5) {
+        let text = write_soc(&soc);
+        let mut noisy = String::from("# leading comment\n");
+        for (i, line) in text.lines().enumerate() {
+            noisy.push_str(line);
+            noisy.push_str(" # trailing\n");
+            if i % (noise + 1) == 0 {
+                noisy.push('\n');
+            }
+        }
+        let parsed = parse_soc(&noisy).expect("noisy output must parse");
+        prop_assert_eq!(parsed, soc);
+    }
+
+    /// Derived metrics are internally consistent for arbitrary modules.
+    #[test]
+    fn metrics_are_consistent(m in arb_module(1, 1)) {
+        prop_assert_eq!(
+            m.test_volume_bits(),
+            u64::from(m.total_patterns())
+                * (u64::from(m.pattern_bits_in()) + u64::from(m.pattern_bits_out()))
+        );
+        prop_assert!(m.max_chain() <= m.scan_total());
+        prop_assert!(m.pattern_bits_in() >= m.scan_total());
+        prop_assert!(m.pattern_bits_out() >= m.scan_total());
+    }
+}

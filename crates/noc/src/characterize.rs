@@ -1,0 +1,240 @@
+//! NoC characterisation — the first step of the paper's flow.
+//!
+//! Section 2 of the paper: *"The first step corresponds to the
+//! characterization of the NoC in terms of time and power consumption. The
+//! performance metrics of a NoC router can be divided in two parts: the
+//! routing latency and the flow control latency. ... the power consumption
+//! has been measured as the mean power consumption to send packets of random
+//! size and random payload. This value is added to each router the packet
+//! passes through."*
+//!
+//! [`characterize`] runs that exact experiment on the cycle-level simulator
+//! and extracts the three figures the planner consumes. For the latency
+//! metrics it fits the analytic uncongested model
+//!
+//! ```text
+//! tail_latency(hops, flits) = alpha * hops + beta * flits + gamma
+//! ```
+//!
+//! by measuring isolated single-packet flights; `alpha` recovers
+//! `routing_latency + flow_latency` (per-hop header cost) and `beta`
+//! recovers `flow_latency` (per-flit serialisation cost).
+
+use crate::config::NocConfig;
+use crate::error::NocError;
+use crate::flit::Packet;
+use crate::network::Network;
+use crate::topology::NodeId;
+use crate::traffic::TrafficSpec;
+
+/// Result of the characterisation pass: the parameters the test planner
+/// needs, as measured on the simulator (not copied from the config).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocCharacterization {
+    /// Measured per-hop header cost in cycles (routing + link traversal).
+    pub cycles_per_hop: f64,
+    /// Measured per-flit serialisation cost in cycles (flow-control
+    /// latency).
+    pub cycles_per_flit: f64,
+    /// Fixed per-packet overhead in cycles (injection + ejection).
+    pub fixed_overhead: f64,
+    /// Mean energy a packet deposits in *each* router it passes through,
+    /// from random traffic — the paper's per-router packet power figure.
+    pub mean_packet_energy_per_router: f64,
+    /// Mean network power (energy/cycle) under the random workload.
+    pub mean_power: f64,
+}
+
+impl NocCharacterization {
+    /// Analytic tail latency for a packet of `flits` total flits over
+    /// `hops` hops, per the fitted model.
+    #[must_use]
+    pub fn packet_latency(&self, hops: u32, flits: u32) -> f64 {
+        self.cycles_per_hop * f64::from(hops)
+            + self.cycles_per_flit * f64::from(flits)
+            + self.fixed_overhead
+    }
+}
+
+/// Runs the characterisation experiments on `config`'s network.
+///
+/// Two phases:
+/// 1. *Latency fit*: isolated packets of varying hop count and length fly
+///    through an idle network; a least-squares fit extracts the per-hop,
+///    per-flit and fixed costs.
+/// 2. *Power measurement*: `spec` (by default uniform-random packets of
+///    random size and payload) runs to completion; energy per router per
+///    traversing packet is averaged — the paper's methodology.
+///
+/// # Errors
+///
+/// Propagates simulator errors; [`NocError::Timeout`] if the network fails
+/// to drain (would indicate a routing bug).
+pub fn characterize(
+    config: &NocConfig,
+    spec: &TrafficSpec,
+) -> Result<NocCharacterization, NocError> {
+    let (cycles_per_hop, cycles_per_flit, fixed_overhead) = fit_latency(config)?;
+    let (mean_packet_energy_per_router, mean_power) = measure_power(config, spec)?;
+    Ok(NocCharacterization {
+        cycles_per_hop,
+        cycles_per_flit,
+        fixed_overhead,
+        mean_packet_energy_per_router,
+        mean_power,
+    })
+}
+
+fn fit_latency(config: &NocConfig) -> Result<(f64, f64, f64), NocError> {
+    // Sample isolated flights across distinct (hops, flits) points.
+    let mesh = config.mesh().clone();
+    let far = NodeId::new(mesh.len() as u32 - 1);
+    let max_hops = mesh.distance(NodeId::new(0), far);
+    let mut samples: Vec<(f64, f64, f64)> = Vec::new(); // (hops, flits, latency)
+    let payloads = [1u32, 4, 16, 64];
+    for hops in 1..=max_hops {
+        // Walk the top row/column to find a node at the wanted distance.
+        let Some(dest) = mesh
+            .nodes()
+            .find(|&n| mesh.distance(NodeId::new(0), n) == hops)
+        else {
+            continue;
+        };
+        for &p in &payloads {
+            let mut net = Network::new(config.clone())?;
+            net.inject(Packet::new(NodeId::new(0), dest, p))?;
+            let delivered = net.run_until_idle(1_000_000)?;
+            let lat = delivered[0].latency() as f64;
+            samples.push((f64::from(hops), f64::from(p + 1), lat));
+        }
+    }
+    Ok(least_squares_3(&samples))
+}
+
+/// Solves `latency = a*hops + b*flits + c` by normal equations.
+fn least_squares_3(samples: &[(f64, f64, f64)]) -> (f64, f64, f64) {
+    let n = samples.len() as f64;
+    assert!(n >= 3.0, "need at least three samples for the latency fit");
+    let (mut sh, mut sf, mut sl) = (0.0, 0.0, 0.0);
+    let (mut shh, mut sff, mut shf, mut shl, mut sfl) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(h, f, l) in samples {
+        sh += h;
+        sf += f;
+        sl += l;
+        shh += h * h;
+        sff += f * f;
+        shf += h * f;
+        shl += h * l;
+        sfl += f * l;
+    }
+    // Normal equations for [a, b, c]:
+    // | shh shf sh | |a|   | shl |
+    // | shf sff sf | |b| = | sfl |
+    // | sh  sf  n  | |c|   | sl  |
+    let m = [[shh, shf, sh], [shf, sff, sf], [sh, sf, n]];
+    let v = [shl, sfl, sl];
+    solve_3x3(m, v)
+}
+
+fn solve_3x3(m: [[f64; 3]; 3], v: [f64; 3]) -> (f64, f64, f64) {
+    let det = |m: [[f64; 3]; 3]| {
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    };
+    let d = det(m);
+    assert!(d.abs() > 1e-9, "singular latency fit (degenerate samples)");
+    let mut mx = m;
+    for (row, val) in v.iter().enumerate() {
+        mx[row][0] = *val;
+    }
+    let a = det(mx) / d;
+    let mut my = m;
+    for (row, val) in v.iter().enumerate() {
+        my[row][1] = *val;
+    }
+    let b = det(my) / d;
+    let mut mz = m;
+    for (row, val) in v.iter().enumerate() {
+        mz[row][2] = *val;
+    }
+    let c = det(mz) / d;
+    (a, b, c)
+}
+
+fn measure_power(config: &NocConfig, spec: &TrafficSpec) -> Result<(f64, f64), NocError> {
+    let mut net = Network::new(config.clone())?;
+    let packets = spec.generate(config.mesh());
+    let mut router_traversals: u64 = 0;
+    for p in &packets {
+        // Routers visited = hops + 1 (source and destination inclusive).
+        router_traversals += u64::from(config.mesh().distance(p.src(), p.dest())) + 1;
+        net.inject(p.clone())?;
+    }
+    net.run_until_idle(100_000_000)?;
+    let energy = net.energy().total_energy();
+    let mean_packet_energy_per_router = if router_traversals == 0 {
+        0.0
+    } else {
+        energy / router_traversals as f64
+    };
+    Ok((mean_packet_energy_per_router, net.energy().mean_power()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_configured_latencies() {
+        let config = NocConfig::builder(4, 4)
+            .routing_latency(10)
+            .flow_latency(2)
+            .build()
+            .unwrap();
+        let spec = TrafficSpec {
+            packets: 64,
+            ..TrafficSpec::default()
+        };
+        let ch = characterize(&config, &spec).unwrap();
+        // Per-flit cost must recover the flow-control latency almost
+        // exactly; per-hop cost must be near routing+flow latency.
+        assert!(
+            (ch.cycles_per_flit - 2.0).abs() < 0.35,
+            "cycles_per_flit = {}",
+            ch.cycles_per_flit
+        );
+        assert!(
+            (ch.cycles_per_hop - 12.0).abs() < 3.0,
+            "cycles_per_hop = {}",
+            ch.cycles_per_hop
+        );
+        assert!(ch.mean_packet_energy_per_router > 0.0);
+        assert!(ch.mean_power > 0.0);
+    }
+
+    #[test]
+    fn analytic_latency_is_monotonic() {
+        let ch = NocCharacterization {
+            cycles_per_hop: 12.0,
+            cycles_per_flit: 2.0,
+            fixed_overhead: 4.0,
+            mean_packet_energy_per_router: 1.0,
+            mean_power: 0.5,
+        };
+        assert!(ch.packet_latency(2, 10) < ch.packet_latency(3, 10));
+        assert!(ch.packet_latency(2, 10) < ch.packet_latency(2, 11));
+    }
+
+    #[test]
+    fn solver_inverts_known_system() {
+        // latency = 3h + 2f + 5 exactly.
+        let samples: Vec<(f64, f64, f64)> = (1..6)
+            .flat_map(|h| (1..5).map(move |f| (h as f64, f as f64, 3.0 * h as f64 + 2.0 * f as f64 + 5.0)))
+            .collect();
+        let (a, b, c) = least_squares_3(&samples);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((c - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,265 @@
+//! Network configuration and its builder.
+
+use crate::error::NocError;
+use crate::power::PowerParams;
+use crate::routing::RoutingKind;
+use crate::topology::Mesh;
+
+/// Complete configuration of a simulated network.
+///
+/// The defaults are the Hermes-like characterisation used throughout the
+/// reproduction (see `DESIGN.md`): 16-bit flits, 2-cycle flow-control
+/// latency per flit and hop, 10-cycle routing latency for a header flit,
+/// 4-flit input buffers.
+///
+/// ```
+/// use noctest_noc::NocConfig;
+/// let cfg = NocConfig::builder(5, 6)
+///     .flit_width_bits(16)
+///     .routing_latency(10)
+///     .flow_latency(2)
+///     .build()?;
+/// assert_eq!(cfg.mesh().len(), 30);
+/// # Ok::<(), noctest_noc::NocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocConfig {
+    mesh: Mesh,
+    flit_width_bits: u32,
+    routing_latency: u32,
+    flow_latency: u32,
+    buffer_depth: u32,
+    routing: RoutingKind,
+    power: PowerParams,
+    injection_queue_capacity: usize,
+}
+
+impl NocConfig {
+    /// Starts building a configuration for a `width x height` mesh.
+    #[must_use]
+    pub fn builder(width: u16, height: u16) -> NocConfigBuilder {
+        NocConfigBuilder {
+            width,
+            height,
+            flit_width_bits: 16,
+            routing_latency: 10,
+            flow_latency: 2,
+            buffer_depth: 4,
+            routing: RoutingKind::Xy,
+            power: PowerParams::default(),
+            injection_queue_capacity: usize::MAX,
+        }
+    }
+
+    /// The mesh topology.
+    #[must_use]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Bits carried per flit (the physical channel width).
+    #[must_use]
+    pub const fn flit_width_bits(&self) -> u32 {
+        self.flit_width_bits
+    }
+
+    /// Intra-router cycles to compute a route for a header flit.
+    #[must_use]
+    pub const fn routing_latency(&self) -> u32 {
+        self.routing_latency
+    }
+
+    /// Inter-router cycles to forward one flit over one link.
+    #[must_use]
+    pub const fn flow_latency(&self) -> u32 {
+        self.flow_latency
+    }
+
+    /// Flits of buffering per router input port.
+    #[must_use]
+    pub const fn buffer_depth(&self) -> u32 {
+        self.buffer_depth
+    }
+
+    /// Routing algorithm.
+    #[must_use]
+    pub const fn routing(&self) -> RoutingKind {
+        self.routing
+    }
+
+    /// Energy parameters.
+    #[must_use]
+    pub const fn power(&self) -> &PowerParams {
+        &self.power
+    }
+
+    /// Maximum packets queued per node awaiting injection.
+    #[must_use]
+    pub const fn injection_queue_capacity(&self) -> usize {
+        self.injection_queue_capacity
+    }
+}
+
+/// Builder for [`NocConfig`]; see [`NocConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct NocConfigBuilder {
+    width: u16,
+    height: u16,
+    flit_width_bits: u32,
+    routing_latency: u32,
+    flow_latency: u32,
+    buffer_depth: u32,
+    routing: RoutingKind,
+    power: PowerParams,
+    injection_queue_capacity: usize,
+}
+
+impl NocConfigBuilder {
+    /// Sets the channel width in bits per flit.
+    #[must_use]
+    pub fn flit_width_bits(mut self, bits: u32) -> Self {
+        self.flit_width_bits = bits;
+        self
+    }
+
+    /// Sets the intra-router route-computation latency (cycles per header).
+    #[must_use]
+    pub fn routing_latency(mut self, cycles: u32) -> Self {
+        self.routing_latency = cycles;
+        self
+    }
+
+    /// Sets the inter-router flow-control latency (cycles per flit per hop).
+    #[must_use]
+    pub fn flow_latency(mut self, cycles: u32) -> Self {
+        self.flow_latency = cycles;
+        self
+    }
+
+    /// Sets the input-buffer depth in flits.
+    #[must_use]
+    pub fn buffer_depth(mut self, flits: u32) -> Self {
+        self.buffer_depth = flits;
+        self
+    }
+
+    /// Selects the routing algorithm.
+    #[must_use]
+    pub fn routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the energy parameters.
+    #[must_use]
+    pub fn power(mut self, power: PowerParams) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Bounds the per-node injection queue (default: unbounded).
+    #[must_use]
+    pub fn injection_queue_capacity(mut self, packets: usize) -> Self {
+        self.injection_queue_capacity = packets;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyMesh`] for zero dimensions and
+    /// [`NocError::InvalidParameter`] for zero widths, latencies, or buffer
+    /// depths.
+    pub fn build(self) -> Result<NocConfig, NocError> {
+        let mesh = Mesh::new(self.width, self.height)?;
+        if self.flit_width_bits == 0 {
+            return Err(NocError::InvalidParameter {
+                name: "flit_width_bits",
+                reason: "channel width must be positive",
+            });
+        }
+        if self.flow_latency == 0 {
+            return Err(NocError::InvalidParameter {
+                name: "flow_latency",
+                reason: "flit forwarding must take at least one cycle",
+            });
+        }
+        if self.buffer_depth == 0 {
+            return Err(NocError::InvalidParameter {
+                name: "buffer_depth",
+                reason: "routers need at least one flit of input buffering",
+            });
+        }
+        if self.injection_queue_capacity == 0 {
+            return Err(NocError::InvalidParameter {
+                name: "injection_queue_capacity",
+                reason: "injection queues need room for at least one packet",
+            });
+        }
+        Ok(NocConfig {
+            mesh,
+            flit_width_bits: self.flit_width_bits,
+            routing_latency: self.routing_latency,
+            flow_latency: self.flow_latency,
+            buffer_depth: self.buffer_depth,
+            routing: self.routing,
+            power: self.power,
+            injection_queue_capacity: self.injection_queue_capacity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_hermes_like() {
+        let cfg = NocConfig::builder(4, 4).build().unwrap();
+        assert_eq!(cfg.flit_width_bits(), 16);
+        assert_eq!(cfg.flow_latency(), 2);
+        assert_eq!(cfg.routing_latency(), 10);
+        assert_eq!(cfg.buffer_depth(), 4);
+        assert_eq!(cfg.routing(), RoutingKind::Xy);
+    }
+
+    #[test]
+    fn zero_flit_width_rejected() {
+        let err = NocConfig::builder(2, 2).flit_width_bits(0).build();
+        assert!(matches!(
+            err,
+            Err(NocError::InvalidParameter {
+                name: "flit_width_bits",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_flow_latency_rejected() {
+        let err = NocConfig::builder(2, 2).flow_latency(0).build();
+        assert!(matches!(err, Err(NocError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn zero_buffer_rejected() {
+        let err = NocConfig::builder(2, 2).buffer_depth(0).build();
+        assert!(matches!(err, Err(NocError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn zero_routing_latency_is_legal() {
+        // An idealised router that routes headers combinationally.
+        let cfg = NocConfig::builder(2, 2).routing_latency(0).build().unwrap();
+        assert_eq!(cfg.routing_latency(), 0);
+    }
+
+    #[test]
+    fn empty_mesh_rejected() {
+        assert!(matches!(
+            NocConfig::builder(0, 4).build(),
+            Err(NocError::EmptyMesh)
+        ));
+    }
+}

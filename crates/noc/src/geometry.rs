@@ -1,0 +1,198 @@
+//! Grid geometry: positions and port directions.
+
+use std::fmt;
+
+/// A coordinate on the 2-D mesh. `x` grows eastwards, `y` grows northwards.
+///
+/// The origin `(0, 0)` is the south-west corner, matching the convention of
+/// the Hermes NoC papers from which the simulated router is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Position {
+    /// Column (grows eastwards).
+    pub x: u16,
+    /// Row (grows northwards).
+    pub y: u16,
+}
+
+impl Position {
+    /// Creates a position from column and row indices.
+    ///
+    /// ```
+    /// use noctest_noc::Position;
+    /// let p = Position::new(2, 3);
+    /// assert_eq!((p.x, p.y), (2, 3));
+    /// ```
+    #[must_use]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Position { x, y }
+    }
+
+    /// Manhattan (hop) distance to `other` — the number of links an
+    /// XY-routed packet traverses between the two routers.
+    ///
+    /// ```
+    /// use noctest_noc::Position;
+    /// assert_eq!(Position::new(0, 0).manhattan(Position::new(3, 2)), 5);
+    /// ```
+    #[must_use]
+    pub fn manhattan(self, other: Position) -> u32 {
+        let dx = i32::from(self.x) - i32::from(other.x);
+        let dy = i32::from(self.y) - i32::from(other.y);
+        dx.unsigned_abs() + dy.unsigned_abs()
+    }
+
+    /// The neighbouring position one hop in `dir`, if it does not underflow
+    /// the coordinate space. Callers must still bounds-check against the
+    /// mesh dimensions (see [`crate::Mesh::neighbor`]).
+    #[must_use]
+    pub fn step(self, dir: Direction) -> Option<Position> {
+        match dir {
+            Direction::East => self.x.checked_add(1).map(|x| Position::new(x, self.y)),
+            Direction::West => self.x.checked_sub(1).map(|x| Position::new(x, self.y)),
+            Direction::North => self.y.checked_add(1).map(|y| Position::new(self.x, y)),
+            Direction::South => self.y.checked_sub(1).map(|y| Position::new(self.x, y)),
+            Direction::Local => Some(self),
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// One of a router's five ports.
+///
+/// `Local` is the port facing the attached core (or test interface); the
+/// four cardinal ports face neighbouring routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Towards increasing `x`.
+    East,
+    /// Towards decreasing `x`.
+    West,
+    /// Towards increasing `y`.
+    North,
+    /// Towards decreasing `y`.
+    South,
+    /// The core-facing port.
+    Local,
+}
+
+impl Direction {
+    /// All five directions, cardinal ports first.
+    pub const ALL: [Direction; 5] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+        Direction::Local,
+    ];
+
+    /// The four router-to-router directions.
+    pub const CARDINAL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+    ];
+
+    /// The direction a flit travelling out of this port arrives *from* at
+    /// the neighbouring router (e.g. a flit leaving East arrives at the
+    /// neighbour's West port).
+    ///
+    /// ```
+    /// use noctest_noc::Direction;
+    /// assert_eq!(Direction::East.opposite(), Direction::West);
+    /// assert_eq!(Direction::Local.opposite(), Direction::Local);
+    /// ```
+    #[must_use]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::Local => Direction::Local,
+        }
+    }
+
+    /// Stable small index (0..5) used for port arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+            Direction::Local => 4,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::Local => "L",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Position::new(1, 4);
+        let b = Position::new(6, 0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), 9);
+    }
+
+    #[test]
+    fn step_moves_one_hop() {
+        let p = Position::new(2, 2);
+        assert_eq!(p.step(Direction::East), Some(Position::new(3, 2)));
+        assert_eq!(p.step(Direction::West), Some(Position::new(1, 2)));
+        assert_eq!(p.step(Direction::North), Some(Position::new(2, 3)));
+        assert_eq!(p.step(Direction::South), Some(Position::new(2, 1)));
+        assert_eq!(p.step(Direction::Local), Some(p));
+    }
+
+    #[test]
+    fn step_underflow_returns_none() {
+        let origin = Position::new(0, 0);
+        assert_eq!(origin.step(Direction::West), None);
+        assert_eq!(origin.step(Direction::South), None);
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn indices_are_distinct() {
+        let mut seen = [false; 5];
+        for d in Direction::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Position::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Direction::North.to_string(), "N");
+    }
+}

@@ -1,0 +1,187 @@
+//! Energy accounting for the network.
+//!
+//! The paper's methodology (Section 2): "the designer also has to
+//! characterize the power consumption to send the test packets ... the power
+//! consumption has been measured as the mean power consumption to send
+//! packets of random size and random payload. This value is added to each
+//! router the packet passes through."
+//!
+//! The simulator therefore charges energy at flit-hop granularity and the
+//! characterisation pass ([`mod@crate::characterize`]) reduces it to the single
+//! mean-power-per-router figure the planner consumes.
+
+use std::fmt;
+
+use crate::topology::NodeId;
+
+/// Energy cost coefficients, in abstract energy units. The planner only
+/// ever uses *ratios* of power numbers (the power limit is a percentage of
+/// the sum of core powers), so the absolute unit is irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Energy to move one flit across one router (buffer write + crossbar).
+    pub energy_per_flit_hop: f64,
+    /// Energy to route a header (route computation + arbitration).
+    pub energy_per_route: f64,
+    /// Static leakage energy per router per cycle.
+    pub leakage_per_router_cycle: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        // Hermes-like relative costs: moving a flit dominates; routing a
+        // header costs a couple of flit-equivalents; leakage is negligible
+        // at the 180 nm node the paper targets.
+        PowerParams {
+            energy_per_flit_hop: 1.0,
+            energy_per_route: 2.0,
+            leakage_per_router_cycle: 0.0,
+        }
+    }
+}
+
+/// Accumulated energy per router plus global counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyLedger {
+    per_router: Vec<f64>,
+    flit_hops: u64,
+    routes: u64,
+    cycles: u64,
+    params: PowerParams,
+}
+
+impl EnergyLedger {
+    /// A ledger for `routers` routers with the given coefficients.
+    #[must_use]
+    pub fn new(routers: usize, params: PowerParams) -> Self {
+        EnergyLedger {
+            per_router: vec![0.0; routers],
+            flit_hops: 0,
+            routes: 0,
+            cycles: 0,
+            params,
+        }
+    }
+
+    /// Charges one flit moving through `router`.
+    pub fn charge_flit_hop(&mut self, router: NodeId) {
+        self.per_router[router.index()] += self.params.energy_per_flit_hop;
+        self.flit_hops += 1;
+    }
+
+    /// Charges one route computation at `router`.
+    pub fn charge_route(&mut self, router: NodeId) {
+        self.per_router[router.index()] += self.params.energy_per_route;
+        self.routes += 1;
+    }
+
+    /// Advances time by one cycle, charging leakage everywhere.
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+        if self.params.leakage_per_router_cycle != 0.0 {
+            for e in &mut self.per_router {
+                *e += self.params.leakage_per_router_cycle;
+            }
+        }
+    }
+
+    /// Total energy spent so far.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.per_router.iter().sum()
+    }
+
+    /// Energy spent at one router.
+    #[must_use]
+    pub fn router_energy(&self, router: NodeId) -> f64 {
+        self.per_router[router.index()]
+    }
+
+    /// Mean power (energy per cycle) over the simulated interval.
+    /// Returns 0 before any cycle has elapsed.
+    #[must_use]
+    pub fn mean_power(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_energy() / self.cycles as f64
+        }
+    }
+
+    /// Number of flit-hop events charged.
+    #[must_use]
+    pub const fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
+    /// Number of route computations charged.
+    #[must_use]
+    pub const fn routes(&self) -> u64 {
+        self.routes
+    }
+
+    /// Cycles ticked.
+    #[must_use]
+    pub const fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "energy {:.1} over {} cycles ({} flit-hops, {} routes)",
+            self.total_energy(),
+            self.cycles,
+            self.flit_hops,
+            self.routes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_router() {
+        let mut ledger = EnergyLedger::new(4, PowerParams::default());
+        ledger.charge_flit_hop(NodeId::new(1));
+        ledger.charge_flit_hop(NodeId::new(1));
+        ledger.charge_route(NodeId::new(2));
+        assert_eq!(ledger.router_energy(NodeId::new(1)), 2.0);
+        assert_eq!(ledger.router_energy(NodeId::new(2)), 2.0);
+        assert_eq!(ledger.router_energy(NodeId::new(0)), 0.0);
+        assert_eq!(ledger.total_energy(), 4.0);
+        assert_eq!(ledger.flit_hops(), 2);
+        assert_eq!(ledger.routes(), 1);
+    }
+
+    #[test]
+    fn mean_power_divides_by_cycles() {
+        let mut ledger = EnergyLedger::new(1, PowerParams::default());
+        assert_eq!(ledger.mean_power(), 0.0);
+        ledger.charge_flit_hop(NodeId::new(0));
+        ledger.tick();
+        ledger.tick();
+        assert!((ledger.mean_power() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_charged_on_tick() {
+        let params = PowerParams {
+            leakage_per_router_cycle: 0.25,
+            ..PowerParams::default()
+        };
+        let mut ledger = EnergyLedger::new(2, params);
+        ledger.tick();
+        assert!((ledger.total_energy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_cycles() {
+        let ledger = EnergyLedger::new(1, PowerParams::default());
+        assert!(ledger.to_string().contains("cycles"));
+    }
+}

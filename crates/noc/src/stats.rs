@@ -1,0 +1,234 @@
+//! Latency and throughput statistics.
+
+use std::fmt;
+
+/// Online accumulator for packet latencies (in cycles).
+///
+/// ```
+/// use noctest_noc::LatencyStats;
+/// let mut s = LatencyStats::new();
+/// for v in [10, 20, 30] { s.record(v); }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.min(), Some(10));
+/// assert_eq!(s.max(), Some(30));
+/// assert!((s.mean().unwrap() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u128,
+    sum_sq: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += u128::from(latency);
+        self.sum_sq += u128::from(latency) * u128::from(latency);
+        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
+        self.max = Some(self.max.map_or(latency, |m| m.max(latency)));
+        self.samples.push(latency);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, if any.
+    #[must_use]
+    pub const fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    #[must_use]
+    pub const fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Arithmetic mean, if any samples were recorded.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Population standard deviation, if any samples were recorded.
+    #[must_use]
+    pub fn stddev(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        let mean = self.sum as f64 / n;
+        let var = (self.sum_sq as f64 / n) - mean * mean;
+        Some(var.max(0.0).sqrt())
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by nearest-rank on sorted samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        Some(sorted[rank])
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max, self.mean()) {
+            (Some(min), Some(max), Some(mean)) => write!(
+                f,
+                "n={} min={} mean={:.1} max={}",
+                self.count, min, mean, max
+            ),
+            _ => write!(f, "n=0"),
+        }
+    }
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkStats {
+    /// End-to-end packet latency: injection-queue entry to tail ejection.
+    pub packet_latency: LatencyStats,
+    /// Header latency: injection to head ejection.
+    pub header_latency: LatencyStats,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Flits delivered (headers included).
+    pub flits_delivered: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl NetworkStats {
+    /// Delivered flits per cycle across the whole network.
+    #[must_use]
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flits_delivered as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} packets / {} flits in {} cycles (latency {})",
+            self.delivered, self.flits_delivered, self.cycles, self.packet_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_no_moments() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.stddev(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut s = LatencyStats::new();
+        for _ in 0..5 {
+            s.record(7);
+        }
+        assert!(s.stddev().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bracket_range() {
+        let mut s = LatencyStats::new();
+        for v in [5, 1, 9, 3, 7] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(1));
+        assert_eq!(s.quantile(1.0), Some(9));
+        assert_eq!(s.quantile(0.5), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        let s = LatencyStats::new();
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_combines_extremes() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(2);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(30));
+        assert_eq!(a.mean(), Some(14.0));
+    }
+
+    #[test]
+    fn throughput_divides_by_cycles() {
+        let stats = NetworkStats {
+            flits_delivered: 100,
+            cycles: 50,
+            ..NetworkStats::default()
+        };
+        assert!((stats.throughput_flits_per_cycle() - 2.0).abs() < 1e-12);
+        let empty = NetworkStats::default();
+        assert_eq!(empty.throughput_flits_per_cycle(), 0.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Mesh topology: node identifiers, links, and neighbourhood queries.
+
+use std::fmt;
+
+use crate::error::NocError;
+use crate::geometry::{Direction, Position};
+
+/// Identifier of a router (equivalently, of the grid node it occupies).
+///
+/// Node ids are assigned row-major from the south-west corner:
+/// `id = y * width + x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index backing this id.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> u32 {
+        id.0
+    }
+}
+
+/// Identifier of a *directed* link: the output port `dir` of router `from`.
+///
+/// A mesh link between adjacent routers A and B is two directed links
+/// (A→B and B→A); wormhole reservation operates on directed links. The
+/// `Local` direction denotes the router-to-core ejection link; the
+/// core-to-router injection link is represented by the core's own node with
+/// `Direction::Local` as well, disambiguated by [`LinkId::into_core`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId {
+    /// Router that drives the link.
+    pub from: NodeId,
+    /// Output port direction at `from`.
+    pub dir: Direction,
+    /// `true` for the router→core (ejection) local link, `false` for the
+    /// core→router (injection) local link. Ignored for cardinal links.
+    pub into_core: bool,
+}
+
+impl LinkId {
+    /// A router-to-router link leaving `from` through port `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is [`Direction::Local`]; use [`LinkId::ejection`] or
+    /// [`LinkId::injection`] for local links.
+    #[must_use]
+    pub fn cardinal(from: NodeId, dir: Direction) -> Self {
+        assert!(
+            dir != Direction::Local,
+            "cardinal links must not use the Local port"
+        );
+        LinkId {
+            from,
+            dir,
+            into_core: false,
+        }
+    }
+
+    /// The router→core ejection link at `node`.
+    #[must_use]
+    pub fn ejection(node: NodeId) -> Self {
+        LinkId {
+            from: node,
+            dir: Direction::Local,
+            into_core: true,
+        }
+    }
+
+    /// The core→router injection link at `node`.
+    #[must_use]
+    pub fn injection(node: NodeId) -> Self {
+        LinkId {
+            from: node,
+            dir: Direction::Local,
+            into_core: false,
+        }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dir == Direction::Local {
+            write!(
+                f,
+                "{}{}",
+                self.from,
+                if self.into_core { "->core" } else { "<-core" }
+            )
+        } else {
+            write!(f, "{}-{}", self.from, self.dir)
+        }
+    }
+}
+
+/// A rectangular mesh of `width x height` routers.
+///
+/// ```
+/// use noctest_noc::{Mesh, Position, Direction};
+/// let mesh = Mesh::new(4, 4).unwrap();
+/// let n = mesh.node_at(1, 2).unwrap();
+/// assert_eq!(mesh.position(n), Position::new(1, 2));
+/// assert_eq!(mesh.nodes().count(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// Creates a mesh with the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyMesh`] if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Result<Self, NocError> {
+        if width == 0 || height == 0 {
+            return Err(NocError::EmptyMesh);
+        }
+        Ok(Mesh { width, height })
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub const fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub const fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total number of routers.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// `true` only for the degenerate 0-node mesh, which cannot be
+    /// constructed; present for API completeness.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node at `(x, y)`, or `None` if outside the grid.
+    #[must_use]
+    pub fn node_at(&self, x: u16, y: u16) -> Option<NodeId> {
+        if x < self.width && y < self.height {
+            Some(NodeId(u32::from(y) * u32::from(self.width) + u32::from(x)))
+        } else {
+            None
+        }
+    }
+
+    /// The node at a [`Position`], or `None` if outside the grid.
+    #[must_use]
+    pub fn node(&self, pos: Position) -> Option<NodeId> {
+        self.node_at(pos.x, pos.y)
+    }
+
+    /// The grid position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this mesh.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Position {
+        assert!(
+            node.index() < self.len(),
+            "node {node} out of range for {}x{} mesh",
+            self.width,
+            self.height
+        );
+        let w = u32::from(self.width);
+        Position::new((node.0 % w) as u16, (node.0 / w) as u16)
+    }
+
+    /// Checks that `node` belongs to this mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] otherwise.
+    pub fn check(&self, node: NodeId) -> Result<(), NocError> {
+        if node.index() < self.len() {
+            Ok(())
+        } else {
+            Err(NocError::NodeOutOfRange {
+                node,
+                nodes: self.len(),
+            })
+        }
+    }
+
+    /// The neighbour of `node` through port `dir`, or `None` at the mesh
+    /// boundary (or when `dir` is `Local`).
+    #[must_use]
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        if dir == Direction::Local {
+            return None;
+        }
+        let pos = self.position(node);
+        let next = pos.step(dir)?;
+        self.node(next)
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all *directed* router-to-router links.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.nodes().flat_map(move |n| {
+            Direction::CARDINAL
+                .into_iter()
+                .filter(move |&d| self.neighbor(n, d).is_some())
+                .map(move |d| LinkId::cardinal(n, d))
+        })
+    }
+
+    /// Manhattan distance in hops between two nodes.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.position(a).manhattan(self.position(b))
+    }
+
+    /// `true` if the node lies on the mesh boundary (candidate location for
+    /// an external test interface, which needs an unused router port).
+    #[must_use]
+    pub fn is_boundary(&self, node: NodeId) -> bool {
+        let p = self.position(node);
+        p.x == 0 || p.y == 0 || p.x == self.width - 1 || p.y == self.height - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_mesh() {
+        assert_eq!(Mesh::new(0, 3), Err(NocError::EmptyMesh));
+        assert_eq!(Mesh::new(3, 0), Err(NocError::EmptyMesh));
+    }
+
+    #[test]
+    fn node_position_roundtrip() {
+        let mesh = Mesh::new(5, 6).unwrap();
+        for n in mesh.nodes() {
+            let p = mesh.position(n);
+            assert_eq!(mesh.node(p), Some(n));
+        }
+        assert_eq!(mesh.len(), 30);
+    }
+
+    #[test]
+    fn node_at_out_of_range_is_none() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        assert_eq!(mesh.node_at(4, 0), None);
+        assert_eq!(mesh.node_at(0, 4), None);
+    }
+
+    #[test]
+    fn neighbors_at_corner() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let origin = mesh.node_at(0, 0).unwrap();
+        assert_eq!(mesh.neighbor(origin, Direction::West), None);
+        assert_eq!(mesh.neighbor(origin, Direction::South), None);
+        assert_eq!(
+            mesh.neighbor(origin, Direction::East),
+            Some(mesh.node_at(1, 0).unwrap())
+        );
+        assert_eq!(
+            mesh.neighbor(origin, Direction::North),
+            Some(mesh.node_at(0, 1).unwrap())
+        );
+        assert_eq!(mesh.neighbor(origin, Direction::Local), None);
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        // A w*h mesh has 2*(w-1)*h horizontal + 2*w*(h-1) vertical directed links.
+        let mesh = Mesh::new(5, 6).unwrap();
+        let expected = 2 * (5 - 1) * 6 + 2 * 5 * (6 - 1);
+        assert_eq!(mesh.links().count(), expected);
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let mesh = Mesh::new(3, 7).unwrap();
+        for n in mesh.nodes() {
+            for d in Direction::CARDINAL {
+                if let Some(m) = mesh.neighbor(n, d) {
+                    assert_eq!(mesh.neighbor(m, d.opposite()), Some(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        assert!(mesh.is_boundary(mesh.node_at(0, 2).unwrap()));
+        assert!(mesh.is_boundary(mesh.node_at(3, 1).unwrap()));
+        assert!(!mesh.is_boundary(mesh.node_at(1, 1).unwrap()));
+        assert!(!mesh.is_boundary(mesh.node_at(2, 2).unwrap()));
+    }
+
+    #[test]
+    fn check_rejects_foreign_node() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        assert!(mesh.check(NodeId::new(3)).is_ok());
+        assert_eq!(
+            mesh.check(NodeId::new(4)),
+            Err(NocError::NodeOutOfRange {
+                node: NodeId::new(4),
+                nodes: 4
+            })
+        );
+    }
+
+    #[test]
+    fn link_display() {
+        let l = LinkId::cardinal(NodeId::new(3), Direction::East);
+        assert_eq!(l.to_string(), "n3-E");
+        assert_eq!(LinkId::ejection(NodeId::new(1)).to_string(), "n1->core");
+        assert_eq!(LinkId::injection(NodeId::new(1)).to_string(), "n1<-core");
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinal links")]
+    fn cardinal_link_rejects_local() {
+        let _ = LinkId::cardinal(NodeId::new(0), Direction::Local);
+    }
+}

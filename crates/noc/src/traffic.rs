@@ -1,0 +1,186 @@
+//! Synthetic traffic generation for characterisation and stress tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flit::Packet;
+use crate::topology::{Mesh, NodeId};
+
+/// Spatial traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum TrafficPattern {
+    /// Every packet picks an independent uniformly random destination
+    /// (different from its source). This is the paper's characterisation
+    /// workload: "packets of random size and random payload".
+    #[default]
+    UniformRandom,
+    /// Node `(x, y)` sends to `(y, x)` (requires a square mesh; the
+    /// generator falls back to uniform for off-square meshes).
+    Transpose,
+    /// Node `i` sends to `n-1-i` (bit-complement style for non-power-of-two
+    /// sizes).
+    Complement,
+    /// All nodes send to a single hotspot node (node 0).
+    Hotspot,
+}
+
+/// A complete traffic description: pattern, packet count and size range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficSpec {
+    /// Spatial pattern.
+    pub pattern: TrafficPattern,
+    /// Number of packets to generate.
+    pub packets: usize,
+    /// Inclusive range of payload flit counts.
+    pub payload_flits: (u32, u32),
+    /// RNG seed, so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            pattern: TrafficPattern::UniformRandom,
+            packets: 256,
+            payload_flits: (1, 16),
+            seed: 0xD0E5_1234,
+        }
+    }
+}
+
+impl TrafficSpec {
+    /// Generates the packet list for `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload range is inverted or the mesh has a single
+    /// node under a pattern that requires distinct endpoints.
+    #[must_use]
+    pub fn generate(&self, mesh: &Mesh) -> Vec<Packet> {
+        assert!(
+            self.payload_flits.0 <= self.payload_flits.1,
+            "payload flit range is inverted"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = mesh.len();
+        let mut out = Vec::with_capacity(self.packets);
+        for i in 0..self.packets {
+            let src = NodeId::new(rng.gen_range(0..n) as u32);
+            let dest = match self.pattern {
+                TrafficPattern::UniformRandom => loop {
+                    let d = NodeId::new(rng.gen_range(0..n) as u32);
+                    if d != src || n == 1 {
+                        break d;
+                    }
+                },
+                TrafficPattern::Transpose => {
+                    if mesh.width() == mesh.height() {
+                        let p = mesh.position(src);
+                        mesh.node_at(p.y, p.x).expect("square mesh transpose")
+                    } else {
+                        NodeId::new(rng.gen_range(0..n) as u32)
+                    }
+                }
+                TrafficPattern::Complement => NodeId::new((n - 1 - src.index()) as u32),
+                TrafficPattern::Hotspot => NodeId::new(0),
+            };
+            let flits = rng.gen_range(self.payload_flits.0..=self.payload_flits.1);
+            let payload = (0..flits).map(|_| rng.gen::<u64>()).collect();
+            out.push(Packet::with_payload(src, dest, payload).with_tag(i as u64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = TrafficSpec::default();
+        assert_eq!(spec.generate(&mesh()), spec.generate(&mesh()));
+        let other = TrafficSpec {
+            seed: 1,
+            ..TrafficSpec::default()
+        };
+        assert_ne!(spec.generate(&mesh()), other.generate(&mesh()));
+    }
+
+    #[test]
+    fn uniform_random_avoids_self_traffic() {
+        let spec = TrafficSpec {
+            packets: 500,
+            ..TrafficSpec::default()
+        };
+        for p in spec.generate(&mesh()) {
+            assert_ne!(p.src(), p.dest());
+        }
+    }
+
+    #[test]
+    fn payload_sizes_respect_range() {
+        let spec = TrafficSpec {
+            payload_flits: (3, 5),
+            packets: 200,
+            ..TrafficSpec::default()
+        };
+        for p in spec.generate(&mesh()) {
+            assert!((3..=5).contains(&p.payload_flits()));
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let spec = TrafficSpec {
+            pattern: TrafficPattern::Transpose,
+            packets: 100,
+            ..TrafficSpec::default()
+        };
+        let m = mesh();
+        for p in spec.generate(&m) {
+            let s = m.position(p.src());
+            let d = m.position(p.dest());
+            assert_eq!((s.x, s.y), (d.y, d.x));
+        }
+    }
+
+    #[test]
+    fn complement_mirrors_index() {
+        let spec = TrafficSpec {
+            pattern: TrafficPattern::Complement,
+            packets: 50,
+            ..TrafficSpec::default()
+        };
+        for p in spec.generate(&mesh()) {
+            assert_eq!(p.dest().index(), 15 - p.src().index());
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_node_zero() {
+        let spec = TrafficSpec {
+            pattern: TrafficPattern::Hotspot,
+            packets: 50,
+            ..TrafficSpec::default()
+        };
+        for p in spec.generate(&mesh()) {
+            assert_eq!(p.dest(), NodeId::new(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let spec = TrafficSpec {
+            payload_flits: (5, 3),
+            ..TrafficSpec::default()
+        };
+        let _ = spec.generate(&mesh());
+    }
+}

@@ -1,0 +1,86 @@
+//! Planning the test of a *custom* SoC: build a benchmark description
+//! programmatically, round-trip it through the `.soc` text format, place
+//! it on a mesh with two reused Plasma processors, and compare the
+//! paper's greedy scheduler against the smart and serial ones.
+//!
+//! ```text
+//! cargo run --example custom_soc
+//! ```
+
+use noctest::core::{
+    report, BudgetSpec, GreedyScheduler, Scheduler, SerialScheduler, SmartScheduler,
+    SystemBuilder,
+};
+use noctest::cpu::ProcessorProfile;
+use noctest::itc02::{parse_soc, write_soc, Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
+
+fn scan_core(id: u32, inputs: u32, outputs: u32, chains: Vec<u32>, patterns: u32) -> Module {
+    Module::new(
+        ModuleId(id),
+        1,
+        inputs,
+        outputs,
+        0,
+        chains,
+        vec![TestDesc {
+            id: 1,
+            patterns,
+            scan_use: ScanUse::Yes,
+            tam_use: TamUse::Yes,
+        }],
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An eight-core design: one big DSP, a few medium accelerators, some
+    // small peripherals.
+    let soc = SocDesc::new(
+        "camera_soc",
+        vec![
+            Module::new(ModuleId(0), 0, 0, 0, 0, vec![], vec![]),
+            scan_core(1, 64, 64, vec![200; 12], 220).with_power(900.0), // isp
+            scan_core(2, 48, 32, vec![150; 8], 180).with_power(600.0),  // dsp
+            scan_core(3, 32, 32, vec![120; 6], 140).with_power(450.0),  // codec
+            scan_core(4, 24, 24, vec![100; 4], 100).with_power(300.0),  // scaler
+            scan_core(5, 16, 16, vec![64; 2], 80).with_power(150.0),    // uart hub
+            scan_core(6, 16, 8, vec![48; 2], 60).with_power(120.0),     // timer
+            scan_core(7, 12, 12, vec![32], 50).with_power(90.0),        // gpio
+            scan_core(8, 8, 8, vec![24], 40).with_power(70.0),          // i2c
+        ],
+    );
+
+    // Round-trip through the .soc interchange format.
+    let text = write_soc(&soc);
+    let parsed = parse_soc(&text)?;
+    assert_eq!(parsed, soc);
+    println!("custom SoC round-trips through .soc ({} bytes)", text.len());
+
+    // Place on a 4x3 mesh with two reused Plasma processors.
+    let plasma = ProcessorProfile::plasma().calibrated()?;
+    let sys = SystemBuilder::from_benchmark(&parsed, 4, 3)
+        .processors(&plasma, 2, 2)
+        .budget(BudgetSpec::Fraction(0.6))
+        .build()?;
+
+    println!();
+    for scheduler in [
+        &GreedyScheduler as &dyn Scheduler,
+        &SmartScheduler,
+        &SerialScheduler,
+    ] {
+        let schedule = scheduler.schedule(&sys)?;
+        schedule.validate(&sys)?;
+        println!(
+            "{:<7} makespan {:>8} cycles, peak concurrency {}, peak power {:.0}",
+            scheduler.name(),
+            schedule.makespan(),
+            schedule.peak_concurrency(),
+            schedule.peak_power(&sys)
+        );
+    }
+
+    let schedule = GreedyScheduler.schedule(&sys)?;
+    println!();
+    println!("{}", report::gantt(&sys, &schedule, 60));
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Driving the NoC simulator directly: latency and throughput of a 5x5
+//! mesh under the classic synthetic traffic patterns, followed by the
+//! characterisation pass the test planner consumes (the paper's step 1).
+//!
+//! ```text
+//! cargo run --example noc_traffic
+//! ```
+
+use noctest::noc::{characterize, Network, NocConfig, TrafficPattern, TrafficSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = NocConfig::builder(5, 5)
+        .flit_width_bits(16)
+        .routing_latency(10)
+        .flow_latency(2)
+        .build()?;
+
+    println!("5x5 mesh, 16-bit flits, 4-flit buffers, XY routing");
+    println!(
+        "{:>16} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "pattern", "packets", "min lat", "mean lat", "p95 lat", "flits/cy"
+    );
+    for (name, pattern) in [
+        ("uniform random", TrafficPattern::UniformRandom),
+        ("transpose", TrafficPattern::Transpose),
+        ("complement", TrafficPattern::Complement),
+        ("hotspot", TrafficPattern::Hotspot),
+    ] {
+        let spec = TrafficSpec {
+            pattern,
+            packets: 300,
+            payload_flits: (1, 12),
+            seed: 42,
+        };
+        let mut net = Network::new(config.clone())?;
+        for p in spec.generate(net.topology()) {
+            net.inject(p)?;
+        }
+        net.run_until_idle(10_000_000)?;
+        let stats = net.stats();
+        println!(
+            "{name:>16} {:>9} {:>9} {:>9.1} {:>11} {:>9.3}",
+            stats.delivered,
+            stats.packet_latency.min().unwrap_or(0),
+            stats.packet_latency.mean().unwrap_or(0.0),
+            stats.packet_latency.quantile(0.95).unwrap_or(0),
+            stats.throughput_flits_per_cycle()
+        );
+    }
+
+    println!();
+    println!("characterisation (what the test planner consumes):");
+    let ch = characterize(&config, &TrafficSpec::default())?;
+    println!(
+        "  {:.2} cycles/hop, {:.2} cycles/flit, fixed overhead {:.1} cycles",
+        ch.cycles_per_hop, ch.cycles_per_flit, ch.fixed_overhead
+    );
+    println!(
+        "  mean packet energy per router {:.2}, mean network power {:.2}",
+        ch.mean_packet_energy_per_router, ch.mean_power
+    );
+    println!(
+        "  predicted tail latency for a 12-flit packet over 4 hops: {:.0} cycles",
+        ch.packet_latency(4, 12)
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Power-limit exploration on p93791: how does the test time grow as the
+//! power budget tightens from unlimited down to 25% of the total core
+//! power? The paper evaluates only the 50% point; this example maps the
+//! whole trade-off curve a test engineer would actually look at.
+//!
+//! ```text
+//! cargo run --release --example power_exploration
+//! ```
+
+use noctest::core::{BudgetSpec, GreedyScheduler, Scheduler, SystemBuilder};
+use noctest::cpu::ProcessorProfile;
+use noctest::itc02::data;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let leon = ProcessorProfile::leon().calibrated()?;
+    println!("p93791 + 8 leon processors (all reused), greedy scheduler");
+    println!("{:>10} {:>12} {:>12} {:>6}", "budget", "cap", "test time", "conc");
+
+    let reference = {
+        let sys = SystemBuilder::from_benchmark(&data::p93791(), 5, 5)
+            .processors(&leon, 8, 8)
+            .build()?;
+        let schedule = GreedyScheduler.schedule(&sys)?;
+        schedule.validate(&sys)?;
+        println!(
+            "{:>10} {:>12} {:>12} {:>6}",
+            "none",
+            "-",
+            schedule.makespan(),
+            schedule.peak_concurrency()
+        );
+        schedule.makespan()
+    };
+
+    for percent in [100, 80, 65, 50, 40, 30, 25] {
+        let fraction = f64::from(percent) / 100.0;
+        let sys = SystemBuilder::from_benchmark(&data::p93791(), 5, 5)
+            .processors(&leon, 8, 8)
+            .budget(BudgetSpec::Fraction(fraction))
+            .build();
+        match sys {
+            Ok(sys) => {
+                let schedule = GreedyScheduler.schedule(&sys)?;
+                schedule.validate(&sys)?;
+                let cap = sys.budget().cap().unwrap_or(f64::NAN);
+                println!(
+                    "{percent:>9}% {cap:>12.0} {:>12} {:>6}",
+                    schedule.makespan(),
+                    schedule.peak_concurrency()
+                );
+            }
+            Err(e) => {
+                println!("{percent:>9}% {:>12} {:>12} {:>6}", "-", "infeasible", "-");
+                println!("           ({e})");
+                break;
+            }
+        }
+    }
+    println!();
+    println!(
+        "unconstrained test time {reference} cycles; the paper reports power-constrained \
+         reductions reaching 37% (vs 44% unconstrained) on this system"
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: plan the test of d695 with four reused Leon processors and
+//! print the schedule as a Gantt chart.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use noctest::core::{report, BudgetSpec, GreedyScheduler, Scheduler, SystemBuilder};
+use noctest::cpu::ProcessorProfile;
+use noctest::itc02::data;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Characterise the Leon BIST application on the SPARC V8 instruction-
+    // set simulator (the paper's step 2).
+    let leon = ProcessorProfile::leon().calibrated()?;
+    println!(
+        "leon BIST: {:.2} cycles/word generate, {:.2} cycles/word check",
+        leon.gen_cycles_per_word.unwrap_or(f64::NAN),
+        leon.sink_cycles_per_word.unwrap_or(f64::NAN)
+    );
+
+    // d695 plus six Leon cores on the paper's 4x4 mesh; reuse four of the
+    // processors; apply the paper's 50% power limit.
+    let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+        .processors(&leon, 6, 4)
+        .budget(BudgetSpec::Fraction(0.5))
+        .build()?;
+
+    let schedule = GreedyScheduler.schedule(&sys)?;
+    schedule.validate(&sys)?;
+
+    println!();
+    println!("{}", report::gantt(&sys, &schedule, 64));
+    println!(
+        "serial baseline would need {} cycles; reuse saves {:.1}%",
+        sys.serial_external_cycles(),
+        100.0 * (1.0 - schedule.makespan() as f64 / sys.serial_external_cycles() as f64)
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # noctest — test planning for NoC-based SoCs with processor reuse
+//!
+//! A reproduction of Amory, Lubaszewski, Moraes, Moreno, *"Test Time
+//! Reduction Reusing Multiple Processors in a Network-on-Chip Based
+//! Architecture"*, DATE 2005 — as a complete, tested Rust workspace.
+//!
+//! This facade crate re-exports the four library crates:
+//!
+//! * [`noc`] (`noctest-noc`) — a cycle-level wormhole mesh NoC simulator
+//!   with XY routing, credit flow control, and latency/power
+//!   characterisation (the paper's test access mechanism);
+//! * [`itc02`] (`noctest-itc02`) — ITC'02 SoC Test Benchmarks model,
+//!   `.soc` parser/writer, and the d695/p22810/p93791 instances;
+//! * [`cpu`] (`noctest-cpu`) — MIPS-I (Plasma) and SPARC V8 (Leon)
+//!   instruction-set simulators, assemblers, and the software-BIST kernels
+//!   whose measured cycle costs feed the planner;
+//! * [`core`] (`noctest-core`) — the paper's contribution: the
+//!   power-constrained test planner that reuses embedded processors as
+//!   test sources/sinks over the NoC.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noctest::core::{GreedyScheduler, Scheduler, SystemBuilder, BudgetSpec};
+//! use noctest::cpu::ProcessorProfile;
+//! use noctest::itc02::data;
+//!
+//! # fn main() -> Result<(), noctest::core::PlanError> {
+//! // d695 plus six Leon processors on a 4x4 mesh, four of them reused,
+//! // under the paper's 50% power limit.
+//! let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+//!     .processors(&ProcessorProfile::leon(), 6, 4)
+//!     .budget(BudgetSpec::Fraction(0.5))
+//!     .build()?;
+//! let schedule = GreedyScheduler.schedule(&sys)?;
+//! schedule.validate(&sys)?;
+//! assert!(schedule.makespan() > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and the
+//! `noctest-bench` crate for the binaries that regenerate every figure of
+//! the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use noctest_core as core;
+pub use noctest_cpu as cpu;
+pub use noctest_itc02 as itc02;
+pub use noctest_noc as noc;

@@ -1,0 +1,58 @@
+//! End-to-end cross-crate integration: benchmark data → `.soc` text →
+//! parser → system builder → scheduler → validated plan.
+
+use noctest::core::{BudgetSpec, GreedyScheduler, Scheduler, SystemBuilder};
+use noctest::cpu::ProcessorProfile;
+use noctest::itc02::{data, parse_soc, write_soc};
+
+#[test]
+fn every_benchmark_survives_the_full_pipeline() {
+    let profile = ProcessorProfile::plasma()
+        .calibrated()
+        .expect("ISS characterisation succeeds");
+    for (name, w, h, procs) in [
+        ("d695", 4u16, 4u16, 6usize),
+        ("p22810", 5, 6, 8),
+        ("p93791", 5, 5, 8),
+    ] {
+        // Round-trip the benchmark through its interchange format first,
+        // so the scheduled system is provably what the file describes.
+        let soc = data::by_name(name).expect("benchmark exists");
+        let text = write_soc(&soc);
+        let parsed = parse_soc(&text).expect("writer output parses");
+        assert_eq!(parsed, soc, "{name}: round-trip changed the model");
+
+        let sys = SystemBuilder::from_benchmark(&parsed, w, h)
+            .processors(&profile, procs, procs)
+            .budget(BudgetSpec::Fraction(0.5))
+            .build()
+            .expect("system builds");
+        assert_eq!(sys.cuts().len(), soc.cores().count() + procs);
+
+        let schedule = GreedyScheduler.schedule(&sys).expect("plans");
+        schedule.validate(&sys).expect("schedule is valid");
+        assert!(schedule.makespan() > 0);
+    }
+}
+
+#[test]
+fn embedded_d695_file_parses_directly() {
+    let soc = parse_soc(data::D695_SOC).expect("embedded file parses");
+    assert_eq!(soc.name(), "d695");
+    assert_eq!(soc.cores().count(), 10);
+    // The classic literature power values must be present.
+    let total: f64 = soc.total_test_power();
+    assert!((total - 6472.0).abs() < 1e-9, "d695 total power {total}");
+}
+
+#[test]
+fn benchmark_soc_files_can_be_regenerated() {
+    // A downstream user can export our stand-ins to .soc files and diff
+    // them against any original files they may still have.
+    for name in ["d695", "p22810", "p93791"] {
+        let soc = data::by_name(name).unwrap();
+        let text = write_soc(&soc);
+        assert!(text.starts_with(&format!("SocName {name}")));
+        assert!(text.contains("TotalModules"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based integration tests: every scheduler must produce a
+//! *valid* schedule (full coverage, exclusive interfaces, disjoint paths,
+//! power cap, processor precedence) for arbitrary randomly generated
+//! systems, not just the three benchmark instances.
+
+use proptest::prelude::*;
+
+use noctest::core::{
+    BudgetSpec, GreedyScheduler, OptimalScheduler, PriorityPolicy, Scheduler, SerialScheduler,
+    SmartScheduler, SystemBuilder, SystemUnderTest,
+};
+use noctest::cpu::ProcessorProfile;
+use noctest::noc::RoutingKind;
+
+#[derive(Debug, Clone)]
+struct RandomSystem {
+    width: u16,
+    height: u16,
+    cores: Vec<(u32, u32, u32, f64)>, // bits_in, bits_out, patterns, power
+    procs_total: usize,
+    procs_reused: usize,
+    budget: BudgetSpec,
+    routing: RoutingKind,
+    priority: PriorityPolicy,
+    plasma: bool,
+}
+
+fn arb_system() -> impl Strategy<Value = RandomSystem> {
+    (
+        2u16..=5,
+        2u16..=5,
+        prop::collection::vec(
+            (1u32..4000, 1u32..4000, 1u32..300, 10.0f64..1200.0),
+            1..20,
+        ),
+        0usize..=4,
+        prop_oneof![
+            Just(BudgetSpec::Unlimited),
+            (0.5f64..1.0).prop_map(BudgetSpec::Fraction),
+        ],
+        prop_oneof![
+            Just(RoutingKind::Xy),
+            Just(RoutingKind::Yx),
+            Just(RoutingKind::WestFirst)
+        ],
+        prop_oneof![
+            Just(PriorityPolicy::Distance),
+            Just(PriorityPolicy::VolumeDescending),
+            Just(PriorityPolicy::Index)
+        ],
+        any::<bool>(),
+        0usize..=4,
+    )
+        .prop_map(
+            |(width, height, cores, procs_total, budget, routing, priority, plasma, reused)| {
+                RandomSystem {
+                    width,
+                    height,
+                    cores,
+                    procs_total,
+                    procs_reused: reused.min(procs_total),
+                    budget,
+                    routing,
+                    priority,
+                    plasma,
+                }
+            },
+        )
+}
+
+fn build(spec: &RandomSystem) -> Option<SystemUnderTest> {
+    let profile = if spec.plasma {
+        ProcessorProfile::plasma()
+    } else {
+        ProcessorProfile::leon()
+    };
+    let mut b = SystemBuilder::new("random", spec.width, spec.height)
+        .routing(spec.routing)
+        .priority(spec.priority)
+        .budget(spec.budget);
+    for (i, &(bits_in, bits_out, patterns, power)) in spec.cores.iter().enumerate() {
+        b = b.core(format!("core{i}"), bits_in, bits_out, patterns, power);
+    }
+    if spec.procs_total > 0 {
+        b = b.processors(&profile, spec.procs_total, spec.procs_reused);
+    }
+    // Infeasible power or too-small meshes are legal generator outputs;
+    // they must be *rejected cleanly*, never panic.
+    b.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Greedy schedules of arbitrary systems always validate.
+    #[test]
+    fn greedy_always_produces_valid_schedules(spec in arb_system()) {
+        if let Some(sys) = build(&spec) {
+            let schedule = GreedyScheduler.schedule(&sys).expect("greedy plans");
+            schedule.validate(&sys).expect("greedy schedule is valid");
+            prop_assert!(schedule.makespan() > 0);
+        }
+    }
+
+    /// Smart schedules of arbitrary systems always validate.
+    #[test]
+    fn smart_always_produces_valid_schedules(spec in arb_system()) {
+        if let Some(sys) = build(&spec) {
+            let schedule = SmartScheduler.schedule(&sys).expect("smart plans");
+            schedule.validate(&sys).expect("smart schedule is valid");
+        }
+    }
+
+    /// The serial baseline is never better than exhaustive-parallel greedy
+    /// and both cover the same cores.
+    #[test]
+    fn serial_upper_bounds_greedy(spec in arb_system()) {
+        if let Some(sys) = build(&spec) {
+            let serial = SerialScheduler.schedule(&sys).expect("serial plans");
+            serial.validate(&sys).expect("serial schedule is valid");
+            let greedy = GreedyScheduler.schedule(&sys).expect("greedy plans");
+            prop_assert!(greedy.makespan() <= serial.makespan());
+            prop_assert_eq!(greedy.entries().len(), serial.entries().len());
+        }
+    }
+
+    /// On small systems the exact scheduler is ground truth: it validates,
+    /// and no heuristic ever beats it.
+    #[test]
+    fn optimal_lower_bounds_heuristics_on_small_systems(spec in arb_system()) {
+        let mut spec = spec;
+        spec.cores.truncate(5);
+        spec.procs_total = spec.procs_total.min(2);
+        spec.procs_reused = spec.procs_reused.min(spec.procs_total);
+        let Some(sys) = build(&spec) else { return Ok(()) };
+        let optimal = OptimalScheduler::new().schedule(&sys).expect("optimal plans");
+        optimal.validate(&sys).expect("optimal schedule is valid");
+        let greedy = GreedyScheduler.schedule(&sys).expect("greedy plans");
+        let smart = SmartScheduler.schedule(&sys).expect("smart plans");
+        prop_assert!(optimal.makespan() <= greedy.makespan());
+        prop_assert!(optimal.makespan() <= smart.makespan());
+        // No schedule can beat the longest single mandatory session.
+        let bound = sys
+            .cuts()
+            .iter()
+            .map(|c| {
+                sys.interface_ids()
+                    .map(|i| sys.session_cycles(i, c.id))
+                    .min()
+                    .unwrap()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(optimal.makespan() >= bound);
+    }
+
+    /// Reusing more processors never makes greedy catastrophically worse
+    /// than using none (a weak monotonicity envelope: the paper's own
+    /// results show local bumps, so only a 1.25x envelope is asserted).
+    #[test]
+    fn reuse_never_catastrophic(spec in arb_system()) {
+        if spec.procs_total == 0 {
+            return Ok(());
+        }
+        let none = RandomSystem { procs_reused: 0, ..spec.clone() };
+        let (Some(sys_none), Some(sys_some)) = (build(&none), build(&spec)) else {
+            return Ok(());
+        };
+        let t_none = GreedyScheduler.schedule(&sys_none).expect("plans").makespan();
+        let t_some = GreedyScheduler.schedule(&sys_some).expect("plans").makespan();
+        prop_assert!(
+            (t_some as f64) <= (t_none as f64) * 1.25,
+            "reuse exploded test time: {t_some} vs {t_none}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Integration test: the planner's analytic transport model must track the
+//! cycle-level wormhole simulator for stimulus streams across systems,
+//! cores and interfaces.
+
+use noctest_bench::{build_system, calibrated_profile, SystemId};
+use noctest::core::{replay_stimulus_stream, BudgetSpec, InterfaceId};
+
+#[test]
+fn analytic_model_tracks_simulation_across_systems() {
+    let profile = calibrated_profile("leon");
+    let mut checked = 0;
+    for id in SystemId::ALL {
+        let sys = build_system(id, &profile, 2, BudgetSpec::Unlimited).expect("system builds");
+        let mut cuts: Vec<_> = sys.cuts().iter().collect();
+        cuts.sort_by_key(|c| c.volume_bits());
+        // Smallest, median, largest core; external tester and processor 0.
+        for cut in [cuts[0], cuts[cuts.len() / 2], cuts[cuts.len() - 1]] {
+            for iface in [InterfaceId(0), InterfaceId(1)] {
+                let replay =
+                    replay_stimulus_stream(&sys, iface, cut.id, 12).expect("replay completes");
+                assert!(
+                    replay.relative_error() < 0.25,
+                    "{}/{}/iface{}: analytic {} vs simulated {} ({:.1}% error)",
+                    id.name(),
+                    cut.name,
+                    iface.0,
+                    replay.analytic_cycles,
+                    replay.simulated_cycles,
+                    replay.relative_error() * 100.0
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 18);
+}
+
+#[test]
+fn longer_streams_simulate_proportionally() {
+    let profile = calibrated_profile("leon");
+    let sys = build_system(SystemId::D695, &profile, 0, BudgetSpec::Unlimited)
+        .expect("system builds");
+    let big = sys
+        .cuts()
+        .iter()
+        .max_by_key(|c| c.volume_bits())
+        .expect("cores exist")
+        .id;
+    let r5 = replay_stimulus_stream(&sys, InterfaceId(0), big, 5).expect("replays");
+    let r10 = replay_stimulus_stream(&sys, InterfaceId(0), big, 10).expect("replays");
+    let ratio = r10.simulated_cycles as f64 / r5.simulated_cycles as f64;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "stream cost must scale near-linearly, got {ratio}"
+    );
+}
