@@ -1,17 +1,15 @@
-//! Criterion benches for the cycle-level NoC simulator: simulation
-//! throughput under random traffic, the characterisation pass, and a
-//! planned-stream replay (the costs behind `validate_model`).
+//! Benches for the cycle-level NoC simulator: simulation throughput under
+//! random traffic, the characterisation pass, and a planned-stream replay
+//! (the costs behind `validate_model`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use noctest_bench::{build_system, SystemId};
+use noctest_bench::{build_system, harness::Runner, SystemId};
 use noctest_core::{replay_stimulus_stream, BudgetSpec, InterfaceId};
-use noctest_cpu::ProcessorProfile;
 use noctest_noc::{characterize, Network, NocConfig, TrafficPattern, TrafficSpec};
 
-fn bench_random_traffic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noc_random_traffic");
-    group.sample_size(20);
+fn main() {
+    let mut runner = Runner::new(5);
+
+    println!("# random traffic: inject + drain on growing meshes");
     for (w, h) in [(4u16, 4u16), (5, 6), (8, 8)] {
         let config = NocConfig::builder(w, h).build().expect("valid config");
         let spec = TrafficSpec {
@@ -21,61 +19,35 @@ fn bench_random_traffic(c: &mut Criterion) {
             seed: 7,
         };
         let packets = spec.generate(config.mesh());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{w}x{h}")),
-            &(config, packets),
-            |b, (config, packets)| {
-                b.iter(|| {
-                    let mut net = Network::new(config.clone()).expect("network builds");
-                    for p in packets {
-                        net.inject(p.clone()).expect("injects");
-                    }
-                    net.run_until_idle(10_000_000).expect("drains")
-                });
-            },
-        );
+        runner.case(format!("noc_random_traffic/{w}x{h}"), || {
+            let mut net = Network::new(config.clone()).expect("network builds");
+            for p in &packets {
+                net.inject(p.clone()).expect("injects");
+            }
+            net.run_until_idle(10_000_000).expect("drains").len()
+        });
     }
-    group.finish();
-}
 
-fn bench_characterization(c: &mut Criterion) {
+    println!("# characterisation pass (what the planner consumes)");
     let config = NocConfig::builder(4, 4).build().expect("valid config");
     let spec = TrafficSpec {
         packets: 128,
         ..TrafficSpec::default()
     };
-    let mut group = c.benchmark_group("noc_characterize");
-    group.sample_size(10);
-    group.bench_function("4x4", |b| {
-        b.iter(|| characterize(&config, &spec).expect("characterises"));
+    runner.case("noc_characterize/4x4", || {
+        characterize(&config, &spec).expect("characterises")
     });
-    group.finish();
-}
 
-fn bench_stream_replay(c: &mut Criterion) {
-    let profile = ProcessorProfile::leon()
-        .calibrated()
-        .expect("ISS characterisation succeeds");
-    let sys = build_system(SystemId::D695, &profile, 2, BudgetSpec::Unlimited)
-        .expect("system builds");
+    println!("# stimulus-stream replay through the planner's paths");
+    let sys =
+        build_system(SystemId::D695, "leon", 2, BudgetSpec::Unlimited).expect("system builds");
     let big = sys
         .cuts()
         .iter()
         .max_by_key(|c| c.volume_bits())
         .expect("cores exist")
         .id;
-    let mut group = c.benchmark_group("stream_replay");
-    group.sample_size(10);
-    group.bench_function("d695_biggest_core_16pat", |b| {
-        b.iter(|| replay_stimulus_stream(&sys, InterfaceId(0), big, 16).expect("replays"));
+    runner.case("stream_replay/d695_biggest_core_16pat", || {
+        replay_stimulus_stream(&sys, InterfaceId(0), big, 16).expect("replays")
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_random_traffic,
-    bench_characterization,
-    bench_stream_replay
-);
-criterion_main!(benches);

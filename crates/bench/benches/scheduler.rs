@@ -1,63 +1,44 @@
-//! Criterion benches for the planner itself: how long does it take to
-//! plan the test of each Figure-1 system (the paper's tool runs this once
-//! per design iteration, so planning cost matters for DSE loops).
+//! Benches for the planner itself: how long does it take to plan the test
+//! of each Figure-1 system (the paper's tool runs this once per design
+//! iteration, so planning cost matters for DSE loops), plus the cost of a
+//! full Campaign batch over the Figure-1 matrix.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noctest_bench::{build_system, figure1_requests, harness::Runner, SystemId};
+use noctest_core::plan::Campaign;
+use noctest_core::BudgetSpec;
 
-use noctest_bench::{build_system, SystemId};
-use noctest_core::{BudgetSpec, GreedyScheduler, Scheduler, SerialScheduler, SmartScheduler};
-use noctest_cpu::ProcessorProfile;
+fn main() {
+    let mut runner = Runner::new(7);
+    let campaign = Campaign::new();
 
-fn bench_schedulers(c: &mut Criterion) {
-    let profile = ProcessorProfile::leon()
-        .calibrated()
-        .expect("ISS characterisation succeeds");
-    let mut group = c.benchmark_group("schedule");
-    group.sample_size(20);
+    println!("# schedule: one planning run per scheduler and system");
     for id in SystemId::ALL {
-        let sys = build_system(id, &profile, id.processors(), BudgetSpec::Fraction(0.5))
+        let sys = build_system(id, "leon", id.processors(), BudgetSpec::Fraction(0.5))
             .expect("system builds");
-        group.bench_with_input(BenchmarkId::new("greedy", id.name()), &sys, |b, sys| {
-            b.iter(|| GreedyScheduler.schedule(sys).expect("schedules"));
-        });
-        group.bench_with_input(BenchmarkId::new("smart", id.name()), &sys, |b, sys| {
-            b.iter(|| SmartScheduler.schedule(sys).expect("schedules"));
-        });
-        group.bench_with_input(BenchmarkId::new("serial", id.name()), &sys, |b, sys| {
-            b.iter(|| SerialScheduler.schedule(sys).expect("schedules"));
-        });
-    }
-    group.finish();
-}
-
-fn bench_system_build(c: &mut Criterion) {
-    let profile = ProcessorProfile::leon()
-        .calibrated()
-        .expect("ISS characterisation succeeds");
-    let mut group = c.benchmark_group("build_system");
-    group.sample_size(20);
-    for id in SystemId::ALL {
-        group.bench_function(id.name(), |b| {
-            b.iter(|| {
-                build_system(id, &profile, id.processors(), BudgetSpec::Fraction(0.5))
-                    .expect("system builds")
+        for name in ["greedy", "smart", "serial"] {
+            let scheduler = campaign.registry().get(name).expect("registered");
+            runner.case(format!("schedule/{name}/{}", id.name()), || {
+                scheduler.schedule(&sys).expect("schedules")
             });
+        }
+    }
+
+    println!("# validate: full invariant re-check");
+    for id in SystemId::ALL {
+        let sys = build_system(id, "leon", id.processors(), BudgetSpec::Fraction(0.5))
+            .expect("system builds");
+        let greedy = campaign.registry().get("greedy").expect("registered");
+        let schedule = greedy.schedule(&sys).expect("schedules");
+        runner.case(format!("validate/{}", id.name()), || {
+            schedule.validate(&sys).expect("valid")
         });
     }
-    group.finish();
-}
 
-fn bench_validation(c: &mut Criterion) {
-    let profile = ProcessorProfile::leon()
-        .calibrated()
-        .expect("ISS characterisation succeeds");
-    let sys = build_system(SystemId::P93791, &profile, 8, BudgetSpec::Fraction(0.5))
-        .expect("system builds");
-    let schedule = GreedyScheduler.schedule(&sys).expect("schedules");
-    c.bench_function("validate/p93791", |b| {
-        b.iter(|| schedule.validate(&sys).expect("valid"));
+    println!("# campaign: the whole d695 Figure-1 panel as one batch");
+    let requests = figure1_requests(SystemId::D695, "leon", "greedy");
+    runner.case("campaign/d695-panel(8 requests)", || {
+        let results = campaign.run_all(&requests);
+        assert!(results.iter().all(Result::is_ok));
+        results.len()
     });
 }
-
-criterion_group!(benches, bench_schedulers, bench_system_build, bench_validation);
-criterion_main!(benches);

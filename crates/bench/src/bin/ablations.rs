@@ -1,4 +1,5 @@
-//! Ablation studies for the design choices called out in `DESIGN.md`:
+//! Ablation studies for the design choices called out in `DESIGN.md`,
+//! every one of them a `PlanRequest` matrix run by a `Campaign`:
 //!
 //! 1. **Scheduler**: the paper's greedy (first-available-interface) vs. the
 //!    lookahead "smart" policy vs. the external-only serial baseline.
@@ -16,19 +17,31 @@
 //! 8. **Optimality gap**: greedy and smart vs. the exact branch-and-bound
 //!    scheduler on down-scaled systems (the exact search is exponential).
 //!
-//! Each table reports the greedy makespan for the full-reuse configuration
-//! of every system (6 or 8 processors, no power limit) unless stated.
+//! Each table reports makespans for the full-reuse configuration of every
+//! system (6 or 8 processors, no power limit) unless stated.
 
-use noctest_bench::{build_system, calibrated_profile, SystemId};
-use noctest_core::{
-    BudgetSpec, GenerationModel, GreedyScheduler, OptimalScheduler, PriorityPolicy, Scheduler,
-    SerialScheduler, SmartScheduler, SystemBuilder, TimingModel,
+use noctest_bench::SystemId;
+use noctest_core::plan::{
+    ApplicationSpec, Campaign, CoreRequest, PlanRequest, RequestMatrix, SocSource,
 };
+use noctest_core::{BudgetSpec, GenerationModel, PriorityPolicy};
 use noctest_cpu::decompress;
 use noctest_noc::RoutingKind;
 
+/// Full-reuse base request for a system (no power limit, greedy).
+fn full_reuse(id: SystemId) -> PlanRequest {
+    id.request("leon", id.processors(), BudgetSpec::Unlimited)
+}
+
+fn makespan(campaign: &Campaign, request: &PlanRequest) -> u64 {
+    campaign
+        .run(request)
+        .unwrap_or_else(|e| panic!("{} fails: {e}", request.name))
+        .makespan
+}
+
 fn main() {
-    let profile = calibrated_profile("leon");
+    let campaign = Campaign::new();
 
     println!("== ablation 1: scheduler (no power limit) ==");
     println!(
@@ -37,12 +50,21 @@ fn main() {
     );
     for id in SystemId::ALL {
         for reused in id.sweep() {
-            let sys = build_system(id, &profile, reused, BudgetSpec::Unlimited)
-                .expect("system builds");
-            let serial = SerialScheduler.schedule(&sys).expect("serial").makespan();
-            let greedy = GreedyScheduler.schedule(&sys).expect("greedy").makespan();
-            let smart = SmartScheduler.schedule(&sys).expect("smart").makespan();
-            println!("{:>8} {reused:>6} {serial:>12} {greedy:>12} {smart:>12}", id.name());
+            let matrix = RequestMatrix::new(id.request("leon", reused, BudgetSpec::Unlimited))
+                .vary_scheduler(&["serial", "greedy", "smart"])
+                .build();
+            let times: Vec<u64> = campaign
+                .run_all(&matrix)
+                .into_iter()
+                .map(|r| r.expect("schedules").makespan)
+                .collect();
+            println!(
+                "{:>8} {reused:>6} {:>12} {:>12} {:>12}",
+                id.name(),
+                times[0],
+                times[1],
+                times[2]
+            );
         }
     }
 
@@ -53,67 +75,57 @@ fn main() {
         "system", "paper-flat-10cy", "iss-calibrated", "ratio"
     );
     for id in SystemId::ALL {
-        let (w, h) = id.mesh();
-        let mut makespans = Vec::new();
-        for generation in [GenerationModel::PaperFlat, GenerationModel::Calibrated] {
-            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
-                .processors(&profile, id.processors(), id.processors())
-                .timing(TimingModel {
-                    generation,
-                    ..TimingModel::default()
-                })
-                .build()
-                .expect("system builds");
-            makespans.push(GreedyScheduler.schedule(&sys).expect("greedy").makespan());
-        }
+        let matrix = RequestMatrix::new(full_reuse(id))
+            .vary_with(
+                &[GenerationModel::PaperFlat, GenerationModel::Calibrated],
+                |r, &model| r.timing.generation = Some(model),
+            )
+            .build();
+        let times: Vec<u64> = matrix.iter().map(|r| makespan(&campaign, r)).collect();
         println!(
             "{:>8} {:>16} {:>16} {:>8.2}",
             id.name(),
-            makespans[0],
-            makespans[1],
-            makespans[1] as f64 / makespans[0] as f64
+            times[0],
+            times[1],
+            times[1] as f64 / times[0] as f64
         );
     }
 
     println!();
     println!("== ablation 3: flit width (full reuse, greedy) ==");
-    println!("{:>8} {:>10} {:>10} {:>10}", "system", "8-bit", "16-bit", "32-bit");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "system", "8-bit", "16-bit", "32-bit"
+    );
     for id in SystemId::ALL {
-        let (w, h) = id.mesh();
+        let matrix = RequestMatrix::new(full_reuse(id))
+            .vary_with(&[8u32, 16, 32], |r, &bits| {
+                r.timing.flit_width_bits = Some(bits);
+            })
+            .build();
         let mut row = format!("{:>8}", id.name());
-        for flit_width_bits in [8u32, 16, 32] {
-            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
-                .processors(&profile, id.processors(), id.processors())
-                .timing(TimingModel {
-                    flit_width_bits,
-                    ..TimingModel::default()
-                })
-                .build()
-                .expect("system builds");
-            row += &format!(
-                " {:>10}",
-                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
-            );
+        for request in &matrix {
+            row += &format!(" {:>10}", makespan(&campaign, request));
         }
         println!("{row}");
     }
 
     println!();
     println!("== ablation 4: routing algorithm (full reuse, greedy) ==");
-    println!("{:>8} {:>10} {:>10} {:>12}", "system", "xy", "yx", "west-first");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "system", "xy", "yx", "west-first"
+    );
     for id in SystemId::ALL {
-        let (w, h) = id.mesh();
+        let matrix = RequestMatrix::new(full_reuse(id))
+            .vary_with(
+                &[RoutingKind::Xy, RoutingKind::Yx, RoutingKind::WestFirst],
+                |r, &routing| r.mesh.routing = routing,
+            )
+            .build();
         let mut row = format!("{:>8}", id.name());
-        for routing in [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::WestFirst] {
-            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
-                .processors(&profile, id.processors(), id.processors())
-                .routing(routing)
-                .build()
-                .expect("system builds");
-            row += &format!(
-                " {:>10}",
-                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
-            );
+        for request in &matrix {
+            row += &format!(" {:>10}", makespan(&campaign, request));
         }
         println!("{row}");
     }
@@ -125,22 +137,19 @@ fn main() {
         "system", "distance", "volume-desc", "index"
     );
     for id in SystemId::ALL {
-        let (w, h) = id.mesh();
+        let matrix = RequestMatrix::new(full_reuse(id))
+            .vary_with(
+                &[
+                    PriorityPolicy::Distance,
+                    PriorityPolicy::VolumeDescending,
+                    PriorityPolicy::Index,
+                ],
+                |r, &priority| r.priority = priority,
+            )
+            .build();
         let mut row = format!("{:>8}", id.name());
-        for priority in [
-            PriorityPolicy::Distance,
-            PriorityPolicy::VolumeDescending,
-            PriorityPolicy::Index,
-        ] {
-            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
-                .processors(&profile, id.processors(), id.processors())
-                .priority(priority)
-                .build()
-                .expect("system builds");
-            row += &format!(
-                " {:>10}",
-                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
-            );
+        for request in &matrix {
+            row += &format!(" {:>10}", makespan(&campaign, request));
         }
         println!("{row}");
     }
@@ -153,29 +162,22 @@ fn main() {
         "system", "bist", "decomp d=0.02", "decomp d=0.10", "decomp d=0.50"
     );
     for id in SystemId::ALL {
-        let (w, h) = id.mesh();
+        let matrix = RequestMatrix::new(full_reuse(id))
+            .vary_with(&[0.0f64, 0.02, 0.10, 0.50], |r, &density| {
+                let spec = r.processors.as_mut().expect("base has processors");
+                spec.application = if density == 0.0 {
+                    ApplicationSpec::Bist
+                } else {
+                    ApplicationSpec::Decompression {
+                        care_density: density,
+                    }
+                };
+            })
+            .build();
         let mut row = format!("{:>8}", id.name());
-        let bist_sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
-            .processors(&profile, id.processors(), id.processors())
-            .build()
-            .expect("system builds");
-        row += &format!(
-            " {:>10}",
-            GreedyScheduler.schedule(&bist_sys).expect("greedy").makespan()
-        );
-        for density in [0.02, 0.10, 0.50] {
-            let decomp_profile = profile
-                .clone()
-                .calibrated_decompression(density)
-                .expect("ISS decompression characterisation succeeds");
-            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
-                .processors(&decomp_profile, id.processors(), id.processors())
-                .build()
-                .expect("system builds");
-            row += &format!(
-                " {:>16}",
-                GreedyScheduler.schedule(&sys).expect("greedy").makespan()
-            );
+        for (i, request) in matrix.iter().enumerate() {
+            let w = if i == 0 { 10 } else { 16 };
+            row += &format!(" {:>w$}", makespan(&campaign, request));
         }
         println!("{row}");
     }
@@ -194,30 +196,25 @@ fn main() {
 
     println!();
     println!("== ablation 7: wrapper shift bound (full reuse, greedy) ==");
-    println!("{:>8} {:>16} {:>16} {:>8}", "system", "transport-only", "wrapper-bounded", "delta");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "system", "transport-only", "wrapper-bounded", "delta"
+    );
     for id in SystemId::ALL {
-        let (w, h) = id.mesh();
-        let mut makespans = Vec::new();
-        for wrapper_shift in [false, true] {
-            let sys = SystemBuilder::from_benchmark(&id.soc(), w, h)
-                .processors(&profile, id.processors(), id.processors())
-                .timing(TimingModel {
-                    wrapper_shift,
-                    ..TimingModel::default()
-                })
-                .build()
-                .expect("system builds");
-            makespans.push(GreedyScheduler.schedule(&sys).expect("greedy").makespan());
-        }
+        let matrix = RequestMatrix::new(full_reuse(id))
+            .vary_with(&[false, true], |r, &bound| {
+                r.timing.wrapper_shift = Some(bound);
+            })
+            .build();
+        let times: Vec<u64> = matrix.iter().map(|r| makespan(&campaign, r)).collect();
         println!(
             "{:>8} {:>16} {:>16} {:>7.2}%",
             id.name(),
-            makespans[0],
-            makespans[1],
-            100.0 * (makespans[1] as f64 / makespans[0] as f64 - 1.0)
+            times[0],
+            times[1],
+            100.0 * (times[1] as f64 / times[0] as f64 - 1.0)
         );
     }
-
 
     println!();
     println!("== ablation 8: optimality gap (down-scaled systems, exact B&B) ==");
@@ -241,20 +238,26 @@ fn main() {
             ],
         ),
     ] {
-        let mut b = SystemBuilder::new(label, 3, 3);
-        for (i, &(bi, bo, p)) in sizes.iter().enumerate() {
-            b = b.core(format!("c{i}"), bi, bo, p, 100.0 + 50.0 * i as f64);
-        }
-        let sys = b
-            .processors(&profile, 2, 2)
-            .build()
-            .expect("system builds");
-        let optimal = OptimalScheduler::new()
-            .schedule(&sys)
-            .expect("optimal plans")
-            .makespan();
-        let greedy = GreedyScheduler.schedule(&sys).expect("greedy").makespan();
-        let smart = SmartScheduler.schedule(&sys).expect("smart").makespan();
+        let mut base = PlanRequest::benchmark(label, 3, 3).with_processors("leon", 2, 2);
+        base.soc = SocSource::Cores {
+            name: label.to_owned(),
+            cores: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &(bits_in, bits_out, patterns))| CoreRequest {
+                    name: format!("c{i}"),
+                    bits_in,
+                    bits_out,
+                    patterns,
+                    power: 100.0 + 50.0 * i as f64,
+                })
+                .collect(),
+        };
+        let matrix = RequestMatrix::new(base)
+            .vary_scheduler(&["optimal", "greedy", "smart"])
+            .build();
+        let times: Vec<u64> = matrix.iter().map(|r| makespan(&campaign, r)).collect();
+        let (optimal, greedy, smart) = (times[0], times[1], times[2]);
         println!(
             "{label:>16} {optimal:>10} {greedy:>10} {smart:>10} {:>8.1}% {:>8.1}%",
             100.0 * (greedy as f64 / optimal as f64 - 1.0),

@@ -42,7 +42,10 @@ fn main() {
     println!();
     println!("== Processor characterisation (paper section 2, step 2) ==");
     println!("paper's assumption: 10 clock cycles to generate a test pattern");
-    for (name, isa) in [("plasma (MIPS-I)", Isa::MipsI), ("leon (SPARC V8)", Isa::SparcV8)] {
+    for (name, isa) in [
+        ("plasma (MIPS-I)", Isa::MipsI),
+        ("leon (SPARC V8)", Isa::SparcV8),
+    ] {
         let gen = cpu_char::measure(isa, 4096).expect("ISS run succeeds");
         let sink = cpu_char::measure_sink(isa, 4096).expect("ISS run succeeds");
         println!(
@@ -62,7 +65,10 @@ fn main() {
             noctest_cpu::decompress::run_mips_decompress
                 as fn(&[u32]) -> Result<noctest_cpu::decompress::DecompressRun, _>,
         ),
-        ("leon (SPARC V8)", noctest_cpu::decompress::run_sparc_decompress),
+        (
+            "leon (SPARC V8)",
+            noctest_cpu::decompress::run_sparc_decompress,
+        ),
     ] {
         for density in [0.02, 0.10, 0.50] {
             let data = noctest_cpu::decompress::synthetic_test_words(4096, density, 0x5EED);

@@ -1,21 +1,25 @@
 //! Regenerates Figure 1 of the paper: test time vs. number of reused
 //! processors for d695/p22810/p93791 with Leon and Plasma processors, with
-//! and without the 50 % power limit.
+//! and without the 50 % power limit. The whole figure is one request
+//! matrix executed by a `Campaign`.
 //!
 //! ```text
-//! cargo run -p noctest-bench --bin figure1 [-- --system d695 --proc leon --csv out.csv --summary]
+//! cargo run -p noctest-bench --bin figure1 [-- --system d695 --proc leon \
+//!     --scheduler greedy --csv out.csv --json out.json --summary]
 //! ```
 
 use std::process::ExitCode;
 
-use noctest_bench::{
-    ascii_panel, calibrated_profile, csv_panels, figure1_panel_greedy, Figure1Panel, SystemId,
-};
+use noctest_bench::{ascii_panel, csv_panels, figure1_panel, Figure1Panel, SystemId};
+use noctest_core::json::Json;
+use noctest_core::plan::Campaign;
 
 struct Args {
     systems: Vec<SystemId>,
     processors: Vec<String>,
+    scheduler: String,
     csv: Option<String>,
+    json: Option<String>,
     summary: bool,
 }
 
@@ -23,7 +27,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         systems: SystemId::ALL.to_vec(),
         processors: vec!["leon".to_owned(), "plasma".to_owned()],
+        scheduler: "greedy".to_owned(),
         csv: None,
+        json: None,
         summary: false,
     };
     let mut it = std::env::args().skip(1);
@@ -34,8 +40,9 @@ fn parse_args() -> Result<Args, String> {
                 if v == "all" {
                     args.systems = SystemId::ALL.to_vec();
                 } else {
-                    args.systems = vec![SystemId::from_name(&v)
-                        .ok_or_else(|| format!("unknown system `{v}`"))?];
+                    args.systems =
+                        vec![SystemId::from_name(&v)
+                            .ok_or_else(|| format!("unknown system `{v}`"))?];
                 }
             }
             "--proc" => {
@@ -48,12 +55,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("unknown processor family `{v}`"));
                 }
             }
+            "--scheduler" => args.scheduler = it.next().ok_or("--scheduler needs a name")?,
             "--csv" => args.csv = Some(it.next().ok_or("--csv needs a path")?),
+            "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--summary" => args.summary = true,
             "--help" | "-h" => {
                 println!(
                     "usage: figure1 [--system d695|p22810|p93791|all] \
-                     [--proc leon|plasma|both] [--csv PATH] [--summary]"
+                     [--proc leon|plasma|both] [--scheduler NAME] \
+                     [--csv PATH] [--json PATH] [--summary]"
                 );
                 std::process::exit(0);
             }
@@ -72,27 +82,20 @@ fn main() -> ExitCode {
         }
     };
 
+    let campaign = Campaign::new();
     let mut panels: Vec<Figure1Panel> = Vec::new();
-    for proc_name in &args.processors {
-        let profile = calibrated_profile(proc_name);
-        println!(
-            "processor {}: {:.2} cycles/word generate, {:.2} cycles/word check",
-            proc_name,
-            profile.gen_cycles_per_word.unwrap_or(f64::NAN),
-            profile.sink_cycles_per_word.unwrap_or(f64::NAN),
-        );
+    for family in &args.processors {
         for &id in &args.systems {
-            match figure1_panel_greedy(id, &profile) {
+            match figure1_panel(&campaign, id, family, &args.scheduler) {
                 Ok(panel) => panels.push(panel),
                 Err(e) => {
-                    eprintln!("error: {}/{proc_name}: {e}", id.name());
+                    eprintln!("error: {}/{family}: {e}", id.name());
                     return ExitCode::FAILURE;
                 }
             }
         }
     }
 
-    println!();
     for panel in &panels {
         println!("{}", ascii_panel(panel));
     }
@@ -117,6 +120,41 @@ fn main() -> ExitCode {
     if let Some(path) = &args.csv {
         let csv = csv_panels(&panels);
         if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.json {
+        let doc = Json::Arr(
+            panels
+                .iter()
+                .map(|panel| {
+                    Json::obj(vec![
+                        ("system", Json::str(panel.system)),
+                        ("processor", Json::str(&panel.processor)),
+                        (
+                            "points",
+                            Json::Arr(
+                                panel
+                                    .points
+                                    .iter()
+                                    .map(|p| {
+                                        Json::obj(vec![
+                                            ("reused", Json::int(p.reused as u64)),
+                                            ("no_limit", Json::int(p.no_limit)),
+                                            ("limited_50", Json::int(p.limited_50)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
             eprintln!("error: writing {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -3,7 +3,7 @@
 //! of (system, core, interface) sessions flit by flit and reports the
 //! analytic prediction, the simulated cycle count, and the relative error.
 
-use noctest_bench::{build_system, calibrated_profile, SystemId};
+use noctest_bench::{build_system, SystemId};
 use noctest_core::{replay_stimulus_stream, BudgetSpec, InterfaceId};
 
 fn main() {
@@ -12,18 +12,17 @@ fn main() {
         "{:>8} {:>12} {:>6} {:>9} {:>10} {:>10} {:>7}",
         "system", "core", "iface", "packets", "analytic", "simulated", "error"
     );
-    let profile = calibrated_profile("leon");
     let mut worst: f64 = 0.0;
     for id in SystemId::ALL {
-        let sys = build_system(id, &profile, 2, BudgetSpec::Unlimited).expect("system builds");
+        let sys = build_system(id, "leon", 2, BudgetSpec::Unlimited).expect("system builds");
         // Sample: smallest, median and largest benchmark core by volume.
         let mut cuts: Vec<_> = sys.cuts().iter().collect();
         cuts.sort_by_key(|c| c.volume_bits());
         let samples = [cuts[0], cuts[cuts.len() / 2], cuts[cuts.len() - 1]];
         for cut in samples {
             for iface in [InterfaceId(0), InterfaceId(1)] {
-                let replay = replay_stimulus_stream(&sys, iface, cut.id, 16)
-                    .expect("replay completes");
+                let replay =
+                    replay_stimulus_stream(&sys, iface, cut.id, 16).expect("replay completes");
                 let err = replay.relative_error();
                 worst = worst.max(err);
                 println!(

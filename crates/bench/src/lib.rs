@@ -2,26 +2,29 @@
 //!
 //! Regenerates every experimental result of the DATE'05 paper (Figure 1's
 //! six panels and the headline reduction claims) plus the ablations listed
-//! in `DESIGN.md`. The binaries:
+//! in `DESIGN.md`, all expressed as [`PlanRequest`] matrices executed by a
+//! [`Campaign`] — no hand-wired builder/scheduler plumbing. The binaries:
 //!
 //! * `figure1` — the test-time sweeps (systems × processor families ×
-//!   processor counts × power settings), as CSV and ASCII bar charts;
+//!   processor counts × power settings), as CSV, JSON and ASCII bar charts;
 //! * `characterize` — the paper's Section-2 characterisation tables
 //!   (NoC latency/power fit, processor cycles-per-pattern measurements);
 //! * `validate_model` — analytic-vs-simulated transport cross-check;
 //! * `ablations` — scheduler/routing/flit-width/generation-model studies.
 //!
 //! This library hosts the shared experiment definitions so integration
-//! tests, examples and binaries agree on the exact Figure-1 configuration.
+//! tests, examples and binaries agree on the exact Figure-1 configuration,
+//! plus a tiny wall-clock [`harness`] for the dependency-free benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::fmt::Write as _;
 
-use noctest_core::{
-    BudgetSpec, GreedyScheduler, PlanError, Scheduler, SystemBuilder, SystemUnderTest,
-};
+use noctest_core::plan::{Campaign, CampaignError, PlanRequest, RequestMatrix};
+use noctest_core::{BudgetSpec, SystemUnderTest};
 use noctest_cpu::ProcessorProfile;
 use noctest_itc02::{data, SocDesc};
 
@@ -94,24 +97,32 @@ impl SystemId {
     pub fn soc(self) -> SocDesc {
         data::by_name(self.name()).expect("benchmark exists")
     }
+
+    /// The base [`PlanRequest`] for this system: paper mesh, full
+    /// processor complement of `family` with `reused` of them reused,
+    /// greedy scheduler.
+    #[must_use]
+    pub fn request(self, family: &str, reused: usize, budget: BudgetSpec) -> PlanRequest {
+        let (w, h) = self.mesh();
+        PlanRequest::benchmark(self.name(), w, h)
+            .with_processors(family, self.processors(), reused)
+            .with_budget(budget)
+    }
 }
 
-/// Builds the exact Figure-1 system for a sweep point.
+/// Builds the exact Figure-1 system for a sweep point (via the request
+/// pipeline — this is what the replay/validation tools feed on).
 ///
 /// # Errors
 ///
-/// Propagates [`PlanError`] from the system builder.
+/// Propagates [`CampaignError`] from request resolution.
 pub fn build_system(
     id: SystemId,
-    profile: &ProcessorProfile,
+    family: &str,
     reused: usize,
     budget: BudgetSpec,
-) -> Result<SystemUnderTest, PlanError> {
-    let (w, h) = id.mesh();
-    SystemBuilder::from_benchmark(&id.soc(), w, h)
-        .processors(profile, id.processors(), reused)
-        .budget(budget)
-        .build()
+) -> Result<SystemUnderTest, CampaignError> {
+    id.request(family, reused, budget).build_system()
 }
 
 /// One sweep point of a Figure-1 panel.
@@ -170,40 +181,49 @@ fn reduction_percent<I: Iterator<Item = u64>>(first: Option<&Figure1Point>, seri
     100.0 * (1.0 - best as f64 / base as f64)
 }
 
-/// Computes one Figure-1 panel with the given scheduler (the paper's
-/// greedy by default; pass another for ablations).
+/// The Figure-1 request matrix for one panel: the reuse sweep crossed
+/// with the two power settings, under the named scheduler.
+#[must_use]
+pub fn figure1_requests(id: SystemId, family: &str, scheduler: &str) -> Vec<PlanRequest> {
+    RequestMatrix::new(
+        id.request(family, 0, BudgetSpec::Unlimited)
+            .with_scheduler(scheduler),
+    )
+    .vary_reused(&id.sweep())
+    .vary_budget(&[BudgetSpec::Unlimited, BudgetSpec::Fraction(0.5)])
+    .build()
+}
+
+/// Computes one Figure-1 panel by running the request matrix through
+/// `campaign` with the named scheduler.
 ///
 /// # Errors
 ///
-/// Propagates [`PlanError`] from system building or scheduling.
+/// Propagates the first [`CampaignError`] of the batch.
 pub fn figure1_panel(
+    campaign: &Campaign,
     id: SystemId,
-    profile: &ProcessorProfile,
-    scheduler: &dyn Scheduler,
-) -> Result<Figure1Panel, PlanError> {
-    let mut points = Vec::new();
-    for reused in id.sweep() {
-        let no_limit = {
-            let sys = build_system(id, profile, reused, BudgetSpec::Unlimited)?;
-            let schedule = scheduler.schedule(&sys)?;
-            schedule.validate(&sys)?;
-            schedule.makespan()
-        };
-        let limited_50 = {
-            let sys = build_system(id, profile, reused, BudgetSpec::Fraction(0.5))?;
-            let schedule = scheduler.schedule(&sys)?;
-            schedule.validate(&sys)?;
-            schedule.makespan()
-        };
+    family: &str,
+    scheduler: &str,
+) -> Result<Figure1Panel, CampaignError> {
+    let requests = figure1_requests(id, family, scheduler);
+    let results = campaign.run_all(&requests);
+    // The matrix is reuse-major, budget-minor: [r0/none, r0/50%, r1/none, ...].
+    let mut points = Vec::with_capacity(id.sweep().len());
+    let mut outcomes = Vec::with_capacity(results.len());
+    for result in results {
+        outcomes.push(result?);
+    }
+    for (reused, pair) in id.sweep().into_iter().zip(outcomes.chunks(2)) {
         points.push(Figure1Point {
             reused,
-            no_limit,
-            limited_50,
+            no_limit: pair[0].makespan,
+            limited_50: pair[1].makespan,
         });
     }
     Ok(Figure1Panel {
         system: id.name(),
-        processor: profile.name.clone(),
+        processor: family.to_owned(),
         points,
     })
 }
@@ -213,14 +233,12 @@ pub fn figure1_panel(
 /// # Errors
 ///
 /// See [`figure1_panel`].
-pub fn figure1_panel_greedy(
-    id: SystemId,
-    profile: &ProcessorProfile,
-) -> Result<Figure1Panel, PlanError> {
-    figure1_panel(id, profile, &GreedyScheduler)
+pub fn figure1_panel_greedy(id: SystemId, family: &str) -> Result<Figure1Panel, CampaignError> {
+    figure1_panel(&Campaign::new(), id, family, "greedy")
 }
 
-/// The calibrated processor profile for a family name ("leon"/"plasma").
+/// The calibrated processor profile for a family name ("leon"/"plasma") —
+/// used by the characterisation tools that need raw profile numbers.
 ///
 /// # Panics
 ///
@@ -329,6 +347,17 @@ mod tests {
     }
 
     #[test]
+    fn figure1_matrix_shape() {
+        let requests = figure1_requests(SystemId::D695, "leon", "greedy");
+        assert_eq!(requests.len(), 8); // 4 sweep points x 2 budgets
+        assert!(requests.iter().all(|r| r.scheduler == "greedy"));
+        assert_eq!(requests[0].processors.as_ref().unwrap().reused, 0);
+        assert_eq!(requests[0].budget, BudgetSpec::Unlimited);
+        assert_eq!(requests[1].budget, BudgetSpec::Fraction(0.5));
+        assert_eq!(requests[7].processors.as_ref().unwrap().reused, 6);
+    }
+
+    #[test]
     fn panel_math() {
         let panel = Figure1Panel {
             system: "d695",
@@ -386,8 +415,7 @@ mod tests {
     fn d695_panel_reproduces_headline_claim() {
         // Full pipeline smoke test on the smallest system: the reduction
         // must be positive and in the paper's neighbourhood.
-        let profile = calibrated_profile("leon");
-        let panel = figure1_panel_greedy(SystemId::D695, &profile).unwrap();
+        let panel = figure1_panel_greedy(SystemId::D695, "leon").unwrap();
         assert_eq!(panel.points.len(), 4);
         let r = panel.best_reduction_percent();
         assert!((15.0..50.0).contains(&r), "d695 reduction {r}%");

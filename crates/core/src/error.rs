@@ -54,7 +54,10 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::MeshTooSmall { nodes, required } => {
-                write!(f, "mesh with {nodes} nodes cannot place {required} entities")
+                write!(
+                    f,
+                    "mesh with {nodes} nodes cannot place {required} entities"
+                )
             }
             PlanError::MissingPower { cut } => {
                 write!(f, "core {cut} lacks a power annotation under a power limit")
@@ -68,7 +71,10 @@ impl fmt::Display for PlanError {
             }
             PlanError::NoInterfaces => write!(f, "system has no test interfaces"),
             PlanError::Stalled { at, waiting } => {
-                write!(f, "scheduler stalled at cycle {at} with {waiting} cores waiting")
+                write!(
+                    f,
+                    "scheduler stalled at cycle {at} with {waiting} cores waiting"
+                )
             }
             PlanError::InvalidSchedule(reason) => write!(f, "invalid schedule: {reason}"),
         }

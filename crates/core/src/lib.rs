@@ -17,33 +17,42 @@
 //!    simulators), self-test size, power, and memory footprint;
 //! 3. **CUT characterisation** — ITC'02 modules from `noctest-itc02`.
 //!
-//! [`SystemBuilder`] places everything on the mesh; [`GreedyScheduler`]
-//! implements the paper's first-available-interface algorithm (including
-//! its deliberate anomaly), [`SmartScheduler`] the lookahead ablation, and
-//! [`SerialScheduler`] the external-only baseline. [`Schedule::validate`]
-//! re-checks every invariant (coverage, interface exclusivity, link
-//! disjointness, power cap, processor-before-reuse precedence), and
-//! [`replay`] cross-checks the analytic timing against the cycle-level
-//! NoC simulator.
+//! The whole flow is driven through the **Campaign API** ([`plan`]): a
+//! serialisable [`PlanRequest`] names the SoC, the mesh, the processor
+//! complement, the power budget and a scheduler (resolved from a
+//! string-keyed [`SchedulerRegistry`]); a [`Campaign`] runs it and
+//! returns a [`PlanOutcome`] with the schedule, its figures of merit and
+//! a timing report. Underneath, [`SystemBuilder`] places everything on
+//! the mesh; [`GreedyScheduler`] implements the paper's
+//! first-available-interface algorithm (including its deliberate
+//! anomaly), [`SmartScheduler`] the lookahead ablation,
+//! [`SerialScheduler`] the external-only baseline, and
+//! [`OptimalScheduler`] an exact branch-and-bound for small systems.
+//! [`Schedule::validate`] re-checks every invariant (coverage, interface
+//! exclusivity, link disjointness, power cap, processor-before-reuse
+//! precedence), and [`replay`] cross-checks the analytic timing against
+//! the cycle-level NoC simulator.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use noctest_core::{GreedyScheduler, Scheduler, SystemBuilder, BudgetSpec};
-//! use noctest_cpu::ProcessorProfile;
-//! use noctest_itc02::data;
+//! use noctest_core::plan::{Campaign, PlanRequest};
+//! use noctest_core::BudgetSpec;
 //!
-//! # fn main() -> Result<(), noctest_core::PlanError> {
-//! let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
-//!     .processors(&ProcessorProfile::leon(), 6, 4)
-//!     .budget(BudgetSpec::Fraction(0.5))
-//!     .build()?;
-//! let schedule = GreedyScheduler.schedule(&sys)?;
-//! schedule.validate(&sys)?;
-//! println!("test time: {} cycles", schedule.makespan());
+//! # fn main() -> Result<(), noctest_core::CampaignError> {
+//! let request = PlanRequest::benchmark("d695", 4, 4)
+//!     .with_processors("leon", 6, 4)
+//!     .with_budget(BudgetSpec::Fraction(0.5));
+//! let outcome = Campaign::new().run(&request)?;
+//! println!("test time: {} cycles", outcome.makespan);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Requests and outcomes round-trip through JSON
+//! ([`PlanRequest::from_json_str`] / [`PlanOutcome::to_json_string`]), and
+//! [`Campaign::run_all`] executes request matrices (see
+//! [`RequestMatrix`]) across worker threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,7 +61,9 @@
 pub mod cut;
 pub mod error;
 pub mod interface;
+pub mod json;
 pub mod path;
+pub mod plan;
 pub mod power;
 pub mod replay;
 pub mod report;
@@ -65,6 +76,9 @@ pub use cut::{CoreUnderTest, CutId, CutKind};
 pub use error::PlanError;
 pub use interface::{InterfaceId, TestInterface};
 pub use path::{LinkSet, TestPath};
+pub use plan::{
+    Campaign, CampaignError, PlanOutcome, PlanRequest, RequestMatrix, SchedulerRegistry,
+};
 pub use power::{PowerBudget, PowerModel};
 pub use replay::{
     replay_concurrent_streams, replay_stimulus_stream, ConcurrentReplay, StreamReplay,

@@ -169,10 +169,22 @@ mod tests {
     #[test]
     fn path_includes_local_links_both_sides() {
         let p = TestPath::compute(&mesh(), RoutingKind::Xy, &ext(), &cut_at(5));
-        assert!(p.links.iter().any(|l| *l == LinkId::injection(NodeId::new(0))));
-        assert!(p.links.iter().any(|l| *l == LinkId::ejection(NodeId::new(5))));
-        assert!(p.links.iter().any(|l| *l == LinkId::injection(NodeId::new(5))));
-        assert!(p.links.iter().any(|l| *l == LinkId::ejection(NodeId::new(15))));
+        assert!(p
+            .links
+            .iter()
+            .any(|l| *l == LinkId::injection(NodeId::new(0))));
+        assert!(p
+            .links
+            .iter()
+            .any(|l| *l == LinkId::ejection(NodeId::new(5))));
+        assert!(p
+            .links
+            .iter()
+            .any(|l| *l == LinkId::injection(NodeId::new(5))));
+        assert!(p
+            .links
+            .iter()
+            .any(|l| *l == LinkId::ejection(NodeId::new(15))));
         assert_eq!(p.hops_in, mesh().distance(NodeId::new(0), NodeId::new(5)));
         assert_eq!(p.hops_out, mesh().distance(NodeId::new(5), NodeId::new(15)));
     }

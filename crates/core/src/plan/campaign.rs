@@ -1,0 +1,259 @@
+//! [`Campaign`]: the runner turning [`PlanRequest`]s into [`PlanOutcome`]s.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::plan::error::CampaignError;
+use crate::plan::outcome::{PlanOutcome, StageTiming};
+use crate::plan::registry::SchedulerRegistry;
+use crate::plan::request::PlanRequest;
+
+/// Executes planning requests against a [`SchedulerRegistry`].
+///
+/// One `Campaign` owns the registry and runs any number of requests —
+/// singly with [`Campaign::run`] or as a batch with [`Campaign::run_all`],
+/// which spreads the matrix over worker threads (every scheduler is
+/// `Send + Sync`, and ISS calibration is memoised process-wide, so batch
+/// throughput scales with cores).
+///
+/// ```
+/// use noctest_core::plan::{Campaign, PlanRequest};
+/// use noctest_core::BudgetSpec;
+///
+/// let campaign = Campaign::new();
+/// let request = PlanRequest::benchmark("d695", 4, 4)
+///     .with_processors("leon", 6, 4)
+///     .with_budget(BudgetSpec::Fraction(0.5));
+/// let outcome = campaign.run(&request)?;
+/// assert!(outcome.makespan > 0);
+/// assert!(outcome.reduction_percent > 0.0);
+/// # Ok::<(), noctest_core::CampaignError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    registry: SchedulerRegistry,
+    threads: Option<usize>,
+}
+
+impl Campaign {
+    /// A campaign over the default registry (`serial`, `greedy`, `smart`,
+    /// `optimal`).
+    #[must_use]
+    pub fn new() -> Self {
+        Campaign {
+            registry: SchedulerRegistry::with_defaults(),
+            threads: None,
+        }
+    }
+
+    /// A campaign over a custom registry.
+    #[must_use]
+    pub fn with_registry(registry: SchedulerRegistry) -> Self {
+        Campaign {
+            registry,
+            threads: None,
+        }
+    }
+
+    /// Pins the batch worker count (default: available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The registry (for name listing).
+    #[must_use]
+    pub fn registry(&self) -> &SchedulerRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access (for registering user schedulers).
+    pub fn registry_mut(&mut self) -> &mut SchedulerRegistry {
+        &mut self.registry
+    }
+
+    /// Runs one request end to end: resolve the SoC and processor profile,
+    /// place the system, schedule it with the named algorithm, re-validate
+    /// every invariant (unless the request opted out) and assemble the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CampaignError`] from resolution, construction, scheduling or
+    /// validation.
+    pub fn run(&self, request: &PlanRequest) -> Result<PlanOutcome, CampaignError> {
+        // Resolve the scheduler first: a typo'd name must fail fast, before
+        // system construction pays for ISS calibration.
+        let scheduler = self.registry.get(&request.scheduler)?;
+
+        let build_start = Instant::now();
+        let sys = request.build_system()?;
+        let build_micros = build_start.elapsed().as_micros() as u64;
+
+        let schedule_start = Instant::now();
+        let schedule = scheduler.schedule(&sys)?;
+        let schedule_micros = schedule_start.elapsed().as_micros() as u64;
+
+        let validate_micros = if request.validate {
+            let validate_start = Instant::now();
+            schedule.validate(&sys)?;
+            validate_start.elapsed().as_micros() as u64
+        } else {
+            0
+        };
+
+        Ok(PlanOutcome::from_schedule(
+            &request.name,
+            // Report the registry key the request selected, not the
+            // implementation's self-reported name: two keys may map to
+            // the same algorithm, and sweep results join on the key.
+            &request.scheduler,
+            &sys,
+            &schedule,
+            StageTiming {
+                build_micros,
+                schedule_micros,
+                validate_micros,
+            },
+        ))
+    }
+
+    /// Runs a request matrix, parallelised over worker threads. Results
+    /// come back in request order; each request fails or succeeds
+    /// independently.
+    #[must_use]
+    pub fn run_all(&self, requests: &[PlanRequest]) -> Vec<Result<PlanOutcome, CampaignError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let workers = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+            .min(requests.len());
+        if workers <= 1 {
+            return requests.iter().map(|r| self.run(r)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<PlanOutcome, CampaignError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    let outcome = self.run(request);
+                    *results[i].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled by a worker")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::request::SocSource;
+    use crate::system::BudgetSpec;
+
+    fn d695_request(scheduler: &str) -> PlanRequest {
+        PlanRequest::benchmark("d695", 4, 4)
+            .with_processors("leon", 6, 4)
+            .with_budget(BudgetSpec::Fraction(0.5))
+            .with_scheduler(scheduler)
+    }
+
+    #[test]
+    fn run_produces_a_full_outcome() {
+        let outcome = Campaign::new().run(&d695_request("greedy")).unwrap();
+        assert_eq!(outcome.system, "d695");
+        assert_eq!(outcome.scheduler, "greedy");
+        assert_eq!(outcome.sessions.len(), 16);
+        assert!(outcome.makespan > 0);
+        assert!(outcome.peak_concurrency >= 1);
+        assert!(outcome.peak_power <= outcome.budget_cap.unwrap() + 1e-9);
+        assert!(outcome.reduction_percent > 0.0);
+        assert!(outcome.timing.schedule_micros > 0 || outcome.timing.build_micros > 0);
+    }
+
+    #[test]
+    fn unknown_scheduler_fails_before_building() {
+        let err = Campaign::new().run(&d695_request("annealing")).unwrap_err();
+        assert!(matches!(err, CampaignError::UnknownScheduler { .. }));
+    }
+
+    #[test]
+    fn run_all_preserves_order_and_isolates_failures() {
+        let requests = vec![
+            d695_request("greedy"),
+            d695_request("nope"),
+            d695_request("serial").with_name("baseline"),
+        ];
+        let results = Campaign::new().with_threads(2).run_all(&requests);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CampaignError::UnknownScheduler { .. })
+        ));
+        let serial = results[2].as_ref().unwrap();
+        assert_eq!(serial.request_name, "baseline");
+        assert_eq!(serial.scheduler, "serial");
+        // Serial runs one session at a time.
+        assert_eq!(serial.peak_concurrency, 1);
+    }
+
+    #[test]
+    fn run_all_matches_run() {
+        let requests: Vec<PlanRequest> = ["serial", "greedy", "smart"]
+            .iter()
+            .map(|s| d695_request(s))
+            .collect();
+        let campaign = Campaign::new();
+        let batch = campaign.run_all(&requests);
+        for (request, batched) in requests.iter().zip(&batch) {
+            let single = campaign.run(request).unwrap();
+            let batched = batched.as_ref().unwrap();
+            // Wall-clock timings differ; the planning result must not.
+            assert_eq!(single.makespan, batched.makespan);
+            assert_eq!(single.sessions, batched.sessions);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(Campaign::new().run_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn validate_opt_out_skips_the_stage() {
+        let mut request = d695_request("greedy");
+        request.validate = false;
+        let outcome = Campaign::new().run(&request).unwrap();
+        assert_eq!(outcome.timing.validate_micros, 0);
+    }
+
+    #[test]
+    fn inline_soc_text_plans_end_to_end() {
+        let soc_text = noctest_itc02::write_soc(&noctest_itc02::data::d695());
+        let mut request = d695_request("greedy");
+        request.soc = SocSource::SocText(soc_text);
+        let outcome = Campaign::new().run(&request).unwrap();
+        assert_eq!(outcome.system, "d695");
+        assert_eq!(outcome.sessions.len(), 16);
+    }
+}

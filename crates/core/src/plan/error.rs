@@ -1,0 +1,159 @@
+//! [`CampaignError`]: the unified error type of the Campaign API.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::error::PlanError;
+use crate::json::JsonError;
+
+/// Everything that can go wrong between a serialized [`PlanRequest`] and a
+/// [`PlanOutcome`], wrapping the four crates' error types plus the
+/// resolution failures introduced by the request layer itself.
+///
+/// [`PlanRequest`]: crate::plan::PlanRequest
+/// [`PlanOutcome`]: crate::plan::PlanOutcome
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// System construction or scheduling failed (`noctest-core`).
+    Plan(PlanError),
+    /// Inline `.soc` text failed to parse (`noctest-itc02`).
+    Soc(noctest_itc02::ParseError),
+    /// The cycle-level simulator faulted (`noctest-noc`).
+    Noc(noctest_noc::NocError),
+    /// An instruction-set simulator faulted during processor
+    /// characterisation (`noctest-cpu`).
+    Cpu(noctest_cpu::ExecError),
+    /// The request named a scheduler the registry does not know.
+    UnknownScheduler {
+        /// The name the request asked for.
+        requested: String,
+        /// Every name the registry currently serves, sorted.
+        available: Vec<String>,
+    },
+    /// The request named a benchmark that does not exist.
+    UnknownBenchmark(String),
+    /// The request named a processor family no profile exists for.
+    UnknownProcessor(String),
+    /// A JSON document failed to parse or decode.
+    Json(JsonError),
+    /// The request is semantically inconsistent (e.g. more processors
+    /// reused than placed).
+    Invalid(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Plan(e) => write!(f, "planning failed: {e}"),
+            CampaignError::Soc(e) => write!(f, "soc description invalid: {e}"),
+            CampaignError::Noc(e) => write!(f, "noc simulation failed: {e}"),
+            CampaignError::Cpu(e) => write!(f, "processor characterisation failed: {e}"),
+            CampaignError::UnknownScheduler {
+                requested,
+                available,
+            } => write!(
+                f,
+                "unknown scheduler `{requested}` (registered: {})",
+                available.join(", ")
+            ),
+            CampaignError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark `{name}` (know d695, p22810, p93791)")
+            }
+            CampaignError::UnknownProcessor(name) => {
+                write!(f, "unknown processor family `{name}` (know leon, plasma)")
+            }
+            CampaignError::Json(e) => write!(f, "request/outcome JSON invalid: {e}"),
+            CampaignError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Plan(e) => Some(e),
+            CampaignError::Soc(e) => Some(e),
+            CampaignError::Noc(e) => Some(e),
+            CampaignError::Cpu(e) => Some(e),
+            CampaignError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for CampaignError {
+    fn from(e: PlanError) -> Self {
+        CampaignError::Plan(e)
+    }
+}
+
+impl From<noctest_itc02::ParseError> for CampaignError {
+    fn from(e: noctest_itc02::ParseError) -> Self {
+        CampaignError::Soc(e)
+    }
+}
+
+impl From<noctest_noc::NocError> for CampaignError {
+    fn from(e: noctest_noc::NocError) -> Self {
+        CampaignError::Noc(e)
+    }
+}
+
+impl From<noctest_cpu::ExecError> for CampaignError {
+    fn from(e: noctest_cpu::ExecError) -> Self {
+        CampaignError::Cpu(e)
+    }
+}
+
+impl From<JsonError> for CampaignError {
+    fn from(e: JsonError) -> Self {
+        CampaignError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::CutId;
+
+    #[test]
+    fn displays_are_nonempty_and_sources_link() {
+        let errs: Vec<CampaignError> = vec![
+            PlanError::NoInterfaces.into(),
+            CampaignError::UnknownScheduler {
+                requested: "magic".into(),
+                available: vec!["greedy".into(), "serial".into()],
+            },
+            CampaignError::UnknownBenchmark("x".into()),
+            CampaignError::UnknownProcessor("arm".into()),
+            CampaignError::Invalid("nope".into()),
+            CampaignError::Json(JsonError {
+                at: 3,
+                message: "bad".into(),
+            }),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        let plan: CampaignError = PlanError::NoTamTest { cut: CutId(1) }.into();
+        assert!(plan.source().is_some());
+        assert!(errs[1].source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CampaignError>();
+    }
+
+    #[test]
+    fn unknown_scheduler_lists_alternatives() {
+        let e = CampaignError::UnknownScheduler {
+            requested: "magic".into(),
+            available: vec!["greedy".into(), "serial".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("magic") && msg.contains("greedy") && msg.contains("serial"));
+    }
+}

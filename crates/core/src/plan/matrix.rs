@@ -1,0 +1,221 @@
+//! [`RequestMatrix`]: cartesian sweeps of a base request.
+//!
+//! The paper's Figure 1 is a sweep — systems × processor counts × power
+//! settings; the ablation studies sweep schedulers and model knobs. This
+//! builder turns those experiment grids into `Vec<PlanRequest>` values fed
+//! to [`crate::plan::Campaign::run_all`], so sweeps are data, not code.
+
+use crate::plan::request::PlanRequest;
+use crate::system::BudgetSpec;
+
+/// Expands a base [`PlanRequest`] over axes of variation (cartesian
+/// product, in the order the axes were added).
+///
+/// ```
+/// use noctest_core::plan::{PlanRequest, RequestMatrix};
+/// use noctest_core::BudgetSpec;
+///
+/// let base = PlanRequest::benchmark("d695", 4, 4).with_processors("leon", 6, 0);
+/// let matrix = RequestMatrix::new(base)
+///     .vary_reused(&[0, 2, 4, 6])
+///     .vary_budget(&[BudgetSpec::Unlimited, BudgetSpec::Fraction(0.5)])
+///     .build();
+/// assert_eq!(matrix.len(), 8);
+/// assert!(matrix[0].name.contains("reused=0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestMatrix {
+    requests: Vec<PlanRequest>,
+}
+
+impl RequestMatrix {
+    /// Starts a matrix from a single base request.
+    #[must_use]
+    pub fn new(base: PlanRequest) -> Self {
+        RequestMatrix {
+            requests: vec![base],
+        }
+    }
+
+    fn expand(self, f: impl Fn(&PlanRequest) -> Vec<PlanRequest>) -> Self {
+        RequestMatrix {
+            requests: self.requests.iter().flat_map(f).collect(),
+        }
+    }
+
+    fn tagged(request: &PlanRequest, tag: &str) -> PlanRequest {
+        let mut out = request.clone();
+        out.name = if request.name.is_empty() {
+            tag.to_owned()
+        } else {
+            format!("{} {tag}", request.name)
+        };
+        out
+    }
+
+    /// Varies the number of reused processors. The base request must have
+    /// a processor spec (its `reused` field is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base request has no processors.
+    #[must_use]
+    pub fn vary_reused(self, counts: &[usize]) -> Self {
+        self.expand(|request| {
+            assert!(
+                request.processors.is_some(),
+                "vary_reused needs a processor spec on the base request"
+            );
+            counts
+                .iter()
+                .map(|&reused| {
+                    let mut out = Self::tagged(request, &format!("reused={reused}"));
+                    out.processors.as_mut().expect("checked above").reused = reused;
+                    out
+                })
+                .collect()
+        })
+    }
+
+    /// Varies the power budget.
+    #[must_use]
+    pub fn vary_budget(self, budgets: &[BudgetSpec]) -> Self {
+        self.expand(|request| {
+            budgets
+                .iter()
+                .map(|&budget| {
+                    let tag = match budget {
+                        BudgetSpec::Unlimited => "budget=none".to_owned(),
+                        BudgetSpec::Fraction(f) => format!("budget={:.0}%", f * 100.0),
+                        BudgetSpec::Absolute(a) => format!("budget={a:.0}"),
+                    };
+                    let mut out = Self::tagged(request, &tag);
+                    out.budget = budget;
+                    out
+                })
+                .collect()
+        })
+    }
+
+    /// Varies the scheduler by registry name.
+    #[must_use]
+    pub fn vary_scheduler(self, names: &[&str]) -> Self {
+        self.expand(|request| {
+            names
+                .iter()
+                .map(|name| {
+                    let mut out = Self::tagged(request, name);
+                    out.scheduler = (*name).to_owned();
+                    out
+                })
+                .collect()
+        })
+    }
+
+    /// Varies the processor family (keeping count/reuse from the base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base request has no processors.
+    #[must_use]
+    pub fn vary_family(self, families: &[&str]) -> Self {
+        self.expand(|request| {
+            assert!(
+                request.processors.is_some(),
+                "vary_family needs a processor spec on the base request"
+            );
+            families
+                .iter()
+                .map(|family| {
+                    let mut out = Self::tagged(request, family);
+                    out.processors.as_mut().expect("checked above").family = (*family).to_owned();
+                    out
+                })
+                .collect()
+        })
+    }
+
+    /// Applies an arbitrary edit per value of a custom axis.
+    #[must_use]
+    pub fn vary_with<T>(self, values: &[T], edit: impl Fn(&mut PlanRequest, &T) + Copy) -> Self
+    where
+        T: std::fmt::Debug,
+    {
+        self.expand(|request| {
+            values
+                .iter()
+                .map(|value| {
+                    let mut out = Self::tagged(request, &format!("{value:?}"));
+                    edit(&mut out, value);
+                    out
+                })
+                .collect()
+        })
+    }
+
+    /// The expanded request list.
+    #[must_use]
+    pub fn build(self) -> Vec<PlanRequest> {
+        self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PlanRequest {
+        PlanRequest::benchmark("d695", 4, 4).with_processors("leon", 6, 0)
+    }
+
+    #[test]
+    fn cartesian_product_sizes_multiply() {
+        let matrix = RequestMatrix::new(base())
+            .vary_reused(&[0, 2, 4])
+            .vary_budget(&[BudgetSpec::Unlimited, BudgetSpec::Fraction(0.5)])
+            .vary_scheduler(&["greedy", "smart"])
+            .build();
+        assert_eq!(matrix.len(), 12);
+        // Every combination appears exactly once.
+        let mut keys: Vec<String> = matrix
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}-{:?}-{}",
+                    r.processors.as_ref().unwrap().reused,
+                    r.budget,
+                    r.scheduler
+                )
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 12);
+    }
+
+    #[test]
+    fn names_accumulate_tags() {
+        let matrix = RequestMatrix::new(base())
+            .vary_reused(&[4])
+            .vary_budget(&[BudgetSpec::Fraction(0.5)])
+            .build();
+        assert_eq!(matrix[0].name, "d695 reused=4 budget=50%");
+    }
+
+    #[test]
+    fn vary_with_edits_arbitrary_fields() {
+        let matrix = RequestMatrix::new(base())
+            .vary_with(&[8u32, 16, 32], |r, &bits| {
+                r.timing.flit_width_bits = Some(bits);
+            })
+            .build();
+        assert_eq!(matrix.len(), 3);
+        assert_eq!(matrix[2].timing.flit_width_bits, Some(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "vary_reused needs a processor spec")]
+    fn vary_reused_requires_processors() {
+        let _ = RequestMatrix::new(PlanRequest::benchmark("d695", 4, 4)).vary_reused(&[2]);
+    }
+}

@@ -1,0 +1,378 @@
+//! [`PlanOutcome`]: the serialisable result of one planning run.
+
+use std::fmt::Write as _;
+
+use crate::json::{field, Json, JsonError};
+use crate::plan::error::CampaignError;
+use crate::sched::Schedule;
+use crate::system::SystemUnderTest;
+
+/// One scheduled test session, denormalised so the outcome is
+/// self-contained (names and labels survive without the system object).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Core id within the planned system.
+    pub cut: u32,
+    /// Core name.
+    pub core: String,
+    /// Label of the driving interface (`"ext"`, `"leon#0"`, ...).
+    pub interface: String,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+    /// Instantaneous power drawn while the session runs.
+    pub power: f64,
+}
+
+impl SessionOutcome {
+    /// Session length in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Wall-clock timing of the pipeline stages, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTiming {
+    /// System resolution + placement (includes ISS calibration on a cache
+    /// miss).
+    pub build_micros: u64,
+    /// Scheduling proper.
+    pub schedule_micros: u64,
+    /// Invariant re-validation (0 when the request disabled it).
+    pub validate_micros: u64,
+}
+
+impl StageTiming {
+    /// Total pipeline time in microseconds.
+    #[must_use]
+    pub fn total_micros(&self) -> u64 {
+        self.build_micros + self.schedule_micros + self.validate_micros
+    }
+}
+
+/// Everything a planning run produced: the schedule with its figures of
+/// merit, the per-session breakdown, and a timing report. Serialisable to
+/// and from JSON (the numbers round-trip exactly; floats keep shortest
+/// round-trip form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOutcome {
+    /// The request's label.
+    pub request_name: String,
+    /// The planned system's name.
+    pub system: String,
+    /// Scheduler that produced the plan.
+    pub scheduler: String,
+    /// Total test application time in cycles.
+    pub makespan: u64,
+    /// Maximum number of concurrent sessions.
+    pub peak_concurrency: usize,
+    /// Mean number of active sessions over the makespan.
+    pub mean_concurrency: f64,
+    /// Peak instantaneous power draw.
+    pub peak_power: f64,
+    /// The power cap in force (None = unlimited).
+    pub budget_cap: Option<f64>,
+    /// Sum of all cores' test-mode power (the paper's 100% reference).
+    pub total_core_power: f64,
+    /// The serialized external-tester baseline in cycles.
+    pub serial_baseline: u64,
+    /// Test-time reduction vs. that baseline, in percent.
+    pub reduction_percent: f64,
+    /// Per-session breakdown, ordered by start cycle.
+    pub sessions: Vec<SessionOutcome>,
+    /// Wall-clock stage timing.
+    pub timing: StageTiming,
+}
+
+impl PlanOutcome {
+    /// Assembles an outcome from a validated schedule (used by
+    /// [`crate::plan::Campaign::run`]).
+    #[must_use]
+    pub fn from_schedule(
+        request_name: &str,
+        scheduler: &str,
+        sys: &SystemUnderTest,
+        schedule: &Schedule,
+        timing: StageTiming,
+    ) -> Self {
+        let serial_baseline = sys.serial_external_cycles();
+        let makespan = schedule.makespan();
+        let sessions = schedule
+            .entries()
+            .iter()
+            .map(|e| SessionOutcome {
+                cut: e.cut.0,
+                core: sys.cut(e.cut).name.clone(),
+                interface: sys.interface(e.interface).label(),
+                start: e.start,
+                end: e.end,
+                power: sys.session_power(e.interface, e.cut),
+            })
+            .collect();
+        PlanOutcome {
+            request_name: request_name.to_owned(),
+            system: sys.name().to_owned(),
+            scheduler: scheduler.to_owned(),
+            makespan,
+            peak_concurrency: schedule.peak_concurrency(),
+            mean_concurrency: schedule.mean_concurrency(),
+            peak_power: schedule.peak_power(sys),
+            budget_cap: sys.budget().cap(),
+            total_core_power: sys.total_core_power(),
+            serial_baseline,
+            reduction_percent: if serial_baseline == 0 {
+                0.0
+            } else {
+                100.0 * (1.0 - makespan as f64 / serial_baseline as f64)
+            },
+            sessions,
+            timing,
+        }
+    }
+
+    /// Renders a text Gantt chart of the sessions (one row per session,
+    /// time bucketed into `width` columns) — the outcome-level counterpart
+    /// of [`crate::report::gantt`], needing no system object.
+    #[must_use]
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let makespan = self.makespan.max(1);
+        let name_w = self
+            .sessions
+            .iter()
+            .map(|s| s.core.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let iface_w = self
+            .sessions
+            .iter()
+            .map(|s| s.interface.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:<iface_w$}  0{:>w$}",
+            "core",
+            "iface",
+            makespan,
+            w = width.saturating_sub(1)
+        );
+        for s in &self.sessions {
+            let from = (s.start as u128 * width as u128 / makespan as u128) as usize;
+            let to = ((s.end as u128 * width as u128).div_ceil(makespan as u128) as usize)
+                .clamp(from + 1, width);
+            let mut bar = String::with_capacity(width);
+            for i in 0..width {
+                bar.push(if (from..to).contains(&i) { '#' } else { '.' });
+            }
+            let _ = writeln!(out, "{:<name_w$}  {:<iface_w$}  {bar}", s.core, s.interface);
+        }
+        let _ = writeln!(
+            out,
+            "makespan {} cycles, peak concurrency {}, mean {:.2}, peak power {:.0}",
+            self.makespan, self.peak_concurrency, self.mean_concurrency, self.peak_power
+        );
+        out
+    }
+
+    /// Encodes the outcome as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("request_name", Json::str(&self.request_name)),
+            ("system", Json::str(&self.system)),
+            ("scheduler", Json::str(&self.scheduler)),
+            ("makespan", Json::int(self.makespan)),
+            ("peak_concurrency", Json::int(self.peak_concurrency as u64)),
+            ("mean_concurrency", Json::Num(self.mean_concurrency)),
+            ("peak_power", Json::Num(self.peak_power)),
+            ("budget_cap", self.budget_cap.map_or(Json::Null, Json::Num)),
+            ("total_core_power", Json::Num(self.total_core_power)),
+            ("serial_baseline", Json::int(self.serial_baseline)),
+            ("reduction_percent", Json::Num(self.reduction_percent)),
+            (
+                "sessions",
+                Json::Arr(
+                    self.sessions
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("cut", Json::int(u64::from(s.cut))),
+                                ("core", Json::str(&s.core)),
+                                ("interface", Json::str(&s.interface)),
+                                ("start", Json::int(s.start)),
+                                ("end", Json::int(s.end)),
+                                ("power", Json::Num(s.power)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "timing",
+                Json::obj(vec![
+                    ("build_micros", Json::int(self.timing.build_micros)),
+                    ("schedule_micros", Json::int(self.timing.schedule_micros)),
+                    ("validate_micros", Json::int(self.timing.validate_micros)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The outcome as pretty-printed JSON text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Decodes an outcome from JSON text (inverse of
+    /// [`PlanOutcome::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Json`] describing the first malformed member.
+    pub fn from_json_str(text: &str) -> Result<Self, CampaignError> {
+        Ok(Self::from_json(&Json::parse(text)?)?)
+    }
+
+    /// Decodes an outcome from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] describing the first malformed member.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        let sessions_doc = field(doc, "sessions", "an array", Json::as_arr)?;
+        let mut sessions = Vec::with_capacity(sessions_doc.len());
+        for s in sessions_doc {
+            sessions.push(SessionOutcome {
+                cut: field(s, "cut", "an integer", Json::as_u64)? as u32,
+                core: field(s, "core", "a string", |v| v.as_str().map(str::to_owned))?,
+                interface: field(s, "interface", "a string", |v| {
+                    v.as_str().map(str::to_owned)
+                })?,
+                start: field(s, "start", "an integer", Json::as_u64)?,
+                end: field(s, "end", "an integer", Json::as_u64)?,
+                power: field(s, "power", "a number", Json::as_f64)?,
+            });
+        }
+        let timing_doc = field(doc, "timing", "an object", |v| v.as_obj().map(|_| v))?;
+        Ok(PlanOutcome {
+            request_name: field(doc, "request_name", "a string", |v| {
+                v.as_str().map(str::to_owned)
+            })?,
+            system: field(doc, "system", "a string", |v| v.as_str().map(str::to_owned))?,
+            scheduler: field(doc, "scheduler", "a string", |v| {
+                v.as_str().map(str::to_owned)
+            })?,
+            makespan: field(doc, "makespan", "an integer", Json::as_u64)?,
+            peak_concurrency: field(doc, "peak_concurrency", "an integer", Json::as_u64)? as usize,
+            mean_concurrency: field(doc, "mean_concurrency", "a number", Json::as_f64)?,
+            peak_power: field(doc, "peak_power", "a number", Json::as_f64)?,
+            budget_cap: match doc.get("budget_cap") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or_else(|| JsonError {
+                    at: 0,
+                    message: "member `budget_cap` is not a number".into(),
+                })?),
+            },
+            total_core_power: field(doc, "total_core_power", "a number", Json::as_f64)?,
+            serial_baseline: field(doc, "serial_baseline", "an integer", Json::as_u64)?,
+            reduction_percent: field(doc, "reduction_percent", "a number", Json::as_f64)?,
+            sessions,
+            timing: StageTiming {
+                build_micros: field(timing_doc, "build_micros", "an integer", Json::as_u64)?,
+                schedule_micros: field(timing_doc, "schedule_micros", "an integer", Json::as_u64)?,
+                validate_micros: field(timing_doc, "validate_micros", "an integer", Json::as_u64)?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanOutcome {
+        PlanOutcome {
+            request_name: "r".into(),
+            system: "d695".into(),
+            scheduler: "greedy".into(),
+            makespan: 1234,
+            peak_concurrency: 3,
+            mean_concurrency: 1.5,
+            peak_power: 2000.5,
+            budget_cap: Some(3236.0),
+            total_core_power: 6472.0,
+            serial_baseline: 2000,
+            reduction_percent: 38.3,
+            sessions: vec![
+                SessionOutcome {
+                    cut: 0,
+                    core: "leon#0".into(),
+                    interface: "ext".into(),
+                    start: 0,
+                    end: 400,
+                    power: 400.0,
+                },
+                SessionOutcome {
+                    cut: 3,
+                    core: "d695.m4".into(),
+                    interface: "leon#0".into(),
+                    start: 400,
+                    end: 1234,
+                    power: 275.0,
+                },
+            ],
+            timing: StageTiming {
+                build_micros: 100,
+                schedule_micros: 50,
+                validate_micros: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let o = sample();
+        let back = PlanOutcome::from_json_str(&o.to_json_string()).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn unlimited_budget_serialises_as_null() {
+        let mut o = sample();
+        o.budget_cap = None;
+        let text = o.to_json_string();
+        assert!(text.contains("\"budget_cap\": null"));
+        assert_eq!(PlanOutcome::from_json_str(&text).unwrap(), o);
+    }
+
+    #[test]
+    fn gantt_shows_every_session() {
+        let o = sample();
+        let chart = o.gantt(40);
+        assert_eq!(chart.lines().count(), 1 + o.sessions.len() + 1);
+        assert!(chart.contains("leon#0"));
+        assert!(chart.contains('#'));
+        assert!(chart.contains("makespan 1234"));
+    }
+
+    #[test]
+    fn session_cycles_and_stage_totals() {
+        let o = sample();
+        assert_eq!(o.sessions[0].cycles(), 400);
+        assert_eq!(o.timing.total_micros(), 160);
+    }
+
+    #[test]
+    fn missing_members_are_reported() {
+        let err = PlanOutcome::from_json_str("{}").unwrap_err();
+        assert!(err.to_string().contains("sessions"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Process-wide memoisation of processor characterisation.
+//!
+//! Calibrating a [`ProcessorProfile`] runs thousands of simulated
+//! instructions on an ISS. A campaign sweeping hundreds of requests over
+//! the same two processor families must pay that cost once per distinct
+//! `(family, calibration, application)` key, not once per request — this
+//! cache is what makes [`crate::plan::Campaign::run_all`] scale.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use noctest_cpu::ProcessorProfile;
+
+use crate::plan::error::CampaignError;
+use crate::plan::request::{ApplicationSpec, ProcessorSpec};
+
+fn cache_key(spec: &ProcessorSpec) -> String {
+    match spec.application {
+        ApplicationSpec::Bist => format!("{}/bist/cal={}", spec.family, spec.calibrate),
+        // Key on the exact bit pattern: rounding the density here would
+        // let two distinct densities collide on one cache entry.
+        ApplicationSpec::Decompression { care_density } => format!(
+            "{}/decomp/{:016x}/cal={}",
+            spec.family,
+            care_density.to_bits(),
+            spec.calibrate
+        ),
+    }
+}
+
+/// Resolves (and memoises) the profile for a processor spec.
+///
+/// # Errors
+///
+/// [`CampaignError::UnknownProcessor`] for an unknown family,
+/// [`CampaignError::Cpu`] if an ISS run faults.
+pub(crate) fn resolve(spec: &ProcessorSpec) -> Result<ProcessorProfile, CampaignError> {
+    static CACHE: Mutex<Option<HashMap<String, ProcessorProfile>>> = Mutex::new(None);
+
+    // Decompression costs only exist as ISS measurements — there is no
+    // flat-model fallback for this application, so `calibrate: false`
+    // would silently plan with the wrong costs. Reject the combination.
+    if !spec.calibrate && matches!(spec.application, ApplicationSpec::Decompression { .. }) {
+        return Err(CampaignError::Invalid(
+            "the decompression application requires `calibrate: true` \
+             (its per-word cost exists only as an ISS measurement)"
+                .to_owned(),
+        ));
+    }
+
+    let key = cache_key(spec);
+    {
+        let mut guard = CACHE.lock().expect("profile cache poisoned");
+        if let Some(profile) = guard.get_or_insert_with(HashMap::new).get(&key) {
+            return Ok(profile.clone());
+        }
+    }
+
+    // Calibrate OUTSIDE the lock: an ISS run takes milliseconds, and a
+    // batch's workers must not serialize behind one cache miss.
+    // Calibration is deterministic, so a racing duplicate computes the
+    // same value and the second insert is a harmless overwrite.
+    let base = ProcessorProfile::by_name(&spec.family)
+        .ok_or_else(|| CampaignError::UnknownProcessor(spec.family.clone()))?;
+    let mut profile = if spec.calibrate {
+        base.calibrated()?
+    } else {
+        base
+    };
+    if let ApplicationSpec::Decompression { care_density } = spec.application {
+        if !(0.0..=1.0).contains(&care_density) {
+            return Err(CampaignError::Invalid(format!(
+                "care density {care_density} outside [0, 1]"
+            )));
+        }
+        profile = profile.calibrated_decompression(care_density)?;
+    }
+
+    CACHE
+        .lock()
+        .expect("profile cache poisoned")
+        .get_or_insert_with(HashMap::new)
+        .insert(key, profile.clone());
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(family: &str) -> ProcessorSpec {
+        ProcessorSpec {
+            family: family.to_owned(),
+            total: 2,
+            reused: 2,
+            calibrate: true,
+            application: ApplicationSpec::Bist,
+        }
+    }
+
+    #[test]
+    fn cache_returns_identical_profiles() {
+        let a = resolve(&spec("plasma")).unwrap();
+        let b = resolve(&spec("plasma")).unwrap();
+        assert_eq!(a, b);
+        assert!(a.gen_cycles_per_word.is_some());
+    }
+
+    #[test]
+    fn uncalibrated_keeps_paper_assumptions() {
+        let mut s = spec("leon");
+        s.calibrate = false;
+        let p = resolve(&s).unwrap();
+        assert_eq!(p.gen_cycles_per_word, None);
+        assert_eq!(p.gen_cycles_per_pattern, 10);
+    }
+
+    #[test]
+    fn unknown_family_is_reported() {
+        assert!(matches!(
+            resolve(&spec("cortex")),
+            Err(CampaignError::UnknownProcessor(_))
+        ));
+    }
+
+    #[test]
+    fn decompression_mode_is_cached_separately() {
+        let mut s = spec("plasma");
+        s.application = ApplicationSpec::Decompression { care_density: 0.05 };
+        let d = resolve(&s).unwrap();
+        assert_eq!(d.source_mode, noctest_cpu::SourceMode::Decompression);
+        let b = resolve(&spec("plasma")).unwrap();
+        assert_eq!(b.source_mode, noctest_cpu::SourceMode::Bist);
+    }
+
+    #[test]
+    fn bad_care_density_is_invalid() {
+        let mut s = spec("plasma");
+        s.application = ApplicationSpec::Decompression { care_density: 1.5 };
+        assert!(matches!(resolve(&s), Err(CampaignError::Invalid(_))));
+    }
+
+    #[test]
+    fn uncalibrated_decompression_is_invalid() {
+        // There is no flat-model cost for the decompression application;
+        // silently ignoring `calibrate: false` would plan with wrong
+        // numbers, so the combination must be rejected.
+        let mut s = spec("plasma");
+        s.calibrate = false;
+        s.application = ApplicationSpec::Decompression { care_density: 0.1 };
+        assert!(matches!(resolve(&s), Err(CampaignError::Invalid(_))));
+    }
+}

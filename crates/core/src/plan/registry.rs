@@ -1,0 +1,160 @@
+//! [`SchedulerRegistry`]: string-keyed scheduler resolution.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::plan::error::CampaignError;
+use crate::sched::{GreedyScheduler, OptimalScheduler, Scheduler, SerialScheduler, SmartScheduler};
+
+/// A string-keyed table of [`Scheduler`] implementations.
+///
+/// Requests select their algorithm by name, so a campaign file can sweep
+/// schedulers the same way it sweeps power budgets. The default table
+/// serves the four built-in planners (`serial`, `greedy`, `smart`,
+/// `optimal`); users register their own implementations under new names —
+/// the planning pipeline treats them identically.
+///
+/// ```
+/// use noctest_core::plan::SchedulerRegistry;
+/// use noctest_core::{Schedule, Scheduler, SystemUnderTest, PlanError};
+/// use std::sync::Arc;
+///
+/// #[derive(Debug)]
+/// struct ReversePriority;
+/// impl Scheduler for ReversePriority {
+///     fn name(&self) -> &'static str { "reverse" }
+///     fn schedule(&self, sys: &SystemUnderTest) -> Result<Schedule, PlanError> {
+///         noctest_core::SerialScheduler.schedule(sys)
+///     }
+/// }
+///
+/// let mut registry = SchedulerRegistry::with_defaults();
+/// registry.register("reverse", Arc::new(ReversePriority));
+/// assert!(registry.get("reverse").is_ok());
+/// assert_eq!(registry.names().len(), 5);
+/// ```
+#[derive(Clone)]
+pub struct SchedulerRegistry {
+    entries: BTreeMap<String, Arc<dyn Scheduler>>,
+}
+
+impl std::fmt::Debug for SchedulerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl SchedulerRegistry {
+    /// An empty registry (no names resolve).
+    #[must_use]
+    pub fn empty() -> Self {
+        SchedulerRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The default registry: `serial`, `greedy`, `smart` and `optimal`.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        let mut r = SchedulerRegistry::empty();
+        r.register("serial", Arc::new(SerialScheduler));
+        r.register("greedy", Arc::new(GreedyScheduler));
+        r.register("smart", Arc::new(SmartScheduler));
+        r.register("optimal", Arc::new(OptimalScheduler::new()));
+        r
+    }
+
+    /// Registers (or replaces) a scheduler under `name`.
+    pub fn register(&mut self, name: impl Into<String>, scheduler: Arc<dyn Scheduler>) {
+        self.entries.insert(name.into(), scheduler);
+    }
+
+    /// Removes a scheduler; returns it if it was registered.
+    pub fn unregister(&mut self, name: &str) -> Option<Arc<dyn Scheduler>> {
+        self.entries.remove(name)
+    }
+
+    /// Resolves a scheduler by name.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::UnknownScheduler`] listing the registered names.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Scheduler>, CampaignError> {
+        self.entries
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CampaignError::UnknownScheduler {
+                requested: name.to_owned(),
+                available: self.names(),
+            })
+    }
+
+    /// All registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of registered schedulers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        SchedulerRegistry::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_serve_the_four_planners() {
+        let r = SchedulerRegistry::with_defaults();
+        assert_eq!(r.names(), vec!["greedy", "optimal", "serial", "smart"]);
+        for name in r.names() {
+            assert_eq!(r.get(&name).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_reports_alternatives() {
+        let r = SchedulerRegistry::with_defaults();
+        match r.get("annealing") {
+            Err(CampaignError::UnknownScheduler {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, "annealing");
+                assert_eq!(available.len(), 4);
+            }
+            other => panic!("expected UnknownScheduler, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registration_replaces_and_removes() {
+        let mut r = SchedulerRegistry::empty();
+        assert!(r.is_empty());
+        r.register("mine", Arc::new(SerialScheduler));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get("mine").unwrap().name(), "serial");
+        r.register("mine", Arc::new(GreedyScheduler));
+        assert_eq!(r.get("mine").unwrap().name(), "greedy");
+        assert!(r.unregister("mine").is_some());
+        assert!(r.unregister("mine").is_none());
+        assert!(r.is_empty());
+    }
+}

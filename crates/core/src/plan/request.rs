@@ -1,0 +1,728 @@
+//! [`PlanRequest`]: the serialisable description of one planning run.
+
+use noctest_cpu::ProcessorProfile;
+use noctest_itc02::{data, parse_soc, SocDesc};
+use noctest_noc::RoutingKind;
+
+use crate::json::{field, field_opt, field_or, Json, JsonError};
+
+/// Range-checked integer decoders: an out-of-range value is a decode
+/// error, never a silent truncation.
+fn u16_of(v: &Json) -> Option<u16> {
+    v.as_u64().and_then(|n| u16::try_from(n).ok())
+}
+
+fn u32_of(v: &Json) -> Option<u32> {
+    v.as_u64().and_then(|n| u32::try_from(n).ok())
+}
+
+fn usize_of(v: &Json) -> Option<usize> {
+    v.as_u64().and_then(|n| usize::try_from(n).ok())
+}
+use crate::plan::error::CampaignError;
+use crate::system::{BudgetSpec, PriorityPolicy, SystemBuilder, SystemUnderTest};
+use crate::timing::{GenerationModel, TimingModel};
+
+/// Where the cores under test come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SocSource {
+    /// A named ITC'02 benchmark (`"d695"`, `"p22810"`, `"p93791"`).
+    Benchmark(String),
+    /// An inline `.soc` document (the interchange format of
+    /// [`noctest_itc02::parse_soc`]).
+    SocText(String),
+    /// Hand-specified cores (no wrapper modelling, as in
+    /// [`SystemBuilder::core`]). The `name` is the system identity —
+    /// kept separate from [`PlanRequest::name`], which sweeps decorate
+    /// with axis tags.
+    Cores {
+        /// The SoC name reported by the planned system.
+        name: String,
+        /// The cores under test.
+        cores: Vec<CoreRequest>,
+    },
+}
+
+/// One hand-specified core of a [`SocSource::Cores`] request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreRequest {
+    /// Core name (for reports).
+    pub name: String,
+    /// Stimulus bits per pattern.
+    pub bits_in: u32,
+    /// Response bits per pattern.
+    pub bits_out: u32,
+    /// Pattern count.
+    pub patterns: u32,
+    /// Test-mode power draw.
+    pub power: f64,
+}
+
+/// The test application a reused processor runs as a stimulus source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApplicationSpec {
+    /// Software LFSR BIST (the paper's application).
+    Bist,
+    /// Decompression of stored deterministic patterns at the given care
+    /// density (the paper's stated future work).
+    Decompression {
+        /// Fraction of specified (care) bits in the synthetic test cubes.
+        care_density: f64,
+    },
+}
+
+/// Embedded processors added to the system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorSpec {
+    /// Processor family (`"leon"` / `"plasma"`, or any name a custom
+    /// profile resolver recognises).
+    pub family: String,
+    /// Processors placed on the mesh.
+    pub total: usize,
+    /// How many of them are reused as test interfaces once self-tested.
+    pub reused: usize,
+    /// Run the instruction-set simulator to calibrate per-word costs
+    /// (default `true`; `false` keeps the paper's flat 10-cycle model).
+    pub calibrate: bool,
+    /// The stimulus application.
+    pub application: ApplicationSpec,
+}
+
+/// Mesh geometry and routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshSpec {
+    /// Mesh width in routers.
+    pub width: u16,
+    /// Mesh height in routers.
+    pub height: u16,
+    /// Routing algorithm (default XY, as in the paper).
+    pub routing: RoutingKind,
+}
+
+/// Optional overrides applied onto [`TimingModel::default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingSpec {
+    /// Channel width in bits per flit.
+    pub flit_width_bits: Option<u32>,
+    /// Cycles to forward one flit over one link.
+    pub flow_latency: Option<u32>,
+    /// Cycles to route a header at one router.
+    pub routing_latency: Option<u32>,
+    /// Generation-cost model for processor interfaces.
+    pub generation: Option<GenerationModel>,
+    /// Bound pattern rate by the wrapper's longest scan chain.
+    pub wrapper_shift: Option<bool>,
+}
+
+impl TimingSpec {
+    /// The concrete [`TimingModel`] after applying the overrides.
+    #[must_use]
+    pub fn resolve(&self) -> TimingModel {
+        let mut t = TimingModel::default();
+        if let Some(v) = self.flit_width_bits {
+            t.flit_width_bits = v;
+        }
+        if let Some(v) = self.flow_latency {
+            t.flow_latency = v;
+        }
+        if let Some(v) = self.routing_latency {
+            t.routing_latency = v;
+        }
+        if let Some(v) = self.generation {
+            t.generation = v;
+        }
+        if let Some(v) = self.wrapper_shift {
+            t.wrapper_shift = v;
+        }
+        t
+    }
+
+    /// `true` if no override is set.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == TimingSpec::default()
+    }
+}
+
+/// Everything the planner is fed for one run: SoC, placement, processors,
+/// power budget, scheduler selection and model knobs. Serialisable to and
+/// from JSON so campaigns are data, not code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Free-form label echoed into the [`crate::plan::PlanOutcome`].
+    pub name: String,
+    /// The cores under test.
+    pub soc: SocSource,
+    /// Mesh geometry and routing.
+    pub mesh: MeshSpec,
+    /// Embedded processors (None plans with the external tester only).
+    pub processors: Option<ProcessorSpec>,
+    /// Power budget.
+    pub budget: BudgetSpec,
+    /// Scheduler name resolved against the
+    /// [`crate::plan::SchedulerRegistry`].
+    pub scheduler: String,
+    /// Test priority policy.
+    pub priority: PriorityPolicy,
+    /// Timing-model overrides.
+    pub timing: TimingSpec,
+    /// Re-check every schedule invariant after planning (default `true`).
+    pub validate: bool,
+}
+
+impl PlanRequest {
+    /// A request for a named benchmark on a `width x height` mesh with the
+    /// default greedy scheduler and no power limit.
+    #[must_use]
+    pub fn benchmark(name: &str, width: u16, height: u16) -> Self {
+        PlanRequest {
+            name: name.to_owned(),
+            soc: SocSource::Benchmark(name.to_owned()),
+            mesh: MeshSpec {
+                width,
+                height,
+                routing: RoutingKind::Xy,
+            },
+            processors: None,
+            budget: BudgetSpec::Unlimited,
+            scheduler: "greedy".to_owned(),
+            priority: PriorityPolicy::Distance,
+            timing: TimingSpec::default(),
+            validate: true,
+        }
+    }
+
+    /// Sets the processor complement (builder style).
+    #[must_use]
+    pub fn with_processors(mut self, family: &str, total: usize, reused: usize) -> Self {
+        self.processors = Some(ProcessorSpec {
+            family: family.to_owned(),
+            total,
+            reused,
+            calibrate: true,
+            application: ApplicationSpec::Bist,
+        });
+        self
+    }
+
+    /// Sets the power budget (builder style).
+    #[must_use]
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Selects the scheduler by registry name (builder style).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: &str) -> Self {
+        self.scheduler = scheduler.to_owned();
+        self
+    }
+
+    /// Relabels the request (builder style).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Resolves the SoC description this request plans for.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::UnknownBenchmark`] for an unknown benchmark name,
+    /// [`CampaignError::Soc`] if inline `.soc` text fails to parse.
+    pub fn resolve_soc(&self) -> Result<Option<SocDesc>, CampaignError> {
+        match &self.soc {
+            SocSource::Benchmark(name) => data::by_name(name)
+                .map(Some)
+                .ok_or_else(|| CampaignError::UnknownBenchmark(name.clone())),
+            SocSource::SocText(text) => Ok(Some(parse_soc(text)?)),
+            SocSource::Cores { .. } => Ok(None),
+        }
+    }
+
+    /// Resolves (and, when requested, ISS-calibrates) the processor
+    /// profile. Results are memoised process-wide: a batch of requests
+    /// sharing a family calibrates once.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::UnknownProcessor`] for an unknown family,
+    /// [`CampaignError::Cpu`] if the instruction-set simulator faults.
+    pub fn resolve_profile(&self) -> Result<Option<ProcessorProfile>, CampaignError> {
+        let Some(spec) = &self.processors else {
+            return Ok(None);
+        };
+        if spec.reused > spec.total {
+            return Err(CampaignError::Invalid(format!(
+                "{} processors reused but only {} placed",
+                spec.reused, spec.total
+            )));
+        }
+        crate::plan::profile_cache::resolve(spec).map(Some)
+    }
+
+    /// Builds the [`SystemUnderTest`] the request describes. This is the
+    /// single place outside `SystemBuilder` itself where a request becomes
+    /// a system; every example, binary and test goes through it (directly
+    /// or via [`crate::plan::Campaign::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CampaignError`] from SoC/profile resolution or system
+    /// construction.
+    pub fn build_system(&self) -> Result<SystemUnderTest, CampaignError> {
+        let mut builder = match (&self.soc, self.resolve_soc()?) {
+            (_, Some(soc)) => {
+                SystemBuilder::from_benchmark(&soc, self.mesh.width, self.mesh.height)
+            }
+            (SocSource::Cores { name, cores }, None) => {
+                let mut b = SystemBuilder::new(
+                    if name.is_empty() { "custom" } else { name },
+                    self.mesh.width,
+                    self.mesh.height,
+                );
+                for c in cores {
+                    b = b.core(c.name.clone(), c.bits_in, c.bits_out, c.patterns, c.power);
+                }
+                b
+            }
+            _ => unreachable!("resolve_soc returns Some for benchmark/text sources"),
+        };
+        builder = builder
+            .routing(self.mesh.routing)
+            .budget(self.budget)
+            .priority(self.priority)
+            .timing(self.timing.resolve());
+        if let (Some(spec), Some(profile)) = (&self.processors, self.resolve_profile()?) {
+            builder = builder.processors(&profile, spec.total, spec.reused);
+        }
+        Ok(builder.build()?)
+    }
+
+    /// Decodes a request from its JSON form (see [`PlanRequest::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Json`] describing the first malformed member.
+    pub fn from_json_str(text: &str) -> Result<Self, CampaignError> {
+        Ok(Self::from_json(&Json::parse(text)?)?)
+    }
+
+    /// Decodes a request from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] describing the first malformed member.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        let bad = |msg: &str| JsonError {
+            at: 0,
+            message: msg.to_owned(),
+        };
+
+        let soc_doc = field(doc, "soc", "an object", |v| v.as_obj().map(|_| v))?;
+        let soc = if let Some(name) = soc_doc.get("benchmark") {
+            SocSource::Benchmark(
+                name.as_str()
+                    .ok_or_else(|| bad("`soc.benchmark` is not a string"))?
+                    .to_owned(),
+            )
+        } else if let Some(text) = soc_doc.get("soc_text") {
+            SocSource::SocText(
+                text.as_str()
+                    .ok_or_else(|| bad("`soc.soc_text` is not a string"))?
+                    .to_owned(),
+            )
+        } else if let Some(cores) = soc_doc.get("cores") {
+            let items = cores
+                .as_arr()
+                .ok_or_else(|| bad("`soc.cores` is not an array"))?;
+            let mut parsed = Vec::with_capacity(items.len());
+            for item in items {
+                parsed.push(CoreRequest {
+                    name: field(item, "name", "a string", |v| v.as_str().map(str::to_owned))?,
+                    bits_in: field(item, "bits_in", "an integer fitting u32", u32_of)?,
+                    bits_out: field(item, "bits_out", "an integer fitting u32", u32_of)?,
+                    patterns: field(item, "patterns", "an integer fitting u32", u32_of)?,
+                    power: field(item, "power", "a number", Json::as_f64)?,
+                });
+            }
+            SocSource::Cores {
+                name: field_or(soc_doc, "name", "a string", "custom".to_owned(), |v| {
+                    v.as_str().map(str::to_owned)
+                })?,
+                cores: parsed,
+            }
+        } else {
+            return Err(bad("`soc` needs one of `benchmark`, `soc_text`, `cores`"));
+        };
+
+        let mesh_doc = field(doc, "mesh", "an object", |v| v.as_obj().map(|_| v))?;
+        let mesh = MeshSpec {
+            width: field(mesh_doc, "width", "an integer fitting u16", u16_of)?,
+            height: field(mesh_doc, "height", "an integer fitting u16", u16_of)?,
+            routing: match field_or(mesh_doc, "routing", "a string", "xy".to_owned(), |v| {
+                v.as_str().map(str::to_owned)
+            })?
+            .as_str()
+            {
+                "xy" => RoutingKind::Xy,
+                "yx" => RoutingKind::Yx,
+                "west_first" => RoutingKind::WestFirst,
+                other => return Err(bad(&format!("unknown routing `{other}`"))),
+            },
+        };
+
+        let processors = match doc.get("processors") {
+            None | Some(Json::Null) => None,
+            Some(p) => {
+                let application = match p.get("application") {
+                    None | Some(Json::Null) => ApplicationSpec::Bist,
+                    Some(Json::Str(s)) if s == "bist" => ApplicationSpec::Bist,
+                    Some(a) => {
+                        if let Some(d) = a.get("decompression") {
+                            ApplicationSpec::Decompression {
+                                care_density: field(d, "care_density", "a number", Json::as_f64)?,
+                            }
+                        } else {
+                            return Err(bad(
+                                "`processors.application` must be \"bist\" or {\"decompression\": ...}",
+                            ));
+                        }
+                    }
+                };
+                Some(ProcessorSpec {
+                    family: field(p, "family", "a string", |v| v.as_str().map(str::to_owned))?,
+                    total: field(p, "total", "an integer", usize_of)?,
+                    reused: field(p, "reused", "an integer", usize_of)?,
+                    calibrate: field_or(p, "calibrate", "a boolean", true, Json::as_bool)?,
+                    application,
+                })
+            }
+        };
+
+        let budget = match doc.get("budget") {
+            None | Some(Json::Null) | Some(Json::Str(_)) => match doc.get("budget") {
+                Some(Json::Str(s)) if s == "unlimited" => BudgetSpec::Unlimited,
+                None | Some(Json::Null) => BudgetSpec::Unlimited,
+                _ => return Err(bad("string `budget` must be \"unlimited\"")),
+            },
+            Some(b) => {
+                if let Some(f) = b.get("fraction") {
+                    BudgetSpec::Fraction(
+                        f.as_f64()
+                            .ok_or_else(|| bad("`budget.fraction` is not a number"))?,
+                    )
+                } else if let Some(a) = b.get("absolute") {
+                    BudgetSpec::Absolute(
+                        a.as_f64()
+                            .ok_or_else(|| bad("`budget.absolute` is not a number"))?,
+                    )
+                } else {
+                    return Err(bad("`budget` needs `fraction` or `absolute`"));
+                }
+            }
+        };
+
+        let priority = match field_or(doc, "priority", "a string", "distance".to_owned(), |v| {
+            v.as_str().map(str::to_owned)
+        })?
+        .as_str()
+        {
+            "distance" => PriorityPolicy::Distance,
+            "volume_descending" => PriorityPolicy::VolumeDescending,
+            "index" => PriorityPolicy::Index,
+            other => return Err(bad(&format!("unknown priority `{other}`"))),
+        };
+
+        let timing = match doc.get("timing") {
+            None | Some(Json::Null) => TimingSpec::default(),
+            Some(t) => TimingSpec {
+                flit_width_bits: field_opt(t, "flit_width_bits", "an integer fitting u32", u32_of)?,
+                flow_latency: field_opt(t, "flow_latency", "an integer fitting u32", u32_of)?,
+                routing_latency: field_opt(t, "routing_latency", "an integer fitting u32", u32_of)?,
+                generation: match field_opt(t, "generation", "a string", Json::as_str)? {
+                    None => None,
+                    Some("paper_flat") => Some(GenerationModel::PaperFlat),
+                    Some("calibrated") => Some(GenerationModel::Calibrated),
+                    Some(other) => return Err(bad(&format!("unknown generation model `{other}`"))),
+                },
+                wrapper_shift: field_opt(t, "wrapper_shift", "a boolean", Json::as_bool)?,
+            },
+        };
+
+        Ok(PlanRequest {
+            name: field_or(doc, "name", "a string", String::new(), |v| {
+                v.as_str().map(str::to_owned)
+            })?,
+            soc,
+            mesh,
+            processors,
+            budget,
+            scheduler: field_or(doc, "scheduler", "a string", "greedy".to_owned(), |v| {
+                v.as_str().map(str::to_owned)
+            })?,
+            priority,
+            timing,
+            validate: field_or(doc, "validate", "a boolean", true, Json::as_bool)?,
+        })
+    }
+
+    /// Encodes the request as a JSON value (inverse of
+    /// [`PlanRequest::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let soc = match &self.soc {
+            SocSource::Benchmark(name) => Json::obj(vec![("benchmark", Json::str(name))]),
+            SocSource::SocText(text) => Json::obj(vec![("soc_text", Json::str(text))]),
+            SocSource::Cores { name, cores } => Json::obj(vec![
+                ("name", Json::str(name)),
+                (
+                    "cores",
+                    Json::Arr(
+                        cores
+                            .iter()
+                            .map(|c| {
+                                Json::obj(vec![
+                                    ("name", Json::str(&c.name)),
+                                    ("bits_in", Json::int(u64::from(c.bits_in))),
+                                    ("bits_out", Json::int(u64::from(c.bits_out))),
+                                    ("patterns", Json::int(u64::from(c.patterns))),
+                                    ("power", Json::Num(c.power)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        let mut members = vec![
+            ("name", Json::str(&self.name)),
+            ("soc", soc),
+            (
+                "mesh",
+                Json::obj(vec![
+                    ("width", Json::int(u64::from(self.mesh.width))),
+                    ("height", Json::int(u64::from(self.mesh.height))),
+                    (
+                        "routing",
+                        Json::str(match self.mesh.routing {
+                            RoutingKind::Xy => "xy",
+                            RoutingKind::Yx => "yx",
+                            RoutingKind::WestFirst => "west_first",
+                            other => unreachable!("unhandled routing kind {other:?}"),
+                        }),
+                    ),
+                ]),
+            ),
+        ];
+        if let Some(p) = &self.processors {
+            let application = match p.application {
+                ApplicationSpec::Bist => Json::str("bist"),
+                ApplicationSpec::Decompression { care_density } => Json::obj(vec![(
+                    "decompression",
+                    Json::obj(vec![("care_density", Json::Num(care_density))]),
+                )]),
+            };
+            members.push((
+                "processors",
+                Json::obj(vec![
+                    ("family", Json::str(&p.family)),
+                    ("total", Json::int(p.total as u64)),
+                    ("reused", Json::int(p.reused as u64)),
+                    ("calibrate", Json::Bool(p.calibrate)),
+                    ("application", application),
+                ]),
+            ));
+        }
+        members.push((
+            "budget",
+            match self.budget {
+                BudgetSpec::Unlimited => Json::str("unlimited"),
+                BudgetSpec::Fraction(f) => Json::obj(vec![("fraction", Json::Num(f))]),
+                BudgetSpec::Absolute(a) => Json::obj(vec![("absolute", Json::Num(a))]),
+            },
+        ));
+        members.push(("scheduler", Json::str(&self.scheduler)));
+        members.push((
+            "priority",
+            Json::str(match self.priority {
+                PriorityPolicy::Distance => "distance",
+                PriorityPolicy::VolumeDescending => "volume_descending",
+                PriorityPolicy::Index => "index",
+            }),
+        ));
+        if !self.timing.is_default() {
+            let mut t = Vec::new();
+            if let Some(v) = self.timing.flit_width_bits {
+                t.push(("flit_width_bits", Json::int(u64::from(v))));
+            }
+            if let Some(v) = self.timing.flow_latency {
+                t.push(("flow_latency", Json::int(u64::from(v))));
+            }
+            if let Some(v) = self.timing.routing_latency {
+                t.push(("routing_latency", Json::int(u64::from(v))));
+            }
+            if let Some(v) = self.timing.generation {
+                t.push((
+                    "generation",
+                    Json::str(match v {
+                        GenerationModel::PaperFlat => "paper_flat",
+                        GenerationModel::Calibrated => "calibrated",
+                    }),
+                ));
+            }
+            if let Some(v) = self.timing.wrapper_shift {
+                t.push(("wrapper_shift", Json::Bool(v)));
+            }
+            members.push(("timing", Json::obj(t)));
+        }
+        members.push(("validate", Json::Bool(self.validate)));
+        Json::obj(members)
+    }
+
+    /// The request as pretty-printed JSON text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_request() -> PlanRequest {
+        let mut r = PlanRequest::benchmark("d695", 4, 4)
+            .with_processors("leon", 6, 4)
+            .with_budget(BudgetSpec::Fraction(0.5))
+            .with_scheduler("smart")
+            .with_name("round-trip");
+        r.priority = PriorityPolicy::VolumeDescending;
+        r.mesh.routing = RoutingKind::Yx;
+        r.timing.flit_width_bits = Some(32);
+        r.timing.generation = Some(GenerationModel::PaperFlat);
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = full_request();
+        let text = r.to_json_string();
+        let back = PlanRequest::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn defaults_fill_in_missing_members() {
+        let text = r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}}"#;
+        let r = PlanRequest::from_json_str(text).unwrap();
+        assert_eq!(r.scheduler, "greedy");
+        assert_eq!(r.budget, BudgetSpec::Unlimited);
+        assert_eq!(r.priority, PriorityPolicy::Distance);
+        assert!(r.validate);
+        assert!(r.processors.is_none());
+        assert!(r.timing.is_default());
+    }
+
+    #[test]
+    fn custom_cores_roundtrip() {
+        let mut r = PlanRequest::benchmark("tiny", 3, 3);
+        r.soc = SocSource::Cores {
+            name: "tinysoc".into(),
+            cores: vec![CoreRequest {
+                name: "dsp".into(),
+                bits_in: 100,
+                bits_out: 80,
+                patterns: 12,
+                power: 55.5,
+            }],
+        };
+        let back = PlanRequest::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn decompression_application_roundtrips() {
+        let mut r = full_request();
+        r.processors.as_mut().unwrap().application =
+            ApplicationSpec::Decompression { care_density: 0.02 };
+        let back = PlanRequest::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected_not_truncated() {
+        // 65540 would silently wrap to a 4-wide mesh under an `as u16`.
+        let text = r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 65540, "height": 65537}}"#;
+        let err = PlanRequest::from_json_str(text).unwrap_err();
+        assert!(err.to_string().contains("width"), "{err}");
+        let text = r#"{"soc": {"cores": [{"name": "x", "bits_in": 4294967296,
+            "bits_out": 1, "patterns": 1, "power": 1.0}]},
+            "mesh": {"width": 3, "height": 3}}"#;
+        assert!(PlanRequest::from_json_str(text).is_err());
+    }
+
+    #[test]
+    fn mistyped_timing_overrides_are_errors_not_ignored() {
+        for text in [
+            // String where a number is required.
+            r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4},
+                "timing": {"flow_latency": "7"}}"#,
+            // Negative latency.
+            r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4},
+                "timing": {"routing_latency": -1}}"#,
+            // Number where a boolean is required.
+            r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4},
+                "timing": {"wrapper_shift": 1}}"#,
+        ] {
+            assert!(
+                PlanRequest::from_json_str(text).is_err(),
+                "silently ignored override in {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_members_are_reported() {
+        for text in [
+            r#"{"mesh": {"width": 4, "height": 4}}"#,
+            r#"{"soc": {}, "mesh": {"width": 4, "height": 4}}"#,
+            r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4}}"#,
+            r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}, "budget": {"x": 1}}"#,
+            r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}, "priority": "zigzag"}"#,
+            r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4, "routing": "diag"}}"#,
+        ] {
+            assert!(PlanRequest::from_json_str(text).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn build_system_places_benchmark() {
+        let sys = PlanRequest::benchmark("d695", 4, 4)
+            .with_processors("leon", 6, 2)
+            .build_system()
+            .unwrap();
+        assert_eq!(sys.cuts().len(), 16);
+        assert_eq!(sys.interfaces().len(), 3);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_reported() {
+        let err = PlanRequest::benchmark("g1023", 4, 4)
+            .build_system()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::UnknownBenchmark(_)));
+    }
+
+    #[test]
+    fn reused_beyond_total_is_invalid() {
+        let mut r = PlanRequest::benchmark("d695", 4, 4).with_processors("leon", 2, 4);
+        r.validate = false;
+        assert!(matches!(
+            r.build_system().unwrap_err(),
+            CampaignError::Invalid(_)
+        ));
+    }
+}

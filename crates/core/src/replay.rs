@@ -48,15 +48,9 @@ impl StreamReplay {
 /// `flits` flits over `hops` hops: per-packet serialisation plus one
 /// routing bubble, plus the pipeline fill of the first packet.
 #[must_use]
-pub fn analytic_stream_cycles(
-    sys: &SystemUnderTest,
-    packets: u32,
-    flits: u32,
-    hops: u32,
-) -> u64 {
+pub fn analytic_stream_cycles(sys: &SystemUnderTest, packets: u32, flits: u32, hops: u32) -> u64 {
     let t = sys.timing();
-    let per_packet =
-        u64::from(flits) * u64::from(t.flow_latency) + u64::from(t.routing_latency);
+    let per_packet = u64::from(flits) * u64::from(t.flow_latency) + u64::from(t.routing_latency);
     u64::from(packets) * per_packet
         + u64::from(hops) * u64::from(t.routing_latency + t.flow_latency)
 }
@@ -97,8 +91,8 @@ pub fn replay_stimulus_stream(
     for i in 0..packets {
         net.inject(Packet::new(src, dst, payload).with_tag(u64::from(i)))?;
     }
-    let budget = 1_000 + 100 * u64::from(packets) * u64::from(flits_total)
-        * u64::from(t.flow_latency);
+    let budget =
+        1_000 + 100 * u64::from(packets) * u64::from(flits_total) * u64::from(t.flow_latency);
     let delivered = net.run_until_idle(budget)?;
     let simulated_cycles = delivered
         .iter()
@@ -202,10 +196,7 @@ pub fn replay_concurrent_streams(
 
     let solo_a = run(&[(src_a, dst_a, n_a, pay_a, 1)])?[0];
     let solo_b = run(&[(src_b, dst_b, n_b, pay_b, 2)])?[0];
-    let both = run(&[
-        (src_a, dst_a, n_a, pay_a, 1),
-        (src_b, dst_b, n_b, pay_b, 2),
-    ])?;
+    let both = run(&[(src_a, dst_a, n_a, pay_a, 1), (src_b, dst_b, n_b, pay_b, 2)])?;
     Ok(ConcurrentReplay {
         solo_a,
         solo_b,

@@ -113,10 +113,7 @@ mod tests {
         let (sys, schedule) = setup();
         let text = csv(&sys, &schedule);
         let mut lines = text.lines();
-        assert_eq!(
-            lines.next().unwrap(),
-            "cut,name,interface,start,end,cycles"
-        );
+        assert_eq!(lines.next().unwrap(), "cut,name,interface,start,end,cycles");
         let rows: Vec<&str> = lines.collect();
         assert_eq!(rows.len(), sys.cuts().len());
         for row in rows {

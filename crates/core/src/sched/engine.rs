@@ -61,7 +61,6 @@ impl EngineState<'_> {
         let draw = self.active_power + self.sys.session_power(iface, cut);
         self.sys.budget().allows(draw)
     }
-
 }
 
 /// The pluggable decision: given the waiting cores in priority order,
@@ -86,11 +85,7 @@ pub(crate) fn run_engine(
     }
     let order = sys.priority_order();
     let mut remaining: Vec<CutId> = order;
-    let proc_count = sys
-        .interfaces()
-        .iter()
-        .filter(|i| !i.is_external())
-        .count();
+    let proc_count = sys.interfaces().iter().filter(|i| !i.is_external()).count();
     let mut state = EngineState {
         sys,
         now: 0,

@@ -95,11 +95,17 @@ impl Schedule {
         peak.max(0) as usize
     }
 
-    /// Peak instantaneous power draw under `sys`'s power model.
-    #[must_use]
-    pub fn peak_power(&self, sys: &SystemUnderTest) -> f64 {
-        let mut peak: f64 = 0.0;
-        for probe in &self.entries {
+    /// Instantaneous power draw at each session start, as
+    /// `(cycle, draw)` pairs in entry order. The total draw only changes
+    /// when a session starts (ends only lower it), so sampling the starts
+    /// covers every maximum — this is the one scan backing both
+    /// [`Schedule::peak_power`] and the budget invariant of
+    /// [`Schedule::validate`].
+    pub fn draws_at_session_starts<'a>(
+        &'a self,
+        sys: &'a SystemUnderTest,
+    ) -> impl Iterator<Item = (u64, f64)> + 'a {
+        self.entries.iter().map(move |probe| {
             let t = probe.start;
             let draw: f64 = self
                 .entries
@@ -107,9 +113,16 @@ impl Schedule {
                 .filter(|e| e.start <= t && t < e.end)
                 .map(|e| sys.session_power(e.interface, e.cut))
                 .sum();
-            peak = peak.max(draw);
-        }
-        peak
+            (t, draw)
+        })
+    }
+
+    /// Peak instantaneous power draw under `sys`'s power model.
+    #[must_use]
+    pub fn peak_power(&self, sys: &SystemUnderTest) -> f64 {
+        self.draws_at_session_starts(sys)
+            .map(|(_, draw)| draw)
+            .fold(0.0, f64::max)
     }
 
     /// Mean number of active sessions over the makespan (a parallelism
@@ -185,15 +198,8 @@ impl Schedule {
             }
         }
 
-        // 4. Power at every session start (draw only changes at events).
-        for probe in &self.entries {
-            let t = probe.start;
-            let draw: f64 = self
-                .entries
-                .iter()
-                .filter(|e| e.start <= t && t < e.end)
-                .map(|e| sys.session_power(e.interface, e.cut))
-                .sum();
+        // 4. Power at every session start (draw only changes at starts).
+        for (t, draw) in self.draws_at_session_starts(sys) {
             if !sys.budget().allows(draw) {
                 return invalid(format!(
                     "power draw {draw:.1} at cycle {t} exceeds budget {:?}",
@@ -239,7 +245,12 @@ impl Schedule {
 }
 
 /// A test-planning algorithm.
-pub trait Scheduler {
+///
+/// Implementations must be `Send + Sync`: the Campaign API shares them
+/// across worker threads as [`std::sync::Arc`]`<dyn Scheduler>` entries of
+/// a [`crate::plan::SchedulerRegistry`]. Keep per-run state inside
+/// [`Scheduler::schedule`], not in the scheduler value.
+pub trait Scheduler: Send + Sync + std::fmt::Debug {
     /// Algorithm name (for reports).
     fn name(&self) -> &'static str;
 

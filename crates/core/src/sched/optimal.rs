@@ -298,9 +298,13 @@ mod tests {
                 50.0 + 10.0 * i as f64,
             );
         }
-        b.processors(&ProcessorProfile::plasma().calibrated().unwrap(), procs, procs)
-            .build()
-            .unwrap()
+        b.processors(
+            &ProcessorProfile::plasma().calibrated().unwrap(),
+            procs,
+            procs,
+        )
+        .build()
+        .unwrap()
     }
 
     #[test]

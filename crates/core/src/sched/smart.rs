@@ -103,8 +103,7 @@ impl InterfacePolicy for MinCompletion {
                 if ext_busy_until > state.now {
                     let wait = ext_busy_until - state.now;
                     let ext_completion = ext_busy_until + state.sys.session_cycles(ext, cut);
-                    if ext_completion < now_completion && 4 * wait <= now_completion - state.now
-                    {
+                    if ext_completion < now_completion && 4 * wait <= now_completion - state.now {
                         *claim = Some(cut);
                         continue;
                     }
@@ -181,7 +180,10 @@ mod tests {
                 log_ratio_sum += ratio.ln();
                 points += 1;
                 best_ratio = best_ratio.min(ratio);
-                assert!(ratio < 2.0, "smart collapsed at {reused} processors: {ratio}");
+                assert!(
+                    ratio < 2.0,
+                    "smart collapsed at {reused} processors: {ratio}"
+                );
             }
         }
         let geo_mean = (log_ratio_sum / points as f64).exp();

@@ -19,12 +19,12 @@ use noctest_itc02::SocDesc;
 use noctest_noc::{Mesh, NodeId, RoutingKind};
 
 use crate::cut::{CoreUnderTest, CutId, CutKind};
-use crate::wrapper::WrapperDesign;
 use crate::error::PlanError;
 use crate::interface::{InterfaceId, TestInterface};
 use crate::path::TestPath;
 use crate::power::{PowerBudget, PowerModel};
 use crate::timing::TimingModel;
+use crate::wrapper::WrapperDesign;
 
 /// Test priority policy: the order in which waiting cores are offered a
 /// start. The paper's rule is distance-based ("the cores closer to IO
@@ -244,10 +244,7 @@ impl SystemBuilder {
             });
         }
         if self.core_specs.is_empty() && self.processors_total == 0 {
-            return Err(PlanError::MeshTooSmall {
-                nodes,
-                required: 0,
-            });
+            return Err(PlanError::MeshTooSmall { nodes, required: 0 });
         }
 
         let ext_in = mesh
@@ -256,12 +253,12 @@ impl SystemBuilder {
                 nodes,
                 required: self.core_specs.len(),
             })?;
-        let ext_out = mesh
-            .node_at(self.ext_out.0, self.ext_out.1)
-            .ok_or(PlanError::MeshTooSmall {
-                nodes,
-                required: self.core_specs.len(),
-            })?;
+        let ext_out =
+            mesh.node_at(self.ext_out.0, self.ext_out.1)
+                .ok_or(PlanError::MeshTooSmall {
+                    nodes,
+                    required: self.core_specs.len(),
+                })?;
 
         // --- Placement -------------------------------------------------
         let proc_nodes = farthest_point_sites(&mesh, &[ext_in, ext_out], self.processors_total);
@@ -273,10 +270,7 @@ impl SystemBuilder {
                 required: self.processors_total + 2,
             });
         }
-        let core_sites: Vec<NodeId> = mesh
-            .nodes()
-            .filter(|n| !proc_nodes.contains(n))
-            .collect();
+        let core_sites: Vec<NodeId> = mesh.nodes().filter(|n| !proc_nodes.contains(n)).collect();
         if core_sites.is_empty() && !self.core_specs.is_empty() {
             return Err(PlanError::MeshTooSmall {
                 nodes,
@@ -562,9 +556,9 @@ impl SystemUnderTest {
                     id.0,
                 )
             }),
-            PriorityPolicy::Index => order.sort_by_key(|&id| {
-                (u32::from(!self.cut(id).is_processor()), id.0)
-            }),
+            PriorityPolicy::Index => {
+                order.sort_by_key(|&id| (u32::from(!self.cut(id).is_processor()), id.0))
+            }
         }
         order
     }
@@ -675,11 +669,7 @@ mod tests {
     #[test]
     fn session_cycles_depend_on_interface() {
         let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
-            .processors(
-                &ProcessorProfile::plasma().calibrated().unwrap(),
-                6,
-                6,
-            )
+            .processors(&ProcessorProfile::plasma().calibrated().unwrap(), 6, 6)
             .build()
             .unwrap();
         // Pick the largest core; the calibrated processor should be slower

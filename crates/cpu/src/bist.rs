@@ -376,10 +376,14 @@ mod tests {
         // The sink recomputes the LFSR *and* loads/compares the response,
         // so it must be slower per word than the generator.
         let gen = run_mips_bist(DEFAULT_SEED, 512).unwrap().cycles_per_word();
-        let chk = run_mips_check(DEFAULT_SEED, 512, &[]).unwrap().cycles_per_word();
+        let chk = run_mips_check(DEFAULT_SEED, 512, &[])
+            .unwrap()
+            .cycles_per_word();
         assert!(chk > gen, "check {chk} must exceed generate {gen}");
         let gen_s = run_sparc_bist(DEFAULT_SEED, 512).unwrap().cycles_per_word();
-        let chk_s = run_sparc_check(DEFAULT_SEED, 512, &[]).unwrap().cycles_per_word();
+        let chk_s = run_sparc_check(DEFAULT_SEED, 512, &[])
+            .unwrap()
+            .cycles_per_word();
         assert!(chk_s > gen_s);
     }
 }

@@ -324,7 +324,9 @@ mod tests {
 
     #[test]
     fn incompressible_data_costs_little() {
-        let data: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let data: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
         let stream = compress(&data);
         // One token per literal block plus terminator: minimal overhead.
         assert!(stream.len() <= data.len() + 8);
@@ -363,7 +365,11 @@ mod tests {
         let data = synthetic_test_words(2048, 0.05, 0x1234);
         let stream = compress(&data);
         let run = run_mips_decompress(&stream).unwrap();
-        assert!(run.compression_ratio() > 2.0, "ratio {}", run.compression_ratio());
+        assert!(
+            run.compression_ratio() > 2.0,
+            "ratio {}",
+            run.compression_ratio()
+        );
         assert!(
             run.cycles_per_word() < 9.0,
             "decompression {} cy/word should beat the LFSR",

@@ -145,9 +145,9 @@ fn err(line: usize, message: impl Into<String>) -> AsmError {
 
 fn reg(name: &str, line: usize) -> Result<u8, AsmError> {
     const NAMES: [&str; 32] = [
-        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
-        "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp",
-        "sp", "fp", "ra",
+        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+        "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+        "fp", "ra",
     ];
     let n = name
         .strip_prefix('$')
@@ -217,8 +217,9 @@ fn branch_offset(
 ) -> Result<u16, AsmError> {
     let dest = match labels.get(target) {
         Some(&d) => d,
-        None => parse_imm_u32(target)
-            .map_err(|()| err(line, format!("undefined label `{target}`")))?,
+        None => {
+            parse_imm_u32(target).map_err(|()| err(line, format!("undefined label `{target}`")))?
+        }
     };
     let diff = (i64::from(dest) - i64::from(pc) - 4) / 4;
     if (-32768..=32767).contains(&diff) {
@@ -229,7 +230,10 @@ fn branch_offset(
 }
 
 fn r_type(funct: u32, rs: u8, rt: u8, rd: u8, sa: u8) -> u32 {
-    (u32::from(rs) << 21) | (u32::from(rt) << 16) | (u32::from(rd) << 11) | (u32::from(sa) << 6)
+    (u32::from(rs) << 21)
+        | (u32::from(rt) << 16)
+        | (u32::from(rd) << 11)
+        | (u32::from(sa) << 6)
         | funct
 }
 
@@ -423,7 +427,13 @@ fn encode_instr(
         }
         "move" => {
             need(args, 2, line, mnemonic)?;
-            Ok(r_type(0x21, reg(&args[1], line)?, 0, reg(&args[0], line)?, 0))
+            Ok(r_type(
+                0x21,
+                reg(&args[1], line)?,
+                0,
+                reg(&args[0], line)?,
+                0,
+            ))
         }
         "b" => {
             need(args, 1, line, mnemonic)?;

@@ -117,8 +117,16 @@ pub fn decode(word: u32, pc: u32) -> Result<Instr, ExecError> {
         },
         2 => Instr::J { target },
         3 => Instr::Jal { target },
-        4 => Instr::Beq { rs, rt, offset: simm },
-        5 => Instr::Bne { rs, rt, offset: simm },
+        4 => Instr::Beq {
+            rs,
+            rt,
+            offset: simm,
+        },
+        5 => Instr::Bne {
+            rs,
+            rt,
+            offset: simm,
+        },
         6 => Instr::Blez { rs, offset: simm },
         7 => Instr::Bgtz { rs, offset: simm },
         8 | 9 => Instr::Addiu { rt, rs, imm: simm },
@@ -128,14 +136,46 @@ pub fn decode(word: u32, pc: u32) -> Result<Instr, ExecError> {
         13 => Instr::Ori { rt, rs, imm },
         14 => Instr::Xori { rt, rs, imm },
         15 => Instr::Lui { rt, imm },
-        32 => Instr::Lb { rt, rs, offset: simm },
-        33 => Instr::Lh { rt, rs, offset: simm },
-        35 => Instr::Lw { rt, rs, offset: simm },
-        36 => Instr::Lbu { rt, rs, offset: simm },
-        37 => Instr::Lhu { rt, rs, offset: simm },
-        40 => Instr::Sb { rt, rs, offset: simm },
-        41 => Instr::Sh { rt, rs, offset: simm },
-        43 => Instr::Sw { rt, rs, offset: simm },
+        32 => Instr::Lb {
+            rt,
+            rs,
+            offset: simm,
+        },
+        33 => Instr::Lh {
+            rt,
+            rs,
+            offset: simm,
+        },
+        35 => Instr::Lw {
+            rt,
+            rs,
+            offset: simm,
+        },
+        36 => Instr::Lbu {
+            rt,
+            rs,
+            offset: simm,
+        },
+        37 => Instr::Lhu {
+            rt,
+            rs,
+            offset: simm,
+        },
+        40 => Instr::Sb {
+            rt,
+            rs,
+            offset: simm,
+        },
+        41 => Instr::Sh {
+            rt,
+            rs,
+            offset: simm,
+        },
+        43 => Instr::Sw {
+            rt,
+            rs,
+            offset: simm,
+        },
         _ => return Err(unknown()),
     })
 }
@@ -162,7 +202,14 @@ mod tests {
     fn decodes_shift_with_shamt() {
         // sll $5, $4, 7
         let word = (4 << 16) | (5 << 11) | (7 << 6);
-        assert_eq!(decode(word, 0).unwrap(), Instr::Sll { rd: 5, rt: 4, sa: 7 });
+        assert_eq!(
+            decode(word, 0).unwrap(),
+            Instr::Sll {
+                rd: 5,
+                rt: 4,
+                sa: 7
+            }
+        );
     }
 
     #[test]
@@ -190,10 +237,7 @@ mod tests {
     #[test]
     fn decodes_regimm_branches() {
         let word = (1 << 26) | (3 << 21) | (1 << 16) | 0x0010;
-        assert_eq!(
-            decode(word, 0).unwrap(),
-            Instr::Bgez { rs: 3, offset: 16 }
-        );
+        assert_eq!(decode(word, 0).unwrap(), Instr::Bgez { rs: 3, offset: 16 });
     }
 
     #[test]

@@ -225,8 +225,7 @@ mod tests {
     fn leon_self_test_is_heavier_than_plasma() {
         let leon = ProcessorProfile::leon();
         let plasma = ProcessorProfile::plasma();
-        let leon_volume =
-            u64::from(leon.self_test_patterns) * u64::from(leon.self_test_bits_in());
+        let leon_volume = u64::from(leon.self_test_patterns) * u64::from(leon.self_test_bits_in());
         let plasma_volume =
             u64::from(plasma.self_test_patterns) * u64::from(plasma.self_test_bits_in());
         assert!(leon_volume > plasma_volume);
@@ -252,10 +251,7 @@ mod tests {
     #[test]
     fn by_name_roundtrip() {
         assert_eq!(ProcessorProfile::by_name("leon").unwrap().isa, Isa::SparcV8);
-        assert_eq!(
-            ProcessorProfile::by_name("plasma").unwrap().isa,
-            Isa::MipsI
-        );
+        assert_eq!(ProcessorProfile::by_name("plasma").unwrap().isa, Isa::MipsI);
         assert!(ProcessorProfile::by_name("arm").is_none());
     }
 

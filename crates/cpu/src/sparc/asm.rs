@@ -59,12 +59,7 @@ enum Item {
 fn clean_lines(src: &str) -> Vec<Line> {
     let mut out = Vec::new();
     for (i, raw) in src.lines().enumerate() {
-        let mut text = raw
-            .split(['!', '#'])
-            .next()
-            .unwrap_or("")
-            .trim()
-            .to_owned();
+        let mut text = raw.split(['!', '#']).next().unwrap_or("").trim().to_owned();
         let mut items = Vec::new();
         while let Some(colon) = text.find(':') {
             let (label, rest) = text.split_at(colon);

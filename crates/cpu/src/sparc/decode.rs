@@ -87,18 +87,62 @@ pub enum AluOp {
 #[allow(missing_docs)]
 #[non_exhaustive]
 pub enum Instr {
-    SetHi { rd: u8, imm22: u32 },
-    Branch { cond: Cond, annul: bool, disp22: i32 },
-    Call { disp30: i32 },
-    Alu { op: AluOp, rd: u8, rs1: u8, op2: Operand2 },
-    Jmpl { rd: u8, rs1: u8, op2: Operand2 },
-    Save { rd: u8, rs1: u8, op2: Operand2 },
-    Restore { rd: u8, rs1: u8, op2: Operand2 },
-    Load { rd: u8, rs1: u8, op2: Operand2, width: u8, signed: bool },
-    Store { rd: u8, rs1: u8, op2: Operand2, width: u8 },
-    Trap { op2: Operand2 },
-    RdY { rd: u8 },
-    WrY { rs1: u8, op2: Operand2 },
+    SetHi {
+        rd: u8,
+        imm22: u32,
+    },
+    Branch {
+        cond: Cond,
+        annul: bool,
+        disp22: i32,
+    },
+    Call {
+        disp30: i32,
+    },
+    Alu {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        op2: Operand2,
+    },
+    Jmpl {
+        rd: u8,
+        rs1: u8,
+        op2: Operand2,
+    },
+    Save {
+        rd: u8,
+        rs1: u8,
+        op2: Operand2,
+    },
+    Restore {
+        rd: u8,
+        rs1: u8,
+        op2: Operand2,
+    },
+    Load {
+        rd: u8,
+        rs1: u8,
+        op2: Operand2,
+        width: u8,
+        signed: bool,
+    },
+    Store {
+        rd: u8,
+        rs1: u8,
+        op2: Operand2,
+        width: u8,
+    },
+    Trap {
+        op2: Operand2,
+    },
+    RdY {
+        rd: u8,
+    },
+    WrY {
+        rs1: u8,
+        op2: Operand2,
+    },
 }
 
 fn op2_field(word: u32) -> Operand2 {
@@ -186,14 +230,59 @@ pub fn decode(word: u32, pc: u32) -> Result<Instr, ExecError> {
             let op3 = (word >> 19) & 63;
             let o2 = op2_field(word);
             match op3 {
-                0x00 => Instr::Load { rd, rs1, op2: o2, width: 4, signed: false },
-                0x01 => Instr::Load { rd, rs1, op2: o2, width: 1, signed: false },
-                0x02 => Instr::Load { rd, rs1, op2: o2, width: 2, signed: false },
-                0x09 => Instr::Load { rd, rs1, op2: o2, width: 1, signed: true },
-                0x0A => Instr::Load { rd, rs1, op2: o2, width: 2, signed: true },
-                0x04 => Instr::Store { rd, rs1, op2: o2, width: 4 },
-                0x05 => Instr::Store { rd, rs1, op2: o2, width: 1 },
-                0x06 => Instr::Store { rd, rs1, op2: o2, width: 2 },
+                0x00 => Instr::Load {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 4,
+                    signed: false,
+                },
+                0x01 => Instr::Load {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 1,
+                    signed: false,
+                },
+                0x02 => Instr::Load {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 2,
+                    signed: false,
+                },
+                0x09 => Instr::Load {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 1,
+                    signed: true,
+                },
+                0x0A => Instr::Load {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 2,
+                    signed: true,
+                },
+                0x04 => Instr::Store {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 4,
+                },
+                0x05 => Instr::Store {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 1,
+                },
+                0x06 => Instr::Store {
+                    rd,
+                    rs1,
+                    op2: o2,
+                    width: 2,
+                },
                 _ => return Err(unknown()),
             }
         }

@@ -321,12 +321,19 @@ impl Sparc {
             Instr::Load { .. } => m.load,
             Instr::Store { .. } => m.store,
             Instr::Branch { .. } | Instr::Call { .. } | Instr::Jmpl { .. } => m.branch,
-            Instr::Alu { op: AluOp::UMul | AluOp::SMul, .. } => m.mul,
+            Instr::Alu {
+                op: AluOp::UMul | AluOp::SMul,
+                ..
+            } => m.mul,
             _ => m.alu,
         };
         match instr {
             Instr::SetHi { rd, imm22 } => self.set_reg(rd, imm22 << 10),
-            Instr::Branch { cond, annul, disp22 } => {
+            Instr::Branch {
+                cond,
+                annul,
+                disp22,
+            } => {
                 let taken = self.cond_holds(cond);
                 if taken {
                     self.npc = fetch_pc.wrapping_add((disp22 << 2) as u32);
@@ -380,7 +387,13 @@ impl Sparc {
                 self.depth -= 1;
                 self.set_reg(rd, r);
             }
-            Instr::Load { rd, rs1, op2, width, signed } => {
+            Instr::Load {
+                rd,
+                rs1,
+                op2,
+                width,
+                signed,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(self.operand2(op2));
                 let v = match (width, signed) {
                     (4, _) => self.mem.load_word(addr)?,
@@ -392,7 +405,12 @@ impl Sparc {
                 };
                 self.set_reg(rd, v);
             }
-            Instr::Store { rd, rs1, op2, width } => {
+            Instr::Store {
+                rd,
+                rs1,
+                op2,
+                width,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(self.operand2(op2));
                 let v = self.reg(rd);
                 match width {

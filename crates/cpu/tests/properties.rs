@@ -1,41 +1,65 @@
-//! Property tests: the two ISS agree with the host LFSR reference for any
-//! seed, and assembled programs decode cleanly.
-
-use proptest::prelude::*;
+//! Property-style tests: the two ISS agree with the host LFSR reference
+//! for any seed, and assembled programs decode cleanly (seeded,
+//! dependency-free generators from `noctest-testkit`).
 
 use noctest_cpu::bist::{reference_sequence, run_mips_bist, run_sparc_bist};
 use noctest_cpu::{mips, sparc, Memory};
+use noctest_testkit::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The MIPS-simulated BIST kernel reproduces the host LFSR bit-exactly
-    /// for arbitrary seeds and lengths.
-    #[test]
-    fn mips_bist_matches_reference(seed in any::<u32>(), n in 1u32..200) {
-        let run = run_mips_bist(seed, n).unwrap();
-        prop_assert_eq!(run.words, reference_sequence(seed, n as usize));
+/// The MIPS-simulated BIST kernel reproduces the host LFSR bit-exactly
+/// for arbitrary seeds and lengths.
+#[test]
+fn mips_bist_matches_reference() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let lfsr_seed = rng.next_u32();
+        let n = rng.range_u32(1, 199);
+        let run = run_mips_bist(lfsr_seed, n).unwrap();
+        assert_eq!(
+            run.words,
+            reference_sequence(lfsr_seed, n as usize),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Same for the SPARC kernel.
-    #[test]
-    fn sparc_bist_matches_reference(seed in any::<u32>(), n in 1u32..200) {
-        let run = run_sparc_bist(seed, n).unwrap();
-        prop_assert_eq!(run.words, reference_sequence(seed, n as usize));
+/// Same for the SPARC kernel.
+#[test]
+fn sparc_bist_matches_reference() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let lfsr_seed = rng.next_u32();
+        let n = rng.range_u32(1, 199);
+        let run = run_sparc_bist(lfsr_seed, n).unwrap();
+        assert_eq!(
+            run.words,
+            reference_sequence(lfsr_seed, n as usize),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Cycle counts are deterministic: the same run twice costs the same.
-    #[test]
-    fn bist_cycles_deterministic(seed in any::<u32>(), n in 1u32..100) {
-        let a = run_mips_bist(seed, n).unwrap();
-        let b = run_mips_bist(seed, n).unwrap();
-        prop_assert_eq!(a.cycles, b.cycles);
+/// Cycle counts are deterministic: the same run twice costs the same.
+#[test]
+fn bist_cycles_deterministic() {
+    for seed in noctest_testkit::seeds(24) {
+        let mut rng = Rng::new(seed);
+        let lfsr_seed = rng.next_u32();
+        let n = rng.range_u32(1, 99);
+        let a = run_mips_bist(lfsr_seed, n).unwrap();
+        let b = run_mips_bist(lfsr_seed, n).unwrap();
+        assert_eq!(a.cycles, b.cycles, "seed {seed}");
     }
+}
 
-    /// Every instruction emitted by the MIPS assembler decodes back
-    /// (the assembler never produces encodings outside the subset).
-    #[test]
-    fn mips_assembler_output_decodes(shift in 0u8..31, imm in -100i32..100) {
+/// Every instruction emitted by the MIPS assembler decodes back
+/// (the assembler never produces encodings outside the subset).
+#[test]
+fn mips_assembler_output_decodes() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let shift = rng.range_u32(0, 30);
+        let imm = rng.range_u32(0, 199) as i32 - 100;
         let src = format!(
             "addiu $t0, $zero, {imm}\n\
              sll $t1, $t0, {shift}\n\
@@ -45,13 +69,21 @@ proptest! {
         );
         let words = mips::assemble(&src).unwrap();
         for (i, w) in words.iter().enumerate() {
-            prop_assert!(mips::decode(*w, (i * 4) as u32).is_ok());
+            assert!(
+                mips::decode(*w, (i * 4) as u32).is_ok(),
+                "seed {seed}: word {i} fails to decode"
+            );
         }
     }
+}
 
-    /// Same for the SPARC assembler.
-    #[test]
-    fn sparc_assembler_output_decodes(shift in 0u8..31, imm in -100i32..100) {
+/// Same for the SPARC assembler.
+#[test]
+fn sparc_assembler_output_decodes() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let shift = rng.range_u32(0, 30);
+        let imm = rng.range_u32(0, 199) as i32 - 100;
         let src = format!(
             "mov {imm}, %g1\n\
              sll %g1, {shift}, %g2\n\
@@ -61,14 +93,23 @@ proptest! {
         );
         let words = sparc::assemble(&src).unwrap();
         for (i, w) in words.iter().enumerate() {
-            prop_assert!(sparc::decode(*w, (i * 4) as u32).is_ok());
+            assert!(
+                sparc::decode(*w, (i * 4) as u32).is_ok(),
+                "seed {seed}: word {i} fails to decode"
+            );
         }
     }
+}
 
-    /// Shift-left then arithmetic-shift-right of a small non-negative value
-    /// is the identity on both simulated ISAs (cross-ISA semantic check).
-    #[test]
-    fn shift_roundtrip_cross_isa(v in 0u32..0xFFFF, shift in 0u8..16) {
+/// Shift-left then logical-shift-right of a small non-negative value is
+/// the identity on both simulated ISAs (cross-ISA semantic check).
+#[test]
+fn shift_roundtrip_cross_isa() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let v = rng.range_u32(0, 0xFFFE);
+        let shift = rng.range_u32(0, 15);
+
         // MIPS
         let src = format!(
             "lui $t0, {hi}\nori $t0, $t0, {lo}\n\
@@ -81,7 +122,7 @@ proptest! {
         mem.load_image(0, &image).unwrap();
         let mut cpu = mips::Mips::new(mem, 0);
         cpu.run(1000).unwrap();
-        prop_assert_eq!(cpu.reg(10), v);
+        assert_eq!(cpu.reg(10), v, "seed {seed} (mips)");
 
         // SPARC
         let src = format!(
@@ -93,6 +134,6 @@ proptest! {
         mem.load_image(0, &image).unwrap();
         let mut cpu = sparc::Sparc::new(mem, 0);
         cpu.run(1000).unwrap();
-        prop_assert_eq!(cpu.reg(3), v);
+        assert_eq!(cpu.reg(3), v, "seed {seed} (sparc)");
     }
 }

@@ -113,7 +113,10 @@ pub fn balanced_chains(total: u32, n: u32) -> Vec<u32> {
         assert_eq!(total, 0, "scan flip-flops without chains");
         return Vec::new();
     }
-    assert!(total >= n, "cannot split {total} flip-flops into {n} chains");
+    assert!(
+        total >= n,
+        "cannot split {total} flip-flops into {n} chains"
+    );
     let base = total / n;
     let extra = total % n;
     (0..n).map(|i| base + u32::from(i < extra)).collect()
@@ -158,14 +161,16 @@ pub fn d695() -> SocDesc {
 #[must_use]
 pub fn p22810() -> SocDesc {
     static SOC: OnceLock<SocDesc> = OnceLock::new();
-    SOC.get_or_init(|| synth_soc("p22810", &P22810_ROWS)).clone()
+    SOC.get_or_init(|| synth_soc("p22810", &P22810_ROWS))
+        .clone()
 }
 
 /// The p93791 stand-in (32 cores). See module docs for the substitution.
 #[must_use]
 pub fn p93791() -> SocDesc {
     static SOC: OnceLock<SocDesc> = OnceLock::new();
-    SOC.get_or_init(|| synth_soc("p93791", &P93791_ROWS)).clone()
+    SOC.get_or_init(|| synth_soc("p93791", &P93791_ROWS))
+        .clone()
 }
 
 /// Looks a benchmark up by name (`"d695"`, `"p22810"`, `"p93791"`).

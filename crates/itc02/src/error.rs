@@ -74,7 +74,10 @@ impl fmt::Display for ParseError {
                 write!(f, "invalid number `{token}` for field `{field}`")
             }
             ParseErrorKind::InvalidFlag { field, token } => {
-                write!(f, "invalid flag `{token}` for field `{field}` (expected yes/no)")
+                write!(
+                    f,
+                    "invalid flag `{token}` for field `{field}` (expected yes/no)"
+                )
             }
             ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of file"),
             ParseErrorKind::CountMismatch {

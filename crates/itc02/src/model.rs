@@ -336,16 +336,7 @@ mod tests {
     fn total_power_sums_annotations() {
         let a = sample_module().with_power(100.0);
         let mut b = sample_module().with_power(50.0);
-        b = Module::new(
-            ModuleId(2),
-            1,
-            1,
-            1,
-            0,
-            vec![],
-            vec![],
-        )
-        .with_power(b.power().unwrap());
+        b = Module::new(ModuleId(2), 1, 1, 1, 0, vec![], vec![]).with_power(b.power().unwrap());
         let soc = SocDesc::new("x", vec![a, b]);
         assert!((soc.total_test_power() - 150.0).abs() < 1e-12);
     }

@@ -153,7 +153,15 @@ fn parse_module(tokens: &mut Tokenizer<'_>) -> Result<Module, ParseError> {
         }
     }
 
-    let mut module = Module::new(ModuleId(id), level, inputs, outputs, bidirs, scan_chains, tests);
+    let mut module = Module::new(
+        ModuleId(id),
+        level,
+        inputs,
+        outputs,
+        bidirs,
+        scan_chains,
+        tests,
+    );
     if let Some(p) = power {
         module = module.with_power(p);
     }
@@ -242,11 +250,9 @@ impl<'a> Tokenizer<'a> {
 
     fn parse_number<T: std::str::FromStr>(&mut self, field: &'static str) -> Result<T, ParseError> {
         let tok = self.next_token(field)?;
-        tok.parse().map_err(|_| {
-            ParseError {
-                line: self.current_line(),
-                kind: ParseErrorKind::InvalidNumber { field, token: tok },
-            }
+        tok.parse().map_err(|_| ParseError {
+            line: self.current_line(),
+            kind: ParseErrorKind::InvalidNumber { field, token: tok },
         })
     }
 

@@ -39,8 +39,16 @@ pub fn write_soc(soc: &SocDesc) -> String {
                 "  Test {} Patterns {} ScanUse {} TamUse {}",
                 t.id,
                 t.patterns,
-                if t.scan_use == ScanUse::Yes { "yes" } else { "no" },
-                if t.tam_use == TamUse::Yes { "yes" } else { "no" },
+                if t.scan_use == ScanUse::Yes {
+                    "yes"
+                } else {
+                    "no"
+                },
+                if t.tam_use == TamUse::Yes {
+                    "yes"
+                } else {
+                    "no"
+                },
             );
         }
         if let Some(p) = m.power() {

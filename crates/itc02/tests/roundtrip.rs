@@ -1,78 +1,74 @@
-//! Property tests: writer/parser round-trip over arbitrary SoC descriptions.
-
-use proptest::prelude::*;
+//! Property-style tests: writer/parser round-trip over randomly generated
+//! SoC descriptions (seeded, dependency-free generators from
+//! `noctest-testkit`).
 
 use noctest_itc02::{parse_soc, write_soc, Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
+use noctest_testkit::Rng;
 
-fn arb_test(id: u32) -> impl Strategy<Value = TestDesc> {
-    (1u32..10_000, any::<bool>(), any::<bool>()).prop_map(move |(patterns, scan, tam)| TestDesc {
+fn random_test(rng: &mut Rng, id: u32) -> TestDesc {
+    TestDesc {
         id,
-        patterns,
-        scan_use: if scan { ScanUse::Yes } else { ScanUse::No },
-        tam_use: if tam { TamUse::Yes } else { TamUse::No },
-    })
-}
-
-fn arb_module(id: u32, level: u32) -> impl Strategy<Value = Module> {
-    (
-        0u32..512,
-        0u32..512,
-        0u32..64,
-        prop::collection::vec(1u32..2000, 0..16),
-        prop::collection::vec(any::<bool>(), 0..4),
-        prop::option::of(0.0f64..10_000.0),
-    )
-        .prop_flat_map(move |(inputs, outputs, bidirs, chains, test_mask, power)| {
-            let tests: Vec<_> = test_mask
-                .iter()
-                .enumerate()
-                .map(|(i, _)| arb_test(i as u32 + 1))
-                .collect();
-            (Just((inputs, outputs, bidirs, chains, power)), tests).prop_map(
-                move |((inputs, outputs, bidirs, chains, power), tests)| {
-                    let mut m = Module::new(
-                        ModuleId(id),
-                        level,
-                        inputs,
-                        outputs,
-                        bidirs,
-                        chains.clone(),
-                        tests,
-                    );
-                    if let Some(p) = power {
-                        // Keep power representable exactly in decimal text.
-                        m = m.with_power((p * 16.0).round() / 16.0);
-                    }
-                    m
-                },
-            )
-        })
-}
-
-fn arb_soc() -> impl Strategy<Value = SocDesc> {
-    (1usize..8).prop_flat_map(|cores| {
-        let modules: Vec<_> = (0..=cores)
-            .map(|i| arb_module(i as u32, u32::from(i > 0)))
-            .collect();
-        ("[a-z][a-z0-9_]{0,12}", modules)
-            .prop_map(|(name, modules)| SocDesc::new(name, modules))
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// write -> parse is the identity on the model.
-    #[test]
-    fn write_parse_roundtrip(soc in arb_soc()) {
-        let text = write_soc(&soc);
-        let parsed = parse_soc(&text).expect("writer output must parse");
-        prop_assert_eq!(parsed, soc);
+        patterns: rng.range_u32(1, 9_999),
+        scan_use: if rng.flip() {
+            ScanUse::Yes
+        } else {
+            ScanUse::No
+        },
+        tam_use: if rng.flip() { TamUse::Yes } else { TamUse::No },
     }
+}
 
-    /// Parsing is insensitive to comment and blank-line injection.
-    #[test]
-    fn parse_survives_comment_noise(soc in arb_soc(), noise in 0usize..5) {
+fn random_module(rng: &mut Rng, id: u32, level: u32) -> Module {
+    let chains: Vec<u32> = (0..rng.range_usize(0, 15))
+        .map(|_| rng.range_u32(1, 1_999))
+        .collect();
+    let tests: Vec<TestDesc> = (0..rng.range_usize(0, 3))
+        .map(|i| random_test(rng, i as u32 + 1))
+        .collect();
+    let mut m = Module::new(
+        ModuleId(id),
+        level,
+        rng.range_u32(0, 511),
+        rng.range_u32(0, 511),
+        rng.range_u32(0, 63),
+        chains,
+        tests,
+    );
+    if rng.flip() {
+        // Keep power representable exactly in decimal text.
+        let p = rng.range_f64(0.0, 10_000.0);
+        m = m.with_power((p * 16.0).round() / 16.0);
+    }
+    m
+}
+
+fn random_soc(rng: &mut Rng) -> SocDesc {
+    let cores = rng.range_usize(1, 7);
+    let modules: Vec<Module> = (0..=cores)
+        .map(|i| random_module(rng, i as u32, u32::from(i > 0)))
+        .collect();
+    SocDesc::new(rng.ident(13), modules)
+}
+
+/// write -> parse is the identity on the model.
+#[test]
+fn write_parse_roundtrip() {
+    for seed in noctest_testkit::seeds(128) {
+        let soc = random_soc(&mut Rng::new(seed));
+        let text = write_soc(&soc);
+        let parsed = parse_soc(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: writer output must parse: {e}"));
+        assert_eq!(parsed, soc, "seed {seed}");
+    }
+}
+
+/// Parsing is insensitive to comment and blank-line injection.
+#[test]
+fn parse_survives_comment_noise() {
+    for seed in noctest_testkit::seeds(128) {
+        let mut rng = Rng::new(seed);
+        let soc = random_soc(&mut rng);
+        let noise = rng.range_usize(0, 4);
         let text = write_soc(&soc);
         let mut noisy = String::from("# leading comment\n");
         for (i, line) in text.lines().enumerate() {
@@ -82,20 +78,25 @@ proptest! {
                 noisy.push('\n');
             }
         }
-        let parsed = parse_soc(&noisy).expect("noisy output must parse");
-        prop_assert_eq!(parsed, soc);
+        let parsed = parse_soc(&noisy)
+            .unwrap_or_else(|e| panic!("seed {seed}: noisy output must parse: {e}"));
+        assert_eq!(parsed, soc, "seed {seed}");
     }
+}
 
-    /// Derived metrics are internally consistent for arbitrary modules.
-    #[test]
-    fn metrics_are_consistent(m in arb_module(1, 1)) {
-        prop_assert_eq!(
+/// Derived metrics are internally consistent for arbitrary modules.
+#[test]
+fn metrics_are_consistent() {
+    for seed in noctest_testkit::seeds(128) {
+        let m = random_module(&mut Rng::new(seed), 1, 1);
+        assert_eq!(
             m.test_volume_bits(),
             u64::from(m.total_patterns())
-                * (u64::from(m.pattern_bits_in()) + u64::from(m.pattern_bits_out()))
+                * (u64::from(m.pattern_bits_in()) + u64::from(m.pattern_bits_out())),
+            "seed {seed}"
         );
-        prop_assert!(m.max_chain() <= m.scan_total());
-        prop_assert!(m.pattern_bits_in() >= m.scan_total());
-        prop_assert!(m.pattern_bits_out() >= m.scan_total());
+        assert!(m.max_chain() <= m.scan_total(), "seed {seed}");
+        assert!(m.pattern_bits_in() >= m.scan_total(), "seed {seed}");
+        assert!(m.pattern_bits_out() >= m.scan_total(), "seed {seed}");
     }
 }

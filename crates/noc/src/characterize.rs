@@ -230,7 +230,9 @@ mod tests {
     fn solver_inverts_known_system() {
         // latency = 3h + 2f + 5 exactly.
         let samples: Vec<(f64, f64, f64)> = (1..6)
-            .flat_map(|h| (1..5).map(move |f| (h as f64, f as f64, 3.0 * h as f64 + 2.0 * f as f64 + 5.0)))
+            .flat_map(|h| {
+                (1..5).map(move |f| (h as f64, f as f64, 3.0 * h as f64 + 2.0 * f as f64 + 5.0))
+            })
             .collect();
         let (a, b, c) = least_squares_3(&samples);
         assert!((a - 3.0).abs() < 1e-9);

@@ -55,6 +55,7 @@ pub mod flit;
 pub mod geometry;
 pub mod network;
 pub mod power;
+pub mod rng;
 pub mod router;
 pub mod routing;
 pub mod stats;

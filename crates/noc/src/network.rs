@@ -377,13 +377,10 @@ impl Network {
                     Some(input) => Some(input),
                     None => {
                         let start = out.rr_start();
-                        (0..5)
-                            .map(|k| (start + k) % 5)
-                            .find(|&input| {
-                                let port = self.routers[router_idx].input_at(input);
-                                port.routed_output() == Some(out_dir.index())
-                                    && port.head().is_some()
-                            })
+                        (0..5).map(|k| (start + k) % 5).find(|&input| {
+                            let port = self.routers[router_idx].input_at(input);
+                            port.routed_output() == Some(out_dir.index()) && port.head().is_some()
+                        })
                     }
                 };
                 let Some(input) = serving else { continue };
@@ -406,8 +403,10 @@ impl Network {
                     let depth = self.config.buffer_depth() as usize;
                     let pending_here = moves
                         .iter()
-                        .filter(|m| matches!(m, Move::Hop { to_router, out_dir: d, .. }
-                            if *to_router == neighbor.index() && d.opposite() == in_dir))
+                        .filter(|m| {
+                            matches!(m, Move::Hop { to_router, out_dir: d, .. }
+                            if *to_router == neighbor.index() && d.opposite() == in_dir)
+                        })
                         .count();
                     if occupancy[neighbor.index()][in_dir.index()] + pending_here >= depth {
                         continue; // no credit downstream
@@ -474,10 +473,7 @@ impl Network {
                         .expect("staged ejection lost its flit");
                     let node = NodeId::new(from_router as u32);
                     self.energy.charge_flit_hop(node);
-                    *self
-                        .link_flits
-                        .entry(LinkId::ejection(node))
-                        .or_insert(0) += 1;
+                    *self.link_flits.entry(LinkId::ejection(node)).or_insert(0) += 1;
                     if flit.kind.is_tail() {
                         self.routers[from_router]
                             .input_at_mut(from_input)
@@ -508,9 +504,7 @@ impl Network {
         if flit.kind.is_tail() {
             debug_assert_eq!(entry.flits_delivered, entry.flits, "flit loss detected");
             let record = self.in_flight[idx].take().expect("checked above");
-            let head_at = record
-                .head_delivered_at
-                .unwrap_or(self.now);
+            let head_at = record.head_delivered_at.unwrap_or(self.now);
             let delivered = DeliveredPacket {
                 id: flit.packet,
                 src: record.src,
@@ -523,9 +517,7 @@ impl Network {
                 flits: record.flits,
             };
             self.stats.delivered += 1;
-            self.stats
-                .packet_latency
-                .record(delivered.latency());
+            self.stats.packet_latency.record(delivered.latency());
             self.stats
                 .header_latency
                 .record(head_at - record.injected_at);
@@ -738,10 +730,7 @@ mod tests {
             assert_eq!(net.link_flits().get(&link), Some(&3));
             assert!(net.link_utilization(link) > 0.0);
         }
-        assert_eq!(
-            net.link_flits().get(&LinkId::ejection(dst)),
-            Some(&3)
-        );
+        assert_eq!(net.link_flits().get(&LinkId::ejection(dst)), Some(&3));
         let (hot, util) = net.hottest_link().unwrap();
         assert!(net.link_flits()[&hot] == 3);
         assert!(util <= 1.0);

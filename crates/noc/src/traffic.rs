@@ -1,9 +1,7 @@
 //! Synthetic traffic generation for characterisation and stress tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::flit::Packet;
+use crate::rng::SplitMix64;
 use crate::topology::{Mesh, NodeId};
 
 /// Spatial traffic patterns.
@@ -62,14 +60,14 @@ impl TrafficSpec {
             self.payload_flits.0 <= self.payload_flits.1,
             "payload flit range is inverted"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let n = mesh.len();
         let mut out = Vec::with_capacity(self.packets);
         for i in 0..self.packets {
-            let src = NodeId::new(rng.gen_range(0..n) as u32);
+            let src = NodeId::new(rng.below(n as u64) as u32);
             let dest = match self.pattern {
                 TrafficPattern::UniformRandom => loop {
-                    let d = NodeId::new(rng.gen_range(0..n) as u32);
+                    let d = NodeId::new(rng.below(n as u64) as u32);
                     if d != src || n == 1 {
                         break d;
                     }
@@ -79,14 +77,14 @@ impl TrafficSpec {
                         let p = mesh.position(src);
                         mesh.node_at(p.y, p.x).expect("square mesh transpose")
                     } else {
-                        NodeId::new(rng.gen_range(0..n) as u32)
+                        NodeId::new(rng.below(n as u64) as u32)
                     }
                 }
                 TrafficPattern::Complement => NodeId::new((n - 1 - src.index()) as u32),
                 TrafficPattern::Hotspot => NodeId::new(0),
             };
-            let flits = rng.gen_range(self.payload_flits.0..=self.payload_flits.1);
-            let payload = (0..flits).map(|_| rng.gen::<u64>()).collect();
+            let flits = rng.range_u32(self.payload_flits.0, self.payload_flits.1);
+            let payload = (0..flits).map(|_| rng.next_u64()).collect();
             out.push(Packet::with_payload(src, dest, payload).with_tag(i as u64));
         }
         out

@@ -1,111 +1,100 @@
-//! Property-based tests for the NoC simulator invariants.
-
-use proptest::prelude::*;
+//! Property-style tests for the NoC simulator invariants (seeded,
+//! dependency-free generators from `noctest-testkit`).
 
 use noctest_noc::{
     Mesh, Network, NocConfig, Packet, Position, RoutingKind, TrafficPattern, TrafficSpec,
 };
+use noctest_testkit::Rng;
 
-/// Strategy for small mesh dimensions.
-fn dims() -> impl Strategy<Value = (u16, u16)> {
-    (1u16..=6, 1u16..=6)
-}
+const ALGOS: [RoutingKind; 3] = [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::WestFirst];
 
-fn algos() -> impl Strategy<Value = RoutingKind> {
-    prop_oneof![
-        Just(RoutingKind::Xy),
-        Just(RoutingKind::Yx),
-        Just(RoutingKind::WestFirst),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every routing algorithm produces a minimal path that stays inside the
-    /// mesh and ends at the destination.
-    #[test]
-    fn routes_are_minimal_and_in_bounds(
-        (w, h) in dims(),
-        algo in algos(),
-        sx in 0u16..6, sy in 0u16..6, dx in 0u16..6, dy in 0u16..6,
-    ) {
+/// Every routing algorithm produces a minimal path that stays inside the
+/// mesh and ends at the destination.
+#[test]
+fn routes_are_minimal_and_in_bounds() {
+    for seed in noctest_testkit::seeds(64) {
+        let mut rng = Rng::new(seed);
+        let (w, h) = (rng.range_u16(1, 6), rng.range_u16(1, 6));
+        let algo = *rng.pick(&ALGOS);
         let mesh = Mesh::new(w, h).unwrap();
-        let s = Position::new(sx % w, sy % h);
-        let d = Position::new(dx % w, dy % h);
+        let s = Position::new(rng.range_u16(0, w - 1), rng.range_u16(0, h - 1));
+        let d = Position::new(rng.range_u16(0, w - 1), rng.range_u16(0, h - 1));
         let route = algo.route(s, d);
-        prop_assert_eq!(route.len() as u32, s.manhattan(d));
+        assert_eq!(route.len() as u32, s.manhattan(d), "seed {seed}");
         let mut here = s;
         for dir in route {
             here = here.step(dir).unwrap();
-            prop_assert!(mesh.node(here).is_some());
+            assert!(mesh.node(here).is_some(), "seed {seed}");
         }
-        prop_assert_eq!(here, d);
+        assert_eq!(here, d, "seed {seed}");
     }
+}
 
-    /// Path links returned by the analytic model connect consecutively and
-    /// never repeat (minimal deterministic routing cannot revisit a link).
-    #[test]
-    fn path_links_are_unique(
-        (w, h) in dims(),
-        algo in algos(),
-        a in 0usize..36, b in 0usize..36,
-    ) {
+/// Path links returned by the analytic model connect consecutively and
+/// never repeat (minimal deterministic routing cannot revisit a link).
+#[test]
+fn path_links_are_unique() {
+    for seed in noctest_testkit::seeds(64) {
+        let mut rng = Rng::new(seed);
+        let (w, h) = (rng.range_u16(1, 6), rng.range_u16(1, 6));
+        let algo = *rng.pick(&ALGOS);
         let mesh = Mesh::new(w, h).unwrap();
         let n = mesh.len();
-        let src = noctest_noc::NodeId::new((a % n) as u32);
-        let dst = noctest_noc::NodeId::new((b % n) as u32);
+        let src = noctest_noc::NodeId::new(rng.range_usize(0, n - 1) as u32);
+        let dst = noctest_noc::NodeId::new(rng.range_usize(0, n - 1) as u32);
         let links = algo.path_links(&mesh, src, dst);
         let mut seen = std::collections::HashSet::new();
         for l in &links {
-            prop_assert!(seen.insert(*l), "repeated link {l}");
+            assert!(seen.insert(*l), "seed {seed}: repeated link {l}");
         }
     }
+}
 
-    /// Conservation: every injected packet is delivered exactly once, with
-    /// all of its flits, under any of the spatial patterns.
-    #[test]
-    fn all_packets_delivered_exactly_once(
-        (w, h) in (2u16..=5, 2u16..=5),
-        pattern in prop_oneof![
-            Just(TrafficPattern::UniformRandom),
-            Just(TrafficPattern::Transpose),
-            Just(TrafficPattern::Complement),
-            Just(TrafficPattern::Hotspot),
-        ],
-        packets in 1usize..40,
-        seed in any::<u64>(),
-    ) {
+/// Conservation: every injected packet is delivered exactly once, with
+/// all of its flits, under any of the spatial patterns.
+#[test]
+fn all_packets_delivered_exactly_once() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let (w, h) = (rng.range_u16(2, 5), rng.range_u16(2, 5));
+        let pattern = *rng.pick(&[
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::Complement,
+            TrafficPattern::Hotspot,
+        ]);
+        let packets = rng.range_usize(1, 39);
         let config = NocConfig::builder(w, h).build().unwrap();
         let mut net = Network::new(config).unwrap();
         let spec = TrafficSpec {
             pattern,
             packets,
             payload_flits: (1, 8),
-            seed,
+            seed: rng.next_u64(),
         };
         let generated = spec.generate(net.topology());
-        let expected_flits: u64 = generated.iter().map(|p| u64::from(p.total_flits())).collect::<Vec<_>>().iter().sum();
+        let expected_flits: u64 = generated.iter().map(|p| u64::from(p.total_flits())).sum();
         for p in &generated {
             net.inject(p.clone()).unwrap();
         }
         let delivered = net.run_until_idle(10_000_000).unwrap();
-        prop_assert_eq!(delivered.len(), packets);
+        assert_eq!(delivered.len(), packets, "seed {seed}");
         let mut ids: Vec<_> = delivered.iter().map(|d| d.id).collect();
         ids.sort();
         ids.dedup();
-        prop_assert_eq!(ids.len(), packets, "duplicate delivery");
-        prop_assert_eq!(net.stats().flits_delivered, expected_flits);
+        assert_eq!(ids.len(), packets, "seed {seed}: duplicate delivery");
+        assert_eq!(net.stats().flits_delivered, expected_flits, "seed {seed}");
     }
+}
 
-    /// Latency lower bound: a packet can never beat the serialisation +
-    /// hop-traversal bound of the analytic model.
-    #[test]
-    fn latency_respects_physical_lower_bound(
-        (w, h) in (2u16..=6, 2u16..=6),
-        payload in 1u32..32,
-        seed in any::<u64>(),
-    ) {
+/// Latency lower bound: a packet can never beat the serialisation +
+/// hop-traversal bound of the analytic model.
+#[test]
+fn latency_respects_physical_lower_bound() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let (w, h) = (rng.range_u16(2, 6), rng.range_u16(2, 6));
+        let payload = rng.range_u32(1, 31);
         let config = NocConfig::builder(w, h).build().unwrap();
         let flow = u64::from(config.flow_latency());
         let route_latency = u64::from(config.routing_latency());
@@ -114,7 +103,7 @@ proptest! {
             pattern: TrafficPattern::UniformRandom,
             packets: 1,
             payload_flits: (payload, payload),
-            seed,
+            seed: rng.next_u64(),
         };
         let p = &spec.generate(net.topology())[0];
         let hops = u64::from(net.topology().distance(p.src(), p.dest()));
@@ -125,34 +114,36 @@ proptest! {
         // slowest link (flow * flits) and the header paid routing at every
         // router on the path.
         let bound = flow * flits + route_latency * (hops + 1);
-        prop_assert!(
+        assert!(
             d.latency() >= bound.saturating_sub(route_latency),
-            "latency {} below physical bound {}",
+            "seed {seed}: latency {} below physical bound {}",
             d.latency(),
             bound
         );
     }
+}
 
-    /// The energy ledger charges exactly (hops+1) route computations and
-    /// (hops+1)*flits flit-hops for an isolated packet.
-    #[test]
-    fn energy_accounting_exact_for_isolated_packet(
-        (w, h) in (2u16..=5, 2u16..=5),
-        payload in 1u32..16,
-        a in 0usize..25, b in 0usize..25,
-    ) {
+/// The energy ledger charges exactly (hops+1) route computations and
+/// (hops+1)*flits flit-hops for an isolated packet.
+#[test]
+fn energy_accounting_exact_for_isolated_packet() {
+    for seed in noctest_testkit::seeds(48) {
+        let mut rng = Rng::new(seed);
+        let (w, h) = (rng.range_u16(2, 5), rng.range_u16(2, 5));
+        let payload = rng.range_u32(1, 15);
         let config = NocConfig::builder(w, h).build().unwrap();
         let mut net = Network::new(config).unwrap();
         let n = net.topology().len();
-        let src = noctest_noc::NodeId::new((a % n) as u32);
-        let dst = noctest_noc::NodeId::new((b % n) as u32);
+        let src = noctest_noc::NodeId::new(rng.range_usize(0, n - 1) as u32);
+        let dst = noctest_noc::NodeId::new(rng.range_usize(0, n - 1) as u32);
         let hops = u64::from(net.topology().distance(src, dst));
         net.inject(Packet::new(src, dst, payload)).unwrap();
         net.run_until_idle(10_000_000).unwrap();
-        prop_assert_eq!(net.energy().routes(), hops + 1);
-        prop_assert_eq!(
+        assert_eq!(net.energy().routes(), hops + 1, "seed {seed}");
+        assert_eq!(
             net.energy().flit_hops(),
-            (hops + 1) * u64::from(payload + 1)
+            (hops + 1) * u64::from(payload + 1),
+            "seed {seed}"
         );
     }
 }

@@ -1,17 +1,14 @@
 //! Planning the test of a *custom* SoC: build a benchmark description
-//! programmatically, round-trip it through the `.soc` text format, place
-//! it on a mesh with two reused Plasma processors, and compare the
-//! paper's greedy scheduler against the smart and serial ones.
+//! programmatically, round-trip it through the `.soc` text format, feed
+//! the text straight into a `PlanRequest`, and compare every registered
+//! scheduler on it with one batch run.
 //!
 //! ```text
 //! cargo run --example custom_soc
 //! ```
 
-use noctest::core::{
-    report, BudgetSpec, GreedyScheduler, Scheduler, SerialScheduler, SmartScheduler,
-    SystemBuilder,
-};
-use noctest::cpu::ProcessorProfile;
+use noctest::core::plan::{Campaign, PlanRequest, RequestMatrix, SocSource};
+use noctest::core::BudgetSpec;
 use noctest::itc02::{parse_soc, write_soc, Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
 
 fn scan_core(id: u32, inputs: u32, outputs: u32, chains: Vec<u32>, patterns: u32) -> Module {
@@ -49,38 +46,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
-    // Round-trip through the .soc interchange format.
+    // Round-trip through the .soc interchange format; the planning request
+    // consumes the *text*, proving the file form is a first-class input.
     let text = write_soc(&soc);
-    let parsed = parse_soc(&text)?;
-    assert_eq!(parsed, soc);
+    assert_eq!(parse_soc(&text)?, soc);
     println!("custom SoC round-trips through .soc ({} bytes)", text.len());
-
-    // Place on a 4x3 mesh with two reused Plasma processors.
-    let plasma = ProcessorProfile::plasma().calibrated()?;
-    let sys = SystemBuilder::from_benchmark(&parsed, 4, 3)
-        .processors(&plasma, 2, 2)
-        .budget(BudgetSpec::Fraction(0.6))
-        .build()?;
-
     println!();
-    for scheduler in [
-        &GreedyScheduler as &dyn Scheduler,
-        &SmartScheduler,
-        &SerialScheduler,
-    ] {
-        let schedule = scheduler.schedule(&sys)?;
-        schedule.validate(&sys)?;
+
+    // Place on a 4x3 mesh with two reused Plasma processors and compare
+    // the heuristic schedulers plus the exact branch-and-bound planner
+    // (the system is small enough for it).
+    let mut base = PlanRequest::benchmark("camera_soc", 4, 3)
+        .with_processors("plasma", 2, 2)
+        .with_budget(BudgetSpec::Fraction(0.6));
+    base.soc = SocSource::SocText(text);
+
+    let campaign = Campaign::new();
+    let matrix = RequestMatrix::new(base.clone())
+        .vary_scheduler(&["greedy", "smart", "serial", "optimal"])
+        .build();
+    for result in campaign.run_all(&matrix) {
+        let outcome = result?;
         println!(
             "{:<7} makespan {:>8} cycles, peak concurrency {}, peak power {:.0}",
-            scheduler.name(),
-            schedule.makespan(),
-            schedule.peak_concurrency(),
-            schedule.peak_power(&sys)
+            outcome.scheduler, outcome.makespan, outcome.peak_concurrency, outcome.peak_power
         );
     }
 
-    let schedule = GreedyScheduler.schedule(&sys)?;
+    let outcome = campaign.run(&base)?;
     println!();
-    println!("{}", report::gantt(&sys, &schedule, 60));
+    println!("{}", outcome.gantt(60));
     Ok(())
 }

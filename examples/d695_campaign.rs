@@ -1,51 +1,62 @@
 //! The paper's d695 campaign: sweep the number of reused processors for
-//! both processor families and both power settings, printing the Figure-1
-//! panel plus per-point schedule statistics.
+//! both processor families and both power settings. The whole sweep is a
+//! `RequestMatrix` executed as one parallel batch, and one outcome is
+//! dumped as JSON to show the machine-readable form.
 //!
 //! ```text
 //! cargo run --example d695_campaign
 //! ```
 
-use noctest::core::{BudgetSpec, GreedyScheduler, Scheduler, SystemBuilder};
-use noctest::cpu::ProcessorProfile;
-use noctest::itc02::data;
+use noctest::core::plan::{Campaign, PlanRequest, RequestMatrix};
+use noctest::core::BudgetSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let campaign = Campaign::new();
+
     for family in ["leon", "plasma"] {
-        let profile = ProcessorProfile::by_name(family)
-            .expect("known family")
-            .calibrated()?;
+        // reused-major, budget-minor: [r0/none, r0/50%, r2/none, ...]
+        let matrix =
+            RequestMatrix::new(PlanRequest::benchmark("d695", 4, 4).with_processors(family, 6, 0))
+                .vary_reused(&[0, 2, 4, 6])
+                .vary_budget(&[BudgetSpec::Unlimited, BudgetSpec::Fraction(0.5)])
+                .build();
+
+        let mut outcomes = Vec::new();
+        for result in campaign.run_all(&matrix) {
+            outcomes.push(result?);
+        }
+
         println!("== d695 with {family} processors ==");
         println!(
             "{:>7} {:>12} {:>12} {:>8} {:>10}",
             "reused", "no-limit", "50%-limit", "conc", "reduction"
         );
-        let mut baseline = None;
-        for reused in [0usize, 2, 4, 6] {
-            let unlimited = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
-                .processors(&profile, 6, reused)
-                .build()?;
-            let s_unlimited = GreedyScheduler.schedule(&unlimited)?;
-            s_unlimited.validate(&unlimited)?;
-
-            let limited = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
-                .processors(&profile, 6, reused)
-                .budget(BudgetSpec::Fraction(0.5))
-                .build()?;
-            let s_limited = GreedyScheduler.schedule(&limited)?;
-            s_limited.validate(&limited)?;
-
-            let base = *baseline.get_or_insert(s_unlimited.makespan());
+        let baseline = outcomes[0].makespan;
+        for (reused, pair) in [0usize, 2, 4, 6].iter().zip(outcomes.chunks(2)) {
+            let (unlimited, limited) = (&pair[0], &pair[1]);
             println!(
                 "{reused:>7} {:>12} {:>12} {:>8} {:>9.1}%",
-                s_unlimited.makespan(),
-                s_limited.makespan(),
-                s_unlimited.peak_concurrency(),
-                100.0 * (1.0 - s_unlimited.makespan() as f64 / base as f64),
+                unlimited.makespan,
+                limited.makespan,
+                unlimited.peak_concurrency,
+                100.0 * (1.0 - unlimited.makespan as f64 / baseline as f64),
             );
         }
         println!();
     }
+
+    // Every outcome is serialisable: here is the best Leon point as JSON.
+    let best = Campaign::new().run(
+        &PlanRequest::benchmark("d695", 4, 4)
+            .with_processors("leon", 6, 6)
+            .with_name("d695 best point"),
+    )?;
+    println!("one outcome as JSON (sessions elided):");
+    for line in best.to_json_string().lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...");
+    println!();
     println!("paper: d695 test time reduction up to 28% from the extra interfaces");
     Ok(())
 }

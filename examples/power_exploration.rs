@@ -1,61 +1,65 @@
 //! Power-limit exploration on p93791: how does the test time grow as the
 //! power budget tightens from unlimited down to 25% of the total core
 //! power? The paper evaluates only the 50% point; this example maps the
-//! whole trade-off curve a test engineer would actually look at.
+//! whole trade-off curve a test engineer would actually look at — as one
+//! request matrix over the budget axis.
 //!
 //! ```text
 //! cargo run --release --example power_exploration
 //! ```
 
-use noctest::core::{BudgetSpec, GreedyScheduler, Scheduler, SystemBuilder};
-use noctest::cpu::ProcessorProfile;
-use noctest::itc02::data;
+use noctest::core::plan::{Campaign, CampaignError, PlanRequest, RequestMatrix};
+use noctest::core::BudgetSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let leon = ProcessorProfile::leon().calibrated()?;
+    let campaign = Campaign::new();
+    let base = PlanRequest::benchmark("p93791", 5, 5).with_processors("leon", 8, 8);
+
     println!("p93791 + 8 leon processors (all reused), greedy scheduler");
-    println!("{:>10} {:>12} {:>12} {:>6}", "budget", "cap", "test time", "conc");
+    println!(
+        "{:>10} {:>12} {:>12} {:>6}",
+        "budget", "cap", "test time", "conc"
+    );
 
-    let reference = {
-        let sys = SystemBuilder::from_benchmark(&data::p93791(), 5, 5)
-            .processors(&leon, 8, 8)
-            .build()?;
-        let schedule = GreedyScheduler.schedule(&sys)?;
-        schedule.validate(&sys)?;
-        println!(
-            "{:>10} {:>12} {:>12} {:>6}",
-            "none",
-            "-",
-            schedule.makespan(),
-            schedule.peak_concurrency()
-        );
-        schedule.makespan()
-    };
+    let budgets: Vec<BudgetSpec> = std::iter::once(BudgetSpec::Unlimited)
+        .chain(
+            [100, 80, 65, 50, 40, 30, 25]
+                .iter()
+                .map(|&p| BudgetSpec::Fraction(f64::from(p) / 100.0)),
+        )
+        .collect();
+    let matrix = RequestMatrix::new(base).vary_budget(&budgets).build();
+    let results = campaign.run_all(&matrix);
 
-    for percent in [100, 80, 65, 50, 40, 30, 25] {
-        let fraction = f64::from(percent) / 100.0;
-        let sys = SystemBuilder::from_benchmark(&data::p93791(), 5, 5)
-            .processors(&leon, 8, 8)
-            .budget(BudgetSpec::Fraction(fraction))
-            .build();
-        match sys {
-            Ok(sys) => {
-                let schedule = GreedyScheduler.schedule(&sys)?;
-                schedule.validate(&sys)?;
-                let cap = sys.budget().cap().unwrap_or(f64::NAN);
+    let mut reference = 0;
+    for (budget, result) in budgets.iter().zip(results) {
+        let label = match budget {
+            BudgetSpec::Unlimited => "none".to_owned(),
+            BudgetSpec::Fraction(f) => format!("{:.0}%", f * 100.0),
+            BudgetSpec::Absolute(a) => format!("{a:.0}"),
+        };
+        match result {
+            Ok(outcome) => {
+                if *budget == BudgetSpec::Unlimited {
+                    reference = outcome.makespan;
+                }
                 println!(
-                    "{percent:>9}% {cap:>12.0} {:>12} {:>6}",
-                    schedule.makespan(),
-                    schedule.peak_concurrency()
+                    "{label:>10} {:>12} {:>12} {:>6}",
+                    outcome
+                        .budget_cap
+                        .map_or_else(|| "-".to_owned(), |c| format!("{c:.0}")),
+                    outcome.makespan,
+                    outcome.peak_concurrency
                 );
             }
-            Err(e) => {
-                println!("{percent:>9}% {:>12} {:>12} {:>6}", "-", "infeasible", "-");
+            Err(CampaignError::Plan(e)) => {
+                println!("{label:>10} {:>12} {:>12} {:>6}", "-", "infeasible", "-");
                 println!("           ({e})");
-                break;
             }
+            Err(e) => return Err(e.into()),
         }
     }
+
     println!();
     println!(
         "unconstrained test time {reference} cycles; the paper reports power-constrained \

@@ -1,40 +1,35 @@
-//! Quickstart: plan the test of d695 with four reused Leon processors and
-//! print the schedule as a Gantt chart.
+//! Quickstart: plan the test of d695 with four reused Leon processors
+//! through the Campaign API and print the schedule as a Gantt chart.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use noctest::core::{report, BudgetSpec, GreedyScheduler, Scheduler, SystemBuilder};
-use noctest::cpu::ProcessorProfile;
-use noctest::itc02::data;
+use noctest::core::plan::{Campaign, PlanRequest};
+use noctest::core::BudgetSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Characterise the Leon BIST application on the SPARC V8 instruction-
-    // set simulator (the paper's step 2).
-    let leon = ProcessorProfile::leon().calibrated()?;
-    println!(
-        "leon BIST: {:.2} cycles/word generate, {:.2} cycles/word check",
-        leon.gen_cycles_per_word.unwrap_or(f64::NAN),
-        leon.sink_cycles_per_word.unwrap_or(f64::NAN)
-    );
-
     // d695 plus six Leon cores on the paper's 4x4 mesh; reuse four of the
-    // processors; apply the paper's 50% power limit.
-    let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
-        .processors(&leon, 6, 4)
-        .budget(BudgetSpec::Fraction(0.5))
-        .build()?;
+    // processors; apply the paper's 50% power limit. The request is plain
+    // data — this exact value could come from a JSON file.
+    let request = PlanRequest::benchmark("d695", 4, 4)
+        .with_processors("leon", 6, 4)
+        .with_budget(BudgetSpec::Fraction(0.5))
+        .with_name("quickstart");
 
-    let schedule = GreedyScheduler.schedule(&sys)?;
-    schedule.validate(&sys)?;
+    // Run it: resolves the benchmark, calibrates the Leon BIST kernel on
+    // the SPARC V8 instruction-set simulator (the paper's step 2), places
+    // the mesh, schedules and validates.
+    let outcome = Campaign::new().run(&request)?;
 
-    println!();
-    println!("{}", report::gantt(&sys, &schedule, 64));
+    println!("{}", outcome.gantt(64));
     println!(
         "serial baseline would need {} cycles; reuse saves {:.1}%",
-        sys.serial_external_cycles(),
-        100.0 * (1.0 - schedule.makespan() as f64 / sys.serial_external_cycles() as f64)
+        outcome.serial_baseline, outcome.reduction_percent
+    );
+    println!(
+        "pipeline: build {} µs, schedule {} µs, validate {} µs",
+        outcome.timing.build_micros, outcome.timing.schedule_micros, outcome.timing.validate_micros
     );
     Ok(())
 }

@@ -16,32 +16,56 @@
 //!   whose measured cycle costs feed the planner;
 //! * [`core`] (`noctest-core`) — the paper's contribution: the
 //!   power-constrained test planner that reuses embedded processors as
-//!   test sources/sinks over the NoC.
+//!   test sources/sinks over the NoC, exposed through the **Campaign
+//!   API**: a serialisable [`PlanRequest`] consumed by a [`Campaign`]
+//!   returning a [`PlanOutcome`], with schedulers resolved by name from a
+//!   [`SchedulerRegistry`].
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use noctest::core::{GreedyScheduler, Scheduler, SystemBuilder, BudgetSpec};
-//! use noctest::cpu::ProcessorProfile;
-//! use noctest::itc02::data;
+//! use noctest::{Campaign, PlanRequest};
+//! use noctest::core::BudgetSpec;
 //!
-//! # fn main() -> Result<(), noctest::core::PlanError> {
+//! # fn main() -> Result<(), noctest::CampaignError> {
 //! // d695 plus six Leon processors on a 4x4 mesh, four of them reused,
 //! // under the paper's 50% power limit.
-//! let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
-//!     .processors(&ProcessorProfile::leon(), 6, 4)
-//!     .budget(BudgetSpec::Fraction(0.5))
-//!     .build()?;
-//! let schedule = GreedyScheduler.schedule(&sys)?;
-//! schedule.validate(&sys)?;
-//! assert!(schedule.makespan() > 0);
+//! let request = PlanRequest::benchmark("d695", 4, 4)
+//!     .with_processors("leon", 6, 4)
+//!     .with_budget(BudgetSpec::Fraction(0.5));
+//! let outcome = Campaign::new().run(&request)?;
+//! assert!(outcome.makespan > 0);
+//! assert!(outcome.reduction_percent > 0.0);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See the `examples/` directory for runnable scenarios and the
-//! `noctest-bench` crate for the binaries that regenerate every figure of
-//! the paper.
+//! The same request round-trips through JSON, so campaigns can live in
+//! files and queues:
+//!
+//! ```
+//! use noctest::{Campaign, PlanRequest};
+//!
+//! # fn main() -> Result<(), noctest::CampaignError> {
+//! let request = PlanRequest::from_json_str(r#"{
+//!     "soc": {"benchmark": "d695"},
+//!     "mesh": {"width": 4, "height": 4},
+//!     "processors": {"family": "leon", "total": 6, "reused": 4},
+//!     "budget": {"fraction": 0.5},
+//!     "scheduler": "smart"
+//! }"#)?;
+//! let outcome = Campaign::new().run(&request)?;
+//! let json = outcome.to_json_string();
+//! assert!(json.contains("\"scheduler\": \"smart\""));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Batch sweeps are matrices of requests (see
+//! [`core::plan::RequestMatrix`]), executed in parallel by
+//! [`Campaign::run_all`]. See the `examples/` directory for runnable
+//! scenarios and the `noctest-bench` crate for the binaries that
+//! regenerate every figure of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,3 +74,7 @@ pub use noctest_core as core;
 pub use noctest_cpu as cpu;
 pub use noctest_itc02 as itc02;
 pub use noctest_noc as noc;
+
+pub use noctest_core::plan::{
+    Campaign, CampaignError, PlanOutcome, PlanRequest, RequestMatrix, SchedulerRegistry,
+};

@@ -41,13 +41,11 @@ fn decompression_advantage_vanishes_on_dense_cubes() {
     // At 50% care density the stream is nearly incompressible and the
     // decompressor is no faster than the LFSR.
     let run_sparse = {
-        let stream =
-            decompress::compress(&decompress::synthetic_test_words(2048, 0.02, 11));
+        let stream = decompress::compress(&decompress::synthetic_test_words(2048, 0.02, 11));
         decompress::run_mips_decompress(&stream).unwrap()
     };
     let run_dense = {
-        let stream =
-            decompress::compress(&decompress::synthetic_test_words(2048, 0.5, 11));
+        let stream = decompress::compress(&decompress::synthetic_test_words(2048, 0.5, 11));
         decompress::run_mips_decompress(&stream).unwrap()
     };
     assert!(run_sparse.cycles_per_word() < run_dense.cycles_per_word());

@@ -11,13 +11,12 @@
 //! * noproc test times are ordered d695 < p22810 < p93791 roughly like
 //!   the paper's axes (~160k / ~900k / ~1.4M).
 
-use noctest_bench::{calibrated_profile, figure1_panel_greedy, Figure1Panel, SystemId};
+use noctest_bench::{figure1_panel_greedy, Figure1Panel, SystemId};
 
 fn panels() -> Vec<Figure1Panel> {
-    let leon = calibrated_profile("leon");
     SystemId::ALL
         .iter()
-        .map(|&id| figure1_panel_greedy(id, &leon).expect("panel computes"))
+        .map(|&id| figure1_panel_greedy(id, "leon").expect("panel computes"))
         .collect()
 }
 
@@ -82,8 +81,7 @@ fn p22810_shows_the_greedy_irregularity() {
     // "For the p22810_leon system, we get some test time reduction, but it
     // is not regular because of the greedy behavior of the scheduling
     // algorithm."
-    let leon = calibrated_profile("leon");
-    let panel = figure1_panel_greedy(SystemId::P22810, &leon).expect("panel computes");
+    let panel = figure1_panel_greedy(SystemId::P22810, "leon").expect("panel computes");
     assert!(
         panel.is_irregular(),
         "p22810 sweep unexpectedly monotonic: {:?}",
@@ -96,13 +94,7 @@ fn p22810_shows_the_greedy_irregularity() {
 #[test]
 fn noproc_times_are_ordered_like_the_paper() {
     let all = panels();
-    let noproc = |name: &str| {
-        all.iter()
-            .find(|p| p.system == name)
-            .unwrap()
-            .points[0]
-            .no_limit
-    };
+    let noproc = |name: &str| all.iter().find(|p| p.system == name).unwrap().points[0].no_limit;
     let d695 = noproc("d695");
     let p22810 = noproc("p22810");
     let p93791 = noproc("p93791");
@@ -110,7 +102,10 @@ fn noproc_times_are_ordered_like_the_paper() {
     // Paper axes: ~160k / ~900k / ~1.4M. Accept a generous band around
     // the calibrated values (see EXPERIMENTS.md for the exact numbers).
     assert!((150_000..600_000).contains(&d695), "d695 noproc {d695}");
-    assert!((700_000..1_600_000).contains(&p22810), "p22810 noproc {p22810}");
+    assert!(
+        (700_000..1_600_000).contains(&p22810),
+        "p22810 noproc {p22810}"
+    );
     assert!(
         (1_100_000..2_200_000).contains(&p93791),
         "p93791 noproc {p93791}"
@@ -119,9 +114,8 @@ fn noproc_times_are_ordered_like_the_paper() {
 
 #[test]
 fn plasma_panels_also_improve() {
-    let plasma = calibrated_profile("plasma");
     for id in SystemId::ALL {
-        let panel = figure1_panel_greedy(id, &plasma).expect("panel computes");
+        let panel = figure1_panel_greedy(id, "plasma").expect("panel computes");
         assert!(
             panel.best_reduction_percent() > 15.0,
             "{} / plasma: reduction {:.1}%",

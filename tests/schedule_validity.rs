@@ -1,145 +1,161 @@
-//! Property-based integration tests: every scheduler must produce a
+//! Property-style integration tests: every scheduler must produce a
 //! *valid* schedule (full coverage, exclusive interfaces, disjoint paths,
 //! power cap, processor precedence) for arbitrary randomly generated
-//! systems, not just the three benchmark instances.
+//! systems, not just the three benchmark instances. Systems are generated
+//! as `PlanRequest`s with custom cores and run through the Campaign API,
+//! so this also exercises the request → system → schedule pipeline.
 
-use proptest::prelude::*;
-
-use noctest::core::{
-    BudgetSpec, GreedyScheduler, OptimalScheduler, PriorityPolicy, Scheduler, SerialScheduler,
-    SmartScheduler, SystemBuilder, SystemUnderTest,
-};
-use noctest::cpu::ProcessorProfile;
+use noctest::core::plan::{Campaign, CampaignError, CoreRequest, PlanRequest, SocSource};
+use noctest::core::{BudgetSpec, PriorityPolicy};
 use noctest::noc::RoutingKind;
+use noctest_testkit::Rng;
 
-#[derive(Debug, Clone)]
-struct RandomSystem {
-    width: u16,
-    height: u16,
-    cores: Vec<(u32, u32, u32, f64)>, // bits_in, bits_out, patterns, power
-    procs_total: usize,
-    procs_reused: usize,
-    budget: BudgetSpec,
-    routing: RoutingKind,
-    priority: PriorityPolicy,
-    plasma: bool,
-}
+/// A random but plausible planning request: 2..=5 mesh sides, 1..20
+/// cores, up to 4 processors, any routing/priority, half the time a
+/// power budget.
+fn random_request(rng: &mut Rng) -> PlanRequest {
+    let width = rng.range_u16(2, 5);
+    let height = rng.range_u16(2, 5);
+    let cores: Vec<CoreRequest> = (0..rng.range_usize(1, 19))
+        .map(|i| CoreRequest {
+            name: format!("core{i}"),
+            bits_in: rng.range_u32(1, 3999),
+            bits_out: rng.range_u32(1, 3999),
+            patterns: rng.range_u32(1, 299),
+            power: rng.range_f64(10.0, 1200.0),
+        })
+        .collect();
+    let procs_total = rng.range_usize(0, 4);
+    let procs_reused = rng.range_usize(0, 4).min(procs_total);
 
-fn arb_system() -> impl Strategy<Value = RandomSystem> {
-    (
-        2u16..=5,
-        2u16..=5,
-        prop::collection::vec(
-            (1u32..4000, 1u32..4000, 1u32..300, 10.0f64..1200.0),
-            1..20,
-        ),
-        0usize..=4,
-        prop_oneof![
-            Just(BudgetSpec::Unlimited),
-            (0.5f64..1.0).prop_map(BudgetSpec::Fraction),
-        ],
-        prop_oneof![
-            Just(RoutingKind::Xy),
-            Just(RoutingKind::Yx),
-            Just(RoutingKind::WestFirst)
-        ],
-        prop_oneof![
-            Just(PriorityPolicy::Distance),
-            Just(PriorityPolicy::VolumeDescending),
-            Just(PriorityPolicy::Index)
-        ],
-        any::<bool>(),
-        0usize..=4,
-    )
-        .prop_map(
-            |(width, height, cores, procs_total, budget, routing, priority, plasma, reused)| {
-                RandomSystem {
-                    width,
-                    height,
-                    cores,
-                    procs_total,
-                    procs_reused: reused.min(procs_total),
-                    budget,
-                    routing,
-                    priority,
-                    plasma,
-                }
-            },
-        )
-}
-
-fn build(spec: &RandomSystem) -> Option<SystemUnderTest> {
-    let profile = if spec.plasma {
-        ProcessorProfile::plasma()
-    } else {
-        ProcessorProfile::leon()
+    let mut request = PlanRequest::benchmark("random", width, height);
+    request.soc = SocSource::Cores {
+        name: "random".to_owned(),
+        cores,
     };
-    let mut b = SystemBuilder::new("random", spec.width, spec.height)
-        .routing(spec.routing)
-        .priority(spec.priority)
-        .budget(spec.budget);
-    for (i, &(bits_in, bits_out, patterns, power)) in spec.cores.iter().enumerate() {
-        b = b.core(format!("core{i}"), bits_in, bits_out, patterns, power);
+    request.budget = if rng.flip() {
+        BudgetSpec::Unlimited
+    } else {
+        BudgetSpec::Fraction(rng.range_f64(0.5, 1.0))
+    };
+    request.mesh.routing = *rng.pick(&[RoutingKind::Xy, RoutingKind::Yx, RoutingKind::WestFirst]);
+    request.priority = *rng.pick(&[
+        PriorityPolicy::Distance,
+        PriorityPolicy::VolumeDescending,
+        PriorityPolicy::Index,
+    ]);
+    if procs_total > 0 {
+        let family = if rng.flip() { "plasma" } else { "leon" };
+        request = request.with_processors(family, procs_total, procs_reused);
+        // Keep the paper's flat generation model: the serial/greedy
+        // envelope properties below only hold when a processor interface
+        // streams at channel rate (+10 cycles/pattern). ISS-calibrated
+        // interfaces are deliberately slower, and greedy may then lose to
+        // the serial baseline — that is the paper's reported anomaly, not
+        // a planner bug (the validity property covers calibrated profiles
+        // separately).
+        request.processors.as_mut().unwrap().calibrate = false;
     }
-    if spec.procs_total > 0 {
-        b = b.processors(&profile, spec.procs_total, spec.procs_reused);
-    }
-    // Infeasible power or too-small meshes are legal generator outputs;
-    // they must be *rejected cleanly*, never panic.
-    b.build().ok()
+    request
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Runs the request under `scheduler`. Infeasible *systems* (a legal
+/// generator outcome: too-small mesh, infeasible power) must be rejected
+/// cleanly and count as a skip — but once a system builds, a scheduling
+/// or validation failure is exactly the bug these properties exist to
+/// catch, so it panics rather than skipping.
+fn run(
+    campaign: &Campaign,
+    request: &PlanRequest,
+    scheduler: &str,
+) -> Option<noctest::PlanOutcome> {
+    use noctest::core::PlanError;
 
-    /// Greedy schedules of arbitrary systems always validate.
-    #[test]
-    fn greedy_always_produces_valid_schedules(spec in arb_system()) {
-        if let Some(sys) = build(&spec) {
-            let schedule = GreedyScheduler.schedule(&sys).expect("greedy plans");
-            schedule.validate(&sys).expect("greedy schedule is valid");
-            prop_assert!(schedule.makespan() > 0);
+    let request = request.clone().with_scheduler(scheduler);
+    match campaign.run(&request) {
+        Ok(outcome) => Some(outcome),
+        Err(CampaignError::Plan(
+            e @ (PlanError::Stalled { .. } | PlanError::InvalidSchedule(_)),
+        )) => {
+            panic!("{scheduler} produced a broken plan on a buildable system: {e}")
+        }
+        Err(CampaignError::Plan(_)) => None,
+        Err(e) => panic!("unexpected non-planning error: {e}"),
+    }
+}
+
+/// Greedy and smart schedules of arbitrary systems always validate
+/// (`Campaign::run` re-validates by default, so an invalid schedule
+/// surfaces as an error here).
+#[test]
+fn greedy_and_smart_always_produce_valid_schedules() {
+    let campaign = Campaign::new();
+    for (i, seed) in noctest_testkit::seeds(60).enumerate() {
+        let mut request = random_request(&mut Rng::new(seed));
+        if let Some(procs) = &mut request.processors {
+            // Validity must hold for calibrated profiles too; alternate.
+            procs.calibrate = i % 2 == 0;
+        }
+        if let Some(outcome) = run(&campaign, &request, "greedy") {
+            assert!(outcome.makespan > 0, "seed {seed}: empty greedy schedule");
+        }
+        if let Some(outcome) = run(&campaign, &request, "smart") {
+            assert!(outcome.makespan > 0, "seed {seed}: empty smart schedule");
         }
     }
+}
 
-    /// Smart schedules of arbitrary systems always validate.
-    #[test]
-    fn smart_always_produces_valid_schedules(spec in arb_system()) {
-        if let Some(sys) = build(&spec) {
-            let schedule = SmartScheduler.schedule(&sys).expect("smart plans");
-            schedule.validate(&sys).expect("smart schedule is valid");
-        }
+/// The serial baseline is never better than exhaustive-parallel greedy
+/// and both cover the same cores.
+#[test]
+fn serial_upper_bounds_greedy() {
+    let campaign = Campaign::new();
+    for seed in noctest_testkit::seeds(60) {
+        let request = random_request(&mut Rng::new(seed));
+        let (Some(serial), Some(greedy)) = (
+            run(&campaign, &request, "serial"),
+            run(&campaign, &request, "greedy"),
+        ) else {
+            continue;
+        };
+        assert!(
+            greedy.makespan <= serial.makespan,
+            "seed {seed}: greedy {} beat by serial {}",
+            greedy.makespan,
+            serial.makespan
+        );
+        assert_eq!(greedy.sessions.len(), serial.sessions.len(), "seed {seed}");
     }
+}
 
-    /// The serial baseline is never better than exhaustive-parallel greedy
-    /// and both cover the same cores.
-    #[test]
-    fn serial_upper_bounds_greedy(spec in arb_system()) {
-        if let Some(sys) = build(&spec) {
-            let serial = SerialScheduler.schedule(&sys).expect("serial plans");
-            serial.validate(&sys).expect("serial schedule is valid");
-            let greedy = GreedyScheduler.schedule(&sys).expect("greedy plans");
-            prop_assert!(greedy.makespan() <= serial.makespan());
-            prop_assert_eq!(greedy.entries().len(), serial.entries().len());
+/// On small systems the exact scheduler is ground truth: it validates,
+/// and no heuristic ever beats it.
+#[test]
+fn optimal_lower_bounds_heuristics_on_small_systems() {
+    let campaign = Campaign::new();
+    for seed in noctest_testkit::seeds(24) {
+        let mut request = random_request(&mut Rng::new(seed));
+        if let SocSource::Cores { cores, .. } = &mut request.soc {
+            cores.truncate(5);
         }
-    }
-
-    /// On small systems the exact scheduler is ground truth: it validates,
-    /// and no heuristic ever beats it.
-    #[test]
-    fn optimal_lower_bounds_heuristics_on_small_systems(spec in arb_system()) {
-        let mut spec = spec;
-        spec.cores.truncate(5);
-        spec.procs_total = spec.procs_total.min(2);
-        spec.procs_reused = spec.procs_reused.min(spec.procs_total);
-        let Some(sys) = build(&spec) else { return Ok(()) };
-        let optimal = OptimalScheduler::new().schedule(&sys).expect("optimal plans");
-        optimal.validate(&sys).expect("optimal schedule is valid");
-        let greedy = GreedyScheduler.schedule(&sys).expect("greedy plans");
-        let smart = SmartScheduler.schedule(&sys).expect("smart plans");
-        prop_assert!(optimal.makespan() <= greedy.makespan());
-        prop_assert!(optimal.makespan() <= smart.makespan());
+        if let Some(procs) = &mut request.processors {
+            procs.total = procs.total.min(2);
+            procs.reused = procs.reused.min(procs.total);
+        }
+        let Some(optimal) = run(&campaign, &request, "optimal") else {
+            continue;
+        };
+        let greedy = run(&campaign, &request, "greedy").expect("greedy plans when optimal does");
+        let smart = run(&campaign, &request, "smart").expect("smart plans when optimal does");
+        assert!(
+            optimal.makespan <= greedy.makespan && optimal.makespan <= smart.makespan,
+            "seed {seed}: optimal {} vs greedy {} / smart {}",
+            optimal.makespan,
+            greedy.makespan,
+            smart.makespan
+        );
         // No schedule can beat the longest single mandatory session.
+        let sys = request.build_system().expect("system builds");
         let bound = sys
             .cuts()
             .iter()
@@ -151,26 +167,59 @@ proptest! {
             })
             .max()
             .unwrap_or(0);
-        prop_assert!(optimal.makespan() >= bound);
+        assert!(optimal.makespan >= bound, "seed {seed}");
     }
+}
 
-    /// Reusing more processors never makes greedy catastrophically worse
-    /// than using none (a weak monotonicity envelope: the paper's own
-    /// results show local bumps, so only a 1.25x envelope is asserted).
-    #[test]
-    fn reuse_never_catastrophic(spec in arb_system()) {
-        if spec.procs_total == 0 {
-            return Ok(());
-        }
-        let none = RandomSystem { procs_reused: 0, ..spec.clone() };
-        let (Some(sys_none), Some(sys_some)) = (build(&none), build(&spec)) else {
-            return Ok(());
+/// Reusing more processors never makes greedy catastrophically worse
+/// than using none (a weak monotonicity envelope: the paper's own
+/// results show local bumps, so only a 1.25x envelope is asserted).
+#[test]
+fn reuse_never_catastrophic() {
+    let campaign = Campaign::new();
+    for seed in noctest_testkit::seeds(60) {
+        let request = random_request(&mut Rng::new(seed));
+        let Some(procs) = &request.processors else {
+            continue;
         };
-        let t_none = GreedyScheduler.schedule(&sys_none).expect("plans").makespan();
-        let t_some = GreedyScheduler.schedule(&sys_some).expect("plans").makespan();
-        prop_assert!(
-            (t_some as f64) <= (t_none as f64) * 1.25,
-            "reuse exploded test time: {t_some} vs {t_none}"
+        if procs.reused == 0 {
+            continue;
+        }
+        let mut none = request.clone();
+        none.processors.as_mut().unwrap().reused = 0;
+        let (Some(with_none), Some(with_some)) = (
+            run(&campaign, &none, "greedy"),
+            run(&campaign, &request, "greedy"),
+        ) else {
+            continue;
+        };
+        assert!(
+            (with_some.makespan as f64) <= (with_none.makespan as f64) * 1.25,
+            "seed {seed}: reuse exploded test time: {} vs {}",
+            with_some.makespan,
+            with_none.makespan
         );
+    }
+}
+
+/// The outcome's figures of merit are consistent with its own session
+/// list — the serialisable form carries the whole schedule.
+#[test]
+fn outcome_sessions_are_self_consistent() {
+    let campaign = Campaign::new();
+    for seed in noctest_testkit::seeds(30) {
+        let request = random_request(&mut Rng::new(seed));
+        let Some(outcome) = run(&campaign, &request, "greedy") else {
+            continue;
+        };
+        let max_end = outcome.sessions.iter().map(|s| s.end).max().unwrap_or(0);
+        assert_eq!(outcome.makespan, max_end, "seed {seed}");
+        if let Some(cap) = outcome.budget_cap {
+            assert!(
+                outcome.peak_power <= cap + 1e-6,
+                "seed {seed}: peak {} over cap {cap}",
+                outcome.peak_power
+            );
+        }
     }
 }

@@ -2,15 +2,14 @@
 //! cycle-level wormhole simulator for stimulus streams across systems,
 //! cores and interfaces.
 
-use noctest_bench::{build_system, calibrated_profile, SystemId};
 use noctest::core::{replay_stimulus_stream, BudgetSpec, InterfaceId};
+use noctest_bench::{build_system, SystemId};
 
 #[test]
 fn analytic_model_tracks_simulation_across_systems() {
-    let profile = calibrated_profile("leon");
     let mut checked = 0;
     for id in SystemId::ALL {
-        let sys = build_system(id, &profile, 2, BudgetSpec::Unlimited).expect("system builds");
+        let sys = build_system(id, "leon", 2, BudgetSpec::Unlimited).expect("system builds");
         let mut cuts: Vec<_> = sys.cuts().iter().collect();
         cuts.sort_by_key(|c| c.volume_bits());
         // Smallest, median, largest core; external tester and processor 0.
@@ -37,9 +36,8 @@ fn analytic_model_tracks_simulation_across_systems() {
 
 #[test]
 fn longer_streams_simulate_proportionally() {
-    let profile = calibrated_profile("leon");
-    let sys = build_system(SystemId::D695, &profile, 0, BudgetSpec::Unlimited)
-        .expect("system builds");
+    let sys =
+        build_system(SystemId::D695, "leon", 0, BudgetSpec::Unlimited).expect("system builds");
     let big = sys
         .cuts()
         .iter()
