@@ -1,46 +1,116 @@
 //! Cross-checks the planner's analytic transport timing against the
-//! cycle-level wormhole simulator: replays the stimulus stream of a sample
-//! of (system, core, interface) sessions flit by flit and reports the
-//! analytic prediction, the simulated cycle count, and the relative error.
+//! cycle-level wormhole simulator — at **schedule** granularity. For each
+//! benchmark system the whole greedy plan is replayed on one shared mesh
+//! (the Campaign fidelity stage, backed by
+//! `noctest_core::replay::replay_schedule`): every session's stimulus
+//! stream is injected at its planned start cycle, and the analytic
+//! prediction is compared with the simulated stream duration under real
+//! contention. Exit status: 0 when the worst relative error stays within
+//! budget, 1 when the model deviates, 2 on a pipeline error.
+//!
+//! `--json` switches the report to machine-readable JSON (the full
+//! `PlanOutcome` documents, fidelity sections included).
 
-use noctest_bench::{build_system, SystemId};
-use noctest_core::{replay_stimulus_stream, BudgetSpec, InterfaceId};
+use std::error::Error;
+use std::process::ExitCode;
 
-fn main() {
-    println!("analytic transport model vs. cycle-level simulation");
-    println!(
-        "{:>8} {:>12} {:>6} {:>9} {:>10} {:>10} {:>7}",
-        "system", "core", "iface", "packets", "analytic", "simulated", "error"
-    );
-    let mut worst: f64 = 0.0;
-    for id in SystemId::ALL {
-        let sys = build_system(id, "leon", 2, BudgetSpec::Unlimited).expect("system builds");
-        // Sample: smallest, median and largest benchmark core by volume.
-        let mut cuts: Vec<_> = sys.cuts().iter().collect();
-        cuts.sort_by_key(|c| c.volume_bits());
-        let samples = [cuts[0], cuts[cuts.len() / 2], cuts[cuts.len() - 1]];
-        for cut in samples {
-            for iface in [InterfaceId(0), InterfaceId(1)] {
-                let replay =
-                    replay_stimulus_stream(&sys, iface, cut.id, 16).expect("replay completes");
-                let err = replay.relative_error();
-                worst = worst.max(err);
-                println!(
-                    "{:>8} {:>12} {:>6} {:>9} {:>10} {:>10} {:>6.1}%",
-                    id.name(),
-                    cut.name,
-                    iface.0,
-                    replay.packets,
-                    replay.analytic_cycles,
-                    replay.simulated_cycles,
-                    err * 100.0
-                );
+use noctest_bench::SystemId;
+use noctest_core::json::Json;
+use noctest_core::plan::Campaign;
+use noctest_core::BudgetSpec;
+
+/// The analytic model is considered broken beyond this relative error.
+const ERROR_BUDGET: f64 = 0.25;
+/// Per-session pattern cap: the steady state is reached after a handful.
+const PATTERNS_CAP: u32 = 16;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("validate_model: unknown argument `{other}` (supported: --json)");
+                return ExitCode::from(2);
             }
         }
     }
-    println!("worst relative error: {:.1}%", worst * 100.0);
-    if worst > 0.25 {
-        println!("WARNING: analytic model deviates more than 25% somewhere");
-        std::process::exit(1);
+    match run(json) {
+        Ok(worst) if worst > ERROR_BUDGET => {
+            eprintln!(
+                "WARNING: analytic model deviates {:.1}% somewhere (budget {:.0}%)",
+                worst * 100.0,
+                ERROR_BUDGET * 100.0
+            );
+            ExitCode::from(1)
+        }
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_model: {e}");
+            ExitCode::from(2)
+        }
     }
+}
+
+fn run(json: bool) -> Result<f64, Box<dyn Error>> {
+    let campaign = Campaign::new();
+    let mut worst: f64 = 0.0;
+    let mut documents = Vec::new();
+
+    if !json {
+        println!("analytic transport model vs. whole-schedule simulation replay");
+        println!(
+            "{:>8} {:>12} {:>8} {:>12} {:>8} {:>10} {:>10} {:>7}",
+            "system", "core", "iface", "start", "packets", "analytic", "simulated", "error"
+        );
+    }
+    for id in SystemId::ALL {
+        let request = id
+            .request("leon", 2, BudgetSpec::Unlimited)
+            .with_fidelity(PATTERNS_CAP)
+            .with_name(format!("validate-{}", id.name()));
+        let outcome = campaign.run(&request)?;
+        let fidelity = outcome
+            .fidelity
+            .as_ref()
+            .expect("fidelity stage was requested");
+        worst = worst.max(fidelity.worst_relative_error());
+        if json {
+            documents.push(outcome.to_json());
+        } else {
+            for (fid, session) in fidelity.sessions.iter().zip(&outcome.sessions) {
+                println!(
+                    "{:>8} {:>12} {:>8} {:>12} {:>8} {:>10} {:>10} {:>6.1}%",
+                    id.name(),
+                    session.core,
+                    fid.interface,
+                    fid.start,
+                    fid.packets,
+                    fid.analytic_cycles,
+                    fid.simulated_cycles,
+                    fid.relative_error() * 100.0
+                );
+            }
+            println!(
+                "{:>8} makespan: planned {} / replay (capped) {} simulated vs {} analytic",
+                id.name(),
+                outcome.makespan,
+                fidelity.simulated_makespan,
+                fidelity.analytic_makespan
+            );
+        }
+    }
+
+    if json {
+        let report = Json::obj(vec![
+            ("patterns_cap", Json::int(u64::from(PATTERNS_CAP))),
+            ("worst_relative_error", Json::Num(worst)),
+            ("error_budget", Json::Num(ERROR_BUDGET)),
+            ("outcomes", Json::Arr(documents)),
+        ]);
+        println!("{}", report.pretty());
+    } else {
+        println!("worst relative error: {:.1}%", worst * 100.0);
+    }
+    Ok(worst)
 }

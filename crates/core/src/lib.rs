@@ -81,7 +81,8 @@ pub use plan::{
 };
 pub use power::{PowerBudget, PowerModel};
 pub use replay::{
-    replay_concurrent_streams, replay_stimulus_stream, ConcurrentReplay, StreamReplay,
+    replay_concurrent_streams, replay_schedule, replay_stimulus_stream, ConcurrentReplay,
+    ScheduleReplay, SessionReplay, StreamReplay,
 };
 pub use sched::{
     GreedyScheduler, OptimalScheduler, Schedule, ScheduledTest, Scheduler, SerialScheduler,

@@ -8,6 +8,7 @@ use crate::plan::error::CampaignError;
 use crate::plan::outcome::{PlanOutcome, StageTiming};
 use crate::plan::registry::SchedulerRegistry;
 use crate::plan::request::PlanRequest;
+use crate::replay::replay_schedule;
 
 /// Executes planning requests against a [`SchedulerRegistry`].
 ///
@@ -76,13 +77,14 @@ impl Campaign {
 
     /// Runs one request end to end: resolve the SoC and processor profile,
     /// place the system, schedule it with the named algorithm, re-validate
-    /// every invariant (unless the request opted out) and assemble the
-    /// outcome.
+    /// every invariant (unless the request opted out), replay the whole
+    /// schedule on the cycle-level simulator (when the request opted in
+    /// via [`PlanRequest::fidelity`]) and assemble the outcome.
     ///
     /// # Errors
     ///
-    /// Any [`CampaignError`] from resolution, construction, scheduling or
-    /// validation.
+    /// Any [`CampaignError`] from resolution, construction, scheduling,
+    /// validation or the fidelity replay.
     pub fn run(&self, request: &PlanRequest) -> Result<PlanOutcome, CampaignError> {
         // Resolve the scheduler first: a typo'd name must fail fast, before
         // system construction pays for ISS calibration.
@@ -104,7 +106,15 @@ impl Campaign {
             0
         };
 
-        Ok(PlanOutcome::from_schedule(
+        let (fidelity, replay_micros) = if let Some(spec) = &request.fidelity {
+            let replay_start = Instant::now();
+            let replay = replay_schedule(&sys, &schedule, spec.patterns_cap)?;
+            (Some(replay), replay_start.elapsed().as_micros() as u64)
+        } else {
+            (None, 0)
+        };
+
+        let mut outcome = PlanOutcome::from_schedule(
             &request.name,
             // Report the registry key the request selected, not the
             // implementation's self-reported name: two keys may map to
@@ -116,8 +126,11 @@ impl Campaign {
                 build_micros,
                 schedule_micros,
                 validate_micros,
+                replay_micros,
             },
-        ))
+        );
+        outcome.fidelity = fidelity;
+        Ok(outcome)
     }
 
     /// Runs a request matrix, parallelised over worker threads. Results
@@ -237,6 +250,28 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(Campaign::new().run_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn fidelity_opt_in_attaches_a_replay_section() {
+        let request = d695_request("greedy").with_fidelity(4);
+        let outcome = Campaign::new().run(&request).unwrap();
+        let fidelity = outcome.fidelity.as_ref().expect("fidelity requested");
+        assert_eq!(fidelity.patterns_cap, 4);
+        assert_eq!(fidelity.sessions.len(), outcome.sessions.len());
+        assert!(fidelity.simulated_makespan > 0);
+        assert!(
+            fidelity.worst_relative_error() < 0.25,
+            "worst error {:.1}%",
+            fidelity.worst_relative_error() * 100.0
+        );
+        // The section round-trips with the rest of the outcome.
+        let back = crate::plan::PlanOutcome::from_json_str(&outcome.to_json_string()).unwrap();
+        assert_eq!(back, outcome);
+        // Default: no fidelity section, no replay time.
+        let plain = Campaign::new().run(&d695_request("greedy")).unwrap();
+        assert!(plain.fidelity.is_none());
+        assert_eq!(plain.timing.replay_micros, 0);
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! * [`RequestMatrix`] — cartesian sweep builder, so experiment grids
 //!   (Figure 1, the ablations) are data rather than hand-wired loops.
 //! * [`PlanOutcome`] — schedule, makespan, concurrency and power figures
-//!   of merit, per-session breakdown and stage timing; also JSON-round-
-//!   trippable.
+//!   of merit, per-session breakdown, stage timing and (when the request
+//!   opted in via [`FidelitySpec`]) a schedule-level simulation-fidelity
+//!   section (the [`crate::replay::ScheduleReplay`] embedded verbatim);
+//!   also JSON-round-trippable.
 //! * [`CampaignError`] — one error type wrapping the four crates'
 //!   failures plus request-resolution errors.
 //!
@@ -57,5 +59,6 @@ pub use matrix::RequestMatrix;
 pub use outcome::{PlanOutcome, SessionOutcome, StageTiming};
 pub use registry::SchedulerRegistry;
 pub use request::{
-    ApplicationSpec, CoreRequest, MeshSpec, PlanRequest, ProcessorSpec, SocSource, TimingSpec,
+    ApplicationSpec, CoreRequest, FidelitySpec, MeshSpec, PlanRequest, ProcessorSpec, SocSource,
+    TimingSpec,
 };

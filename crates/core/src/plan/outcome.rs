@@ -2,8 +2,9 @@
 
 use std::fmt::Write as _;
 
-use crate::json::{field, Json, JsonError};
+use crate::json::{field, field_or, Json, JsonError};
 use crate::plan::error::CampaignError;
+use crate::replay::{ScheduleReplay, SessionReplay};
 use crate::sched::Schedule;
 use crate::system::SystemUnderTest;
 
@@ -43,14 +44,71 @@ pub struct StageTiming {
     pub schedule_micros: u64,
     /// Invariant re-validation (0 when the request disabled it).
     pub validate_micros: u64,
+    /// Whole-schedule simulation replay (0 when the request did not ask
+    /// for fidelity).
+    pub replay_micros: u64,
 }
 
 impl StageTiming {
     /// Total pipeline time in microseconds.
     #[must_use]
     pub fn total_micros(&self) -> u64 {
-        self.build_micros + self.schedule_micros + self.validate_micros
+        self.build_micros + self.schedule_micros + self.validate_micros + self.replay_micros
     }
+}
+
+/// Encodes a fidelity section — the [`ScheduleReplay`] of
+/// [`crate::replay::replay_schedule`], embedded verbatim in the outcome.
+/// `worst_relative_error` is emitted as a derived convenience member for
+/// machine consumers; decoding recomputes it from the sessions.
+fn fidelity_to_json(f: &ScheduleReplay) -> Json {
+    Json::obj(vec![
+        ("patterns_cap", Json::int(u64::from(f.patterns_cap))),
+        ("analytic_makespan", Json::int(f.analytic_makespan)),
+        ("simulated_makespan", Json::int(f.simulated_makespan)),
+        ("worst_relative_error", Json::Num(f.worst_relative_error())),
+        (
+            "sessions",
+            Json::Arr(
+                f.sessions
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("cut", Json::int(u64::from(s.cut))),
+                            ("interface", Json::str(&s.interface)),
+                            ("start", Json::int(s.start)),
+                            ("packets", Json::int(u64::from(s.packets))),
+                            ("analytic_cycles", Json::int(s.analytic_cycles)),
+                            ("simulated_cycles", Json::int(s.simulated_cycles)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn fidelity_from_json(doc: &Json) -> Result<ScheduleReplay, JsonError> {
+    let sessions_doc = field(doc, "sessions", "an array", Json::as_arr)?;
+    let mut sessions = Vec::with_capacity(sessions_doc.len());
+    for s in sessions_doc {
+        sessions.push(SessionReplay {
+            cut: field(s, "cut", "an integer", Json::as_u64)? as u32,
+            interface: field(s, "interface", "a string", |v| {
+                v.as_str().map(str::to_owned)
+            })?,
+            start: field(s, "start", "an integer", Json::as_u64)?,
+            packets: field(s, "packets", "an integer", Json::as_u64)? as u32,
+            analytic_cycles: field(s, "analytic_cycles", "an integer", Json::as_u64)?,
+            simulated_cycles: field(s, "simulated_cycles", "an integer", Json::as_u64)?,
+        });
+    }
+    Ok(ScheduleReplay {
+        patterns_cap: field(doc, "patterns_cap", "an integer", Json::as_u64)? as u32,
+        analytic_makespan: field(doc, "analytic_makespan", "an integer", Json::as_u64)?,
+        simulated_makespan: field(doc, "simulated_makespan", "an integer", Json::as_u64)?,
+        sessions,
+    })
 }
 
 /// Everything a planning run produced: the schedule with its figures of
@@ -83,6 +141,10 @@ pub struct PlanOutcome {
     pub reduction_percent: f64,
     /// Per-session breakdown, ordered by start cycle.
     pub sessions: Vec<SessionOutcome>,
+    /// Schedule-level simulation fidelity — the whole-plan replay of
+    /// [`crate::replay::replay_schedule`], embedded verbatim (only when
+    /// the request opted in via [`crate::plan::PlanRequest::fidelity`]).
+    pub fidelity: Option<ScheduleReplay>,
     /// Wall-clock stage timing.
     pub timing: StageTiming,
 }
@@ -129,6 +191,7 @@ impl PlanOutcome {
                 100.0 * (1.0 - makespan as f64 / serial_baseline as f64)
             },
             sessions,
+            fidelity: None,
             timing,
         }
     }
@@ -215,11 +278,16 @@ impl PlanOutcome {
                 ),
             ),
             (
+                "fidelity",
+                self.fidelity.as_ref().map_or(Json::Null, fidelity_to_json),
+            ),
+            (
                 "timing",
                 Json::obj(vec![
                     ("build_micros", Json::int(self.timing.build_micros)),
                     ("schedule_micros", Json::int(self.timing.schedule_micros)),
                     ("validate_micros", Json::int(self.timing.validate_micros)),
+                    ("replay_micros", Json::int(self.timing.replay_micros)),
                 ]),
             ),
         ])
@@ -285,10 +353,22 @@ impl PlanOutcome {
             serial_baseline: field(doc, "serial_baseline", "an integer", Json::as_u64)?,
             reduction_percent: field(doc, "reduction_percent", "a number", Json::as_f64)?,
             sessions,
+            fidelity: match doc.get("fidelity") {
+                None | Some(Json::Null) => None,
+                Some(f) => Some(fidelity_from_json(f)?),
+            },
             timing: StageTiming {
                 build_micros: field(timing_doc, "build_micros", "an integer", Json::as_u64)?,
                 schedule_micros: field(timing_doc, "schedule_micros", "an integer", Json::as_u64)?,
                 validate_micros: field(timing_doc, "validate_micros", "an integer", Json::as_u64)?,
+                // Absent in pre-fidelity documents; default to zero.
+                replay_micros: field_or(
+                    timing_doc,
+                    "replay_micros",
+                    "an integer",
+                    0,
+                    Json::as_u64,
+                )?,
             },
         })
     }
@@ -329,12 +409,33 @@ mod tests {
                     power: 275.0,
                 },
             ],
+            fidelity: None,
             timing: StageTiming {
                 build_micros: 100,
                 schedule_micros: 50,
                 validate_micros: 10,
+                replay_micros: 0,
             },
         }
+    }
+
+    fn sample_with_fidelity() -> PlanOutcome {
+        let mut o = sample();
+        o.fidelity = Some(ScheduleReplay {
+            patterns_cap: 8,
+            analytic_makespan: 1180,
+            simulated_makespan: 1210,
+            sessions: vec![SessionReplay {
+                cut: 3,
+                interface: "leon#0".into(),
+                start: 400,
+                packets: 8,
+                analytic_cycles: 750,
+                simulated_cycles: 800,
+            }],
+        });
+        o.timing.replay_micros = 42;
+        o
     }
 
     #[test]
@@ -342,6 +443,33 @@ mod tests {
         let o = sample();
         let back = PlanOutcome::from_json_str(&o.to_json_string()).unwrap();
         assert_eq!(back, o);
+    }
+
+    #[test]
+    fn fidelity_section_roundtrips_exactly() {
+        let o = sample_with_fidelity();
+        let text = o.to_json_string();
+        assert!(text.contains("\"simulated_makespan\": 1210"));
+        // 50/800: the derived member is emitted for machine consumers and
+        // recomputed (identically) on decode.
+        assert!(text.contains("\"worst_relative_error\": 0.0625"));
+        let back = PlanOutcome::from_json_str(&text).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(
+            back.fidelity.as_ref().unwrap().worst_relative_error(),
+            0.0625
+        );
+    }
+
+    #[test]
+    fn missing_fidelity_decodes_as_none() {
+        // Pre-fidelity documents (no `fidelity`, no `replay_micros`) must
+        // still decode.
+        let mut text = sample().to_json_string();
+        text = text.replace("\"fidelity\": null,\n", "");
+        text = text.replace(",\n    \"replay_micros\": 0", "");
+        let back = PlanOutcome::from_json_str(&text).unwrap();
+        assert_eq!(back, sample());
     }
 
     #[test]
@@ -368,6 +496,7 @@ mod tests {
         let o = sample();
         assert_eq!(o.sessions[0].cycles(), 400);
         assert_eq!(o.timing.total_micros(), 160);
+        assert_eq!(sample_with_fidelity().timing.total_micros(), 202);
     }
 
     #[test]

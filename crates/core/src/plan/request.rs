@@ -144,6 +144,23 @@ impl TimingSpec {
     }
 }
 
+/// Opt-in schedule-level fidelity check: replay the whole planned
+/// schedule on the cycle-level simulator
+/// ([`crate::replay::replay_schedule`]) and attach the
+/// analytic-vs-simulated comparison to the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FidelitySpec {
+    /// Per-session pattern cap for the replay (large cores carry hundreds
+    /// of patterns; the steady state is reached after a handful).
+    pub patterns_cap: u32,
+}
+
+impl Default for FidelitySpec {
+    fn default() -> Self {
+        FidelitySpec { patterns_cap: 8 }
+    }
+}
+
 /// Everything the planner is fed for one run: SoC, placement, processors,
 /// power budget, scheduler selection and model knobs. Serialisable to and
 /// from JSON so campaigns are data, not code.
@@ -168,6 +185,9 @@ pub struct PlanRequest {
     pub timing: TimingSpec,
     /// Re-check every schedule invariant after planning (default `true`).
     pub validate: bool,
+    /// Replay the whole schedule on the cycle-level simulator and attach
+    /// a fidelity section to the outcome (default `None` = skip).
+    pub fidelity: Option<FidelitySpec>,
 }
 
 impl PlanRequest {
@@ -189,6 +209,7 @@ impl PlanRequest {
             priority: PriorityPolicy::Distance,
             timing: TimingSpec::default(),
             validate: true,
+            fidelity: None,
         }
     }
 
@@ -223,6 +244,14 @@ impl PlanRequest {
     #[must_use]
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Enables the schedule-level fidelity replay with a per-session
+    /// pattern cap (builder style).
+    #[must_use]
+    pub fn with_fidelity(mut self, patterns_cap: u32) -> Self {
+        self.fidelity = Some(FidelitySpec { patterns_cap });
         self
     }
 
@@ -452,6 +481,31 @@ impl PlanRequest {
             },
         };
 
+        let fidelity = match doc.get("fidelity") {
+            None | Some(Json::Null) | Some(Json::Bool(false)) => None,
+            Some(Json::Bool(true)) => Some(FidelitySpec::default()),
+            Some(f) => {
+                // A scalar here is a typo'd knob; enabling the replay with
+                // the default cap would silently mask it.
+                if f.as_obj().is_none() {
+                    return Err(bad("`fidelity` must be null, a boolean, or an object"));
+                }
+                let patterns_cap = field_or(
+                    f,
+                    "patterns_cap",
+                    "an integer fitting u32",
+                    FidelitySpec::default().patterns_cap,
+                    u32_of,
+                )?;
+                if patterns_cap == 0 {
+                    // Zero patterns would "validate" the model against an
+                    // empty simulation and report zero error.
+                    return Err(bad("`fidelity.patterns_cap` must be at least 1"));
+                }
+                Some(FidelitySpec { patterns_cap })
+            }
+        };
+
         Ok(PlanRequest {
             name: field_or(doc, "name", "a string", String::new(), |v| {
                 v.as_str().map(str::to_owned)
@@ -466,6 +520,7 @@ impl PlanRequest {
             priority,
             timing,
             validate: field_or(doc, "validate", "a boolean", true, Json::as_bool)?,
+            fidelity,
         })
     }
 
@@ -579,6 +634,12 @@ impl PlanRequest {
             members.push(("timing", Json::obj(t)));
         }
         members.push(("validate", Json::Bool(self.validate)));
+        if let Some(f) = &self.fidelity {
+            members.push((
+                "fidelity",
+                Json::obj(vec![("patterns_cap", Json::int(u64::from(f.patterns_cap)))]),
+            ));
+        }
         Json::obj(members)
     }
 
@@ -603,6 +664,7 @@ mod tests {
         r.mesh.routing = RoutingKind::Yx;
         r.timing.flit_width_bits = Some(32);
         r.timing.generation = Some(GenerationModel::PaperFlat);
+        r.fidelity = Some(FidelitySpec { patterns_cap: 12 });
         r
     }
 
@@ -624,6 +686,46 @@ mod tests {
         assert!(r.validate);
         assert!(r.processors.is_none());
         assert!(r.timing.is_default());
+        assert!(r.fidelity.is_none(), "fidelity replay is opt-in");
+    }
+
+    #[test]
+    fn fidelity_knob_decodes_all_forms() {
+        let base = r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}"#;
+        let with = |tail: &str| PlanRequest::from_json_str(&format!("{base}, {tail}}}")).unwrap();
+        assert_eq!(with(r#""fidelity": null"#).fidelity, None);
+        assert_eq!(with(r#""fidelity": false"#).fidelity, None);
+        assert_eq!(
+            with(r#""fidelity": true"#).fidelity,
+            Some(FidelitySpec::default())
+        );
+        assert_eq!(
+            with(r#""fidelity": {"patterns_cap": 3}"#).fidelity,
+            Some(FidelitySpec { patterns_cap: 3 })
+        );
+        assert_eq!(
+            with(r#""fidelity": {}"#).fidelity,
+            Some(FidelitySpec::default())
+        );
+        // Mistyped cap is an error, not a silent default.
+        assert!(PlanRequest::from_json_str(&format!(
+            "{base}, \"fidelity\": {{\"patterns_cap\": \"many\"}}}}"
+        ))
+        .is_err());
+        // So is a scalar knob: neither silently enabled nor treated as a
+        // cap.
+        for bad in [r#""fidelity": 16"#, r#""fidelity": "true""#] {
+            assert!(
+                PlanRequest::from_json_str(&format!("{base}, {bad}}}")).is_err(),
+                "accepted {bad}"
+            );
+        }
+        // A zero cap would report zero model error without simulating a
+        // single flit.
+        assert!(PlanRequest::from_json_str(&format!(
+            "{base}, \"fidelity\": {{\"patterns_cap\": 0}}}}"
+        ))
+        .is_err());
     }
 
     #[test]

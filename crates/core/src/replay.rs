@@ -1,9 +1,9 @@
 //! Replaying planned test streams on the cycle-level NoC simulator.
 //!
 //! The planner schedules with the *analytic* timing model of
-//! [`crate::timing`]; this module replays a session's stimulus stream flit
-//! by flit on `noctest-noc`'s wormhole simulator and reports both numbers,
-//! so the analytic model can be validated rather than trusted (the
+//! [`crate::timing`]; this module replays planned stimulus streams flit by
+//! flit on `noctest-noc`'s wormhole simulator and reports both numbers, so
+//! the analytic model can be validated rather than trusted (the
 //! `validate_model` binary and the `sim_vs_model` integration tests build
 //! on this).
 //!
@@ -12,11 +12,26 @@
 //! with the same arithmetic, and generation overhead is a property of the
 //! source, not the network, so the stimulus stream is the part where the
 //! analytic and simulated worlds must agree.
+//!
+//! Three granularities are available:
+//!
+//! * [`replay_stimulus_stream`] — one session in isolation;
+//! * [`replay_concurrent_streams`] — two sessions, solo and together, for
+//!   interference checks;
+//! * [`replay_schedule`] — **the whole plan**: every scheduled session's
+//!   stream injected at its planned start cycle onto *one shared mesh*
+//!   (via [`Network::inject_at`]), so per-session completion and the
+//!   overall makespan are measured under real contention. The planner's
+//!   link-disjointness invariant predicts zero interference between
+//!   overlapping sessions; this is where that prediction meets the
+//!   simulator. Results feed the `fidelity` section of
+//!   [`crate::plan::PlanOutcome`].
 
 use noctest_noc::{Network, NocConfig, NocError, Packet};
 
 use crate::cut::CutId;
 use crate::interface::InterfaceId;
+use crate::sched::Schedule;
 use crate::system::SystemUnderTest;
 
 /// Outcome of replaying one session's stimulus stream.
@@ -46,13 +61,14 @@ impl StreamReplay {
 
 /// Analytic prediction for a back-to-back stream of `packets` packets of
 /// `flits` flits over `hops` hops: per-packet serialisation plus one
-/// routing bubble, plus the pipeline fill of the first packet.
+/// routing bubble, plus the pipeline fill of the first packet (the shared
+/// [`crate::timing::TimingModel::pipeline_fill`] term — the same
+/// arithmetic the session model uses, so the two cannot drift).
 #[must_use]
 pub fn analytic_stream_cycles(sys: &SystemUnderTest, packets: u32, flits: u32, hops: u32) -> u64 {
     let t = sys.timing();
     let per_packet = u64::from(flits) * u64::from(t.flow_latency) + u64::from(t.routing_latency);
-    u64::from(packets) * per_packet
-        + u64::from(hops) * u64::from(t.routing_latency + t.flow_latency)
+    u64::from(packets) * per_packet + t.pipeline_fill(hops)
 }
 
 /// Replays the stimulus stream of testing `cut` from `iface` on the
@@ -204,6 +220,152 @@ pub fn replay_concurrent_streams(
     })
 }
 
+/// One session's share of a whole-schedule replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReplay {
+    /// Core id within the planned system.
+    pub cut: u32,
+    /// Label of the driving interface (`"ext"`, `"leon#0"`, ...).
+    pub interface: String,
+    /// Planned start cycle (when the stream was injected).
+    pub start: u64,
+    /// Packets (= patterns, capped) replayed.
+    pub packets: u32,
+    /// The analytic transport model's prediction for the capped stream.
+    pub analytic_cycles: u64,
+    /// Simulated stream duration: last tail ejection minus `start`.
+    pub simulated_cycles: u64,
+}
+
+impl SessionReplay {
+    /// Relative error of the analytic model against the simulation.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        if self.simulated_cycles == 0 {
+            return 0.0;
+        }
+        (self.analytic_cycles as f64 - self.simulated_cycles as f64).abs()
+            / self.simulated_cycles as f64
+    }
+}
+
+/// Outcome of replaying an entire schedule on one shared mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReplay {
+    /// The per-session pattern cap that was applied.
+    pub patterns_cap: u32,
+    /// Analytic makespan of the capped streams: the latest
+    /// `start + analytic_cycles` over all sessions.
+    pub analytic_makespan: u64,
+    /// Simulated makespan: the latest tail-ejection cycle over all
+    /// sessions, under real contention.
+    pub simulated_makespan: u64,
+    /// Per-session breakdown, in schedule (start-cycle) order.
+    pub sessions: Vec<SessionReplay>,
+}
+
+impl ScheduleReplay {
+    /// The largest per-session relative error (0 for an empty schedule).
+    #[must_use]
+    pub fn worst_relative_error(&self) -> f64 {
+        self.sessions
+            .iter()
+            .map(SessionReplay::relative_error)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Replays **every** session of `schedule` on one shared mesh: each
+/// session's stimulus stream is scheduled (via [`Network::inject_at`]) to
+/// start at its planned start cycle, capped at `patterns_cap` patterns
+/// (raised to 1 if 0 — an empty replay would report zero model error
+/// without simulating anything), and the simulator measures per-session
+/// completion and the overall makespan under whatever contention actually
+/// arises. Because the event core fast-forwards idle spans, replaying a
+/// schedule whose sessions are millions of cycles apart costs only the
+/// cycles where flits move.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`NocError::Timeout`] would indicate a
+/// transport bug or a schedule that serialises far beyond its plan).
+pub fn replay_schedule(
+    sys: &SystemUnderTest,
+    schedule: &Schedule,
+    patterns_cap: u32,
+) -> Result<ScheduleReplay, NocError> {
+    let t = sys.timing();
+    let mesh = sys.mesh();
+    let config = NocConfig::builder(mesh.width(), mesh.height())
+        .flit_width_bits(t.flit_width_bits)
+        .flow_latency(t.flow_latency)
+        .routing_latency(t.routing_latency)
+        .routing(sys.routing())
+        .build()?;
+    let mut net = Network::new(config)?;
+    let patterns_cap = patterns_cap.max(1);
+
+    // Session index → tag block; comfortably above any real pattern count.
+    const TAG_BLOCK: u64 = 1_000_000;
+
+    let mut sessions = Vec::with_capacity(schedule.entries().len());
+    let mut total_flits: u64 = 0;
+    for (index, entry) in schedule.entries().iter().enumerate() {
+        let core = sys.cut(entry.cut);
+        let iface = sys.interface(entry.interface);
+        let src = iface.source_node();
+        let dst = core.node;
+        // The extra clamp keeps per-session tags inside their block even
+        // for an absurd user-supplied cap.
+        let packets = core.patterns.min(patterns_cap).min(TAG_BLOCK as u32 - 1);
+        let flits_total = t.flits(core.bits_in);
+        let payload = flits_total - 1;
+        for p in 0..packets {
+            net.inject_at(
+                Packet::new(src, dst, payload).with_tag(index as u64 * TAG_BLOCK + u64::from(p)),
+                entry.start,
+            )?;
+        }
+        total_flits += u64::from(packets) * u64::from(flits_total);
+        let hops = mesh.distance(src, dst);
+        sessions.push(SessionReplay {
+            cut: entry.cut.0,
+            interface: iface.label(),
+            start: entry.start,
+            packets,
+            analytic_cycles: analytic_stream_cycles(sys, packets, flits_total, hops),
+            simulated_cycles: 0,
+        });
+    }
+
+    let budget = schedule.makespan() + 10_000 + 200 * total_flits * u64::from(t.flow_latency);
+    let delivered = net.run_until_idle(budget)?;
+    for d in &delivered {
+        let index = (d.tag / TAG_BLOCK) as usize;
+        let session = &mut sessions[index];
+        session.simulated_cycles = session
+            .simulated_cycles
+            .max(d.tail_delivered_at - session.start);
+    }
+
+    let analytic_makespan = sessions
+        .iter()
+        .map(|s| s.start + s.analytic_cycles)
+        .max()
+        .unwrap_or(0);
+    let simulated_makespan = sessions
+        .iter()
+        .map(|s| s.start + s.simulated_cycles)
+        .max()
+        .unwrap_or(0);
+    Ok(ScheduleReplay {
+        patterns_cap,
+        analytic_makespan,
+        simulated_makespan,
+        sessions,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +459,91 @@ mod tests {
         let cut = sys.cuts().iter().max_by_key(|c| c.patterns).unwrap();
         let replay = replay_stimulus_stream(&sys, InterfaceId(0), cut.id, 5).unwrap();
         assert_eq!(replay.packets, 5);
+    }
+
+    #[test]
+    fn replay_schedule_covers_every_session() {
+        use crate::sched::Scheduler as _;
+        let sys = system();
+        let schedule = crate::sched::GreedyScheduler::new().schedule(&sys).unwrap();
+        let replay = replay_schedule(&sys, &schedule, 6).unwrap();
+        assert_eq!(replay.sessions.len(), schedule.entries().len());
+        assert!(replay.simulated_makespan > 0);
+        assert!(replay.analytic_makespan > 0);
+        for (session, entry) in replay.sessions.iter().zip(schedule.entries()) {
+            assert_eq!(session.cut, entry.cut.0);
+            assert_eq!(session.start, entry.start);
+            assert!(session.packets > 0);
+            assert!(session.simulated_cycles > 0, "{session:?} never completed");
+        }
+        // Sessions sit inside planned slots whose analytic length includes
+        // generation overhead the transport replay does not pay, so the
+        // transport model must track the simulation closely.
+        assert!(
+            replay.worst_relative_error() < 0.25,
+            "worst error {:.1}%",
+            replay.worst_relative_error() * 100.0
+        );
+    }
+
+    #[test]
+    fn scheduled_disjoint_sessions_match_their_solo_replays() {
+        // The planner's core assumption: overlapping sessions with
+        // link-disjoint paths do not slow each other down. Replaying both
+        // as one schedule must therefore reproduce each solo replay
+        // *exactly* (disjoint links imply disjoint output ports, so even
+        // arbitration state cannot couple them).
+        let sys = system();
+        let mut found = None;
+        'outer: for a_cut in sys.cuts() {
+            for b_cut in sys.cuts() {
+                if a_cut.id == b_cut.id {
+                    continue;
+                }
+                let a = (InterfaceId(1), a_cut.id);
+                let b = (InterfaceId(2), b_cut.id);
+                if !sys
+                    .path(a.0, a.1)
+                    .links
+                    .conflicts_with(&sys.path(b.0, b.1).links)
+                {
+                    found = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let ((ifa, cuta), (ifb, cutb)) = found.expect("some disjoint session pair exists");
+        let cap = 8;
+        let solo_a = replay_stimulus_stream(&sys, ifa, cuta, cap).unwrap();
+        let solo_b = replay_stimulus_stream(&sys, ifb, cutb, cap).unwrap();
+
+        let make = |iface: InterfaceId, cut: CutId| crate::sched::ScheduledTest {
+            cut,
+            interface: iface,
+            start: 0,
+            end: sys.session_cycles(iface, cut),
+        };
+        let schedule = Schedule::new(vec![make(ifa, cuta), make(ifb, cutb)]);
+        let together = replay_schedule(&sys, &schedule, cap).unwrap();
+        let by_cut = |cut: CutId| {
+            together
+                .sessions
+                .iter()
+                .find(|s| s.cut == cut.0)
+                .expect("session present")
+        };
+        assert_eq!(by_cut(cuta).simulated_cycles, solo_a.simulated_cycles);
+        assert_eq!(by_cut(cutb).simulated_cycles, solo_b.simulated_cycles);
+    }
+
+    #[test]
+    fn empty_schedule_replays_to_zero() {
+        let sys = system();
+        let replay = replay_schedule(&sys, &Schedule::default(), 8).unwrap();
+        assert_eq!(replay.sessions.len(), 0);
+        assert_eq!(replay.simulated_makespan, 0);
+        assert_eq!(replay.analytic_makespan, 0);
+        assert_eq!(replay.worst_relative_error(), 0.0);
     }
 
     #[test]

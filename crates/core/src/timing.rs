@@ -110,11 +110,23 @@ impl TimingModel {
         u64::from(iface.gen_cycles_per_pattern()) + src + snk + 2 * u64::from(self.routing_latency)
     }
 
+    /// One-time pipeline-fill cost of a single `hops`-hop path: each
+    /// router on the way charges one route setup plus one flit forward
+    /// before the stream reaches steady state. This is the **only** place
+    /// the fill arithmetic lives — both the analytic session model
+    /// ([`TimingModel::session_fill`]) and the replay cross-check
+    /// ([`crate::replay::analytic_stream_cycles`]) build on it, so the two
+    /// cannot drift.
+    #[must_use]
+    pub fn pipeline_fill(&self, hops: u32) -> u64 {
+        u64::from(hops) * u64::from(self.routing_latency + self.flow_latency)
+    }
+
     /// One-time pipeline-fill cost for a session whose stimulus path is
     /// `hops_in` hops and response path `hops_out` hops.
     #[must_use]
     pub fn session_fill(&self, hops_in: u32, hops_out: u32) -> u64 {
-        u64::from(hops_in + hops_out) * u64::from(self.routing_latency + self.flow_latency)
+        self.pipeline_fill(hops_in) + self.pipeline_fill(hops_out)
     }
 
     /// Full session duration: all patterns plus pipeline fill.
@@ -226,6 +238,12 @@ mod tests {
             "sessions must be affine in pattern count"
         );
         assert_eq!(t.session_fill(3, 2), 5 * 12);
+        assert_eq!(
+            t.session_fill(3, 2),
+            t.pipeline_fill(3) + t.pipeline_fill(2),
+            "session fill is the sum of its two path fills"
+        );
+        assert_eq!(t.pipeline_fill(0), 0);
     }
 
     #[test]

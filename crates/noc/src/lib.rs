@@ -10,7 +10,11 @@
 //! * dimension-ordered **XY routing** (plus YX and West-First variants for
 //!   ablation studies) in [`routing`],
 //! * **wormhole switching** with credit-based flow control in [`router`] and
-//!   [`network`],
+//!   [`network`] — driven by an event-/worklist-based core that gives idle
+//!   routers, empty FIFOs and paced injectors zero per-cycle cost and
+//!   fast-forwards fully idle spans (the frozen cycle-stepped loop survives
+//!   in [`mod@reference`] as the executable specification both engines are
+//!   differentially tested against),
 //! * a configurable performance characterisation — *routing latency* (the
 //!   intra-router cycles needed to set up a connection for a header flit) and
 //!   *flow-control latency* (the inter-router cycles needed to forward each
@@ -55,6 +59,7 @@ pub mod flit;
 pub mod geometry;
 pub mod network;
 pub mod power;
+pub mod reference;
 pub mod rng;
 pub mod router;
 pub mod routing;
@@ -69,6 +74,7 @@ pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use geometry::{Direction, Position};
 pub use network::{DeliveredPacket, Network};
 pub use power::{EnergyLedger, PowerParams};
+pub use reference::ReferenceNetwork;
 pub use routing::RoutingKind;
 pub use stats::{LatencyStats, NetworkStats};
 pub use topology::{LinkId, Mesh, NodeId};

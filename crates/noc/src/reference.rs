@@ -1,0 +1,451 @@
+//! The frozen cycle-stepped simulator, kept as the executable
+//! specification of the network semantics.
+//!
+//! [`ReferenceNetwork`] is the original `Network` loop before the
+//! event-driven refactor: every cycle it scans **every** router and every
+//! injection queue, whether or not anything can move. It is deliberately
+//! naive and deliberately unchanged — the event-driven
+//! [`Network`](crate::Network) must produce bit-identical
+//! [`DeliveredPacket`] records, energy charges and link counters on any
+//! traffic, and the `event_engine_differential` integration test plus the
+//! `event_engine` bench hold it to that. Do not "optimise" this module;
+//! its slowness is the baseline the worklist engine is measured against.
+//!
+//! The per-cycle semantics are documented in [`crate::network`]; the two
+//! implementations share the router, flit, routing and power types, so a
+//! divergence can only come from the scheduling of work, which is exactly
+//! what the differential test pins down.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::NocConfig;
+use crate::error::NocError;
+use crate::flit::{Flit, Packet, PacketId};
+use crate::geometry::Direction;
+use crate::network::DeliveredPacket;
+use crate::power::EnergyLedger;
+use crate::router::RouterState;
+use crate::stats::NetworkStats;
+use crate::topology::{LinkId, NodeId};
+
+#[derive(Debug)]
+struct PendingInjection {
+    flits: VecDeque<Flit>,
+    ready_at: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    src: NodeId,
+    dest: NodeId,
+    tag: u64,
+    injected_at: u64,
+    head_delivered_at: Option<u64>,
+    flits: u32,
+    flits_delivered: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    Hop {
+        from_router: usize,
+        from_input: usize,
+        out_dir: Direction,
+        to_router: usize,
+    },
+    Eject {
+        from_router: usize,
+        from_input: usize,
+    },
+}
+
+/// The cycle-stepped specification engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ReferenceNetwork {
+    config: NocConfig,
+    routers: Vec<RouterState>,
+    injections: Vec<PendingInjection>,
+    injection_queued: Vec<VecDeque<PacketId>>,
+    in_flight: Vec<Option<InFlight>>,
+    delivered: Vec<DeliveredPacket>,
+    energy: EnergyLedger,
+    stats: NetworkStats,
+    link_flits: HashMap<LinkId, u64>,
+    now: u64,
+    next_packet: u64,
+    total_in_flight: usize,
+}
+
+impl ReferenceNetwork {
+    /// Builds an idle network from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a valid [`NocConfig`]; mirrors
+    /// [`crate::Network::new`].
+    pub fn new(config: NocConfig) -> Result<Self, NocError> {
+        let nodes = config.mesh().len();
+        let energy = EnergyLedger::new(nodes, *config.power());
+        let routers = (0..nodes)
+            .map(|i| RouterState::new(NodeId::new(i as u32), config.buffer_depth() as usize))
+            .collect();
+        Ok(ReferenceNetwork {
+            routers,
+            injections: (0..nodes)
+                .map(|_| PendingInjection {
+                    flits: VecDeque::new(),
+                    ready_at: 0,
+                })
+                .collect(),
+            injection_queued: (0..nodes).map(|_| VecDeque::new()).collect(),
+            in_flight: Vec::new(),
+            delivered: Vec::new(),
+            energy,
+            stats: NetworkStats::default(),
+            link_flits: HashMap::new(),
+            now: 0,
+            next_packet: 0,
+            total_in_flight: 0,
+            config,
+        })
+    }
+
+    /// Current simulation time in cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of packets injected but not yet fully delivered.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.total_in_flight
+    }
+
+    /// Energy ledger accumulated so far.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyLedger {
+        &self.energy
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Flits forwarded over each directed link so far.
+    #[must_use]
+    pub fn link_flits(&self) -> &HashMap<LinkId, u64> {
+        &self.link_flits
+    }
+
+    /// Packets delivered so far (not yet drained by
+    /// [`ReferenceNetwork::run_until_idle`]).
+    #[must_use]
+    pub fn delivered(&self) -> &[DeliveredPacket] {
+        &self.delivered
+    }
+
+    /// Queues `packet` for injection at its source node.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::Network::inject`].
+    pub fn inject(&mut self, packet: Packet) -> Result<PacketId, NocError> {
+        self.config.mesh().check(packet.src())?;
+        self.config.mesh().check(packet.dest())?;
+        let node = packet.src();
+        if self.injection_queued[node.index()].len() >= self.config.injection_queue_capacity() {
+            return Err(NocError::InjectionQueueFull { node });
+        }
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let flits = packet.flits(id);
+        self.in_flight.push(Some(InFlight {
+            src: packet.src(),
+            dest: packet.dest(),
+            tag: packet.tag(),
+            injected_at: self.now,
+            head_delivered_at: None,
+            flits: packet.total_flits(),
+            flits_delivered: 0,
+        }));
+        self.total_in_flight += 1;
+        self.injections[node.index()].flits.extend(flits);
+        self.injection_queued[node.index()].push_back(id);
+        Ok(id)
+    }
+
+    /// Advances the simulation by one cycle, scanning every router.
+    pub fn step(&mut self) {
+        self.energy.tick();
+        self.stats.cycles += 1;
+
+        self.stage_injections();
+        self.advance_route_computations();
+        let moves = self.stage_switch_traversal();
+        self.apply_moves(&moves);
+
+        self.now += 1;
+    }
+
+    /// Runs until every injected packet has been delivered, then returns
+    /// and drains the delivery records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Timeout`] if the network has not drained within
+    /// `max_cycles`.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<Vec<DeliveredPacket>, NocError> {
+        let mut spent = 0;
+        while self.total_in_flight > 0 {
+            if spent >= max_cycles {
+                return Err(NocError::Timeout {
+                    budget: max_cycles,
+                    in_flight: self.total_in_flight,
+                });
+            }
+            self.step();
+            spent += 1;
+        }
+        Ok(std::mem::take(&mut self.delivered))
+    }
+
+    fn stage_injections(&mut self) {
+        for node in 0..self.routers.len() {
+            let inj = &mut self.injections[node];
+            if inj.flits.is_empty() || self.now < inj.ready_at {
+                continue;
+            }
+            let local = self.routers[node].input_mut(Direction::Local);
+            if !local.has_space() {
+                continue;
+            }
+            let flit = inj.flits.pop_front().expect("checked non-empty");
+            if flit.kind.is_tail() {
+                self.injection_queued[node].pop_front();
+            }
+            local.push(flit);
+            inj.ready_at = self.now + u64::from(self.config.flow_latency());
+        }
+    }
+
+    fn advance_route_computations(&mut self) {
+        let routing = self.config.routing();
+        let latency = self.config.routing_latency();
+        let mesh = self.config.mesh().clone();
+        for router_idx in 0..self.routers.len() {
+            let here = mesh.position(NodeId::new(router_idx as u32));
+            for port in 0..5 {
+                let ready = self.routers[router_idx]
+                    .input_at_mut(port)
+                    .advance_route_computation(latency);
+                if !ready {
+                    continue;
+                }
+                let dest = self.routers[router_idx]
+                    .input_at(port)
+                    .head()
+                    .expect("ready port has a head flit")
+                    .dest;
+                let dir = routing.next_hop(here, mesh.position(dest));
+                self.routers[router_idx]
+                    .input_at_mut(port)
+                    .set_routed_output(dir.index());
+                self.energy.charge_route(NodeId::new(router_idx as u32));
+            }
+        }
+    }
+
+    fn stage_switch_traversal(&mut self) -> Vec<Move> {
+        let mesh = self.config.mesh().clone();
+        let mut moves = Vec::new();
+        // Start-of-cycle downstream occupancy snapshot, so a credit freed
+        // by a pop in this same cycle is not consumed until the next cycle.
+        let occupancy: Vec<[usize; 5]> = self
+            .routers
+            .iter()
+            .map(|r| std::array::from_fn(|p| r.input_at(p).occupancy()))
+            .collect();
+
+        for router_idx in 0..self.routers.len() {
+            let node = NodeId::new(router_idx as u32);
+            for out_dir in Direction::ALL {
+                let out = *self.routers[router_idx].output(out_dir);
+                if !out.is_ready(self.now) {
+                    continue;
+                }
+                let serving = match out.locked_to() {
+                    Some(input) => Some(input),
+                    None => {
+                        let start = out.rr_start();
+                        (0..5).map(|k| (start + k) % 5).find(|&input| {
+                            let port = self.routers[router_idx].input_at(input);
+                            port.routed_output() == Some(out_dir.index()) && port.head().is_some()
+                        })
+                    }
+                };
+                let Some(input) = serving else { continue };
+                let port = self.routers[router_idx].input_at(input);
+                let Some(_flit) = port.head() else { continue };
+                debug_assert_eq!(port.routed_output(), Some(out_dir.index()));
+
+                if out_dir == Direction::Local {
+                    moves.push(Move::Eject {
+                        from_router: router_idx,
+                        from_input: input,
+                    });
+                    self.lock_output(router_idx, out_dir, input);
+                } else {
+                    let neighbor = mesh
+                        .neighbor(node, out_dir)
+                        .expect("routing never leaves the mesh");
+                    let in_dir = out_dir.opposite();
+                    let depth = self.config.buffer_depth() as usize;
+                    let pending_here = moves
+                        .iter()
+                        .filter(|m| {
+                            matches!(m, Move::Hop { to_router, out_dir: d, .. }
+                            if *to_router == neighbor.index() && d.opposite() == in_dir)
+                        })
+                        .count();
+                    if occupancy[neighbor.index()][in_dir.index()] + pending_here >= depth {
+                        continue; // no credit downstream
+                    }
+                    moves.push(Move::Hop {
+                        from_router: router_idx,
+                        from_input: input,
+                        out_dir,
+                        to_router: neighbor.index(),
+                    });
+                    self.lock_output(router_idx, out_dir, input);
+                }
+            }
+        }
+        moves
+    }
+
+    fn lock_output(&mut self, router_idx: usize, out_dir: Direction, input: usize) {
+        let out = self.routers[router_idx].output_mut(out_dir);
+        if out.locked_to().is_none() {
+            out.lock(input);
+        }
+    }
+
+    fn apply_moves(&mut self, moves: &[Move]) {
+        let flow = self.config.flow_latency();
+        for &mv in moves {
+            match mv {
+                Move::Hop {
+                    from_router,
+                    from_input,
+                    out_dir,
+                    to_router,
+                } => {
+                    let flit = self.routers[from_router]
+                        .input_at_mut(from_input)
+                        .pop()
+                        .expect("staged move lost its flit");
+                    let node = NodeId::new(from_router as u32);
+                    self.energy.charge_flit_hop(node);
+                    *self
+                        .link_flits
+                        .entry(LinkId::cardinal(node, out_dir))
+                        .or_insert(0) += 1;
+                    if flit.kind.is_tail() {
+                        self.routers[from_router]
+                            .input_at_mut(from_input)
+                            .clear_route();
+                        self.routers[from_router].output_mut(out_dir).unlock();
+                    }
+                    self.routers[from_router]
+                        .output_mut(out_dir)
+                        .forwarded(self.now, flow);
+                    let in_dir = out_dir.opposite();
+                    self.routers[to_router].input_mut(in_dir).push(flit);
+                }
+                Move::Eject {
+                    from_router,
+                    from_input,
+                } => {
+                    let flit = self.routers[from_router]
+                        .input_at_mut(from_input)
+                        .pop()
+                        .expect("staged ejection lost its flit");
+                    let node = NodeId::new(from_router as u32);
+                    self.energy.charge_flit_hop(node);
+                    *self.link_flits.entry(LinkId::ejection(node)).or_insert(0) += 1;
+                    if flit.kind.is_tail() {
+                        self.routers[from_router]
+                            .input_at_mut(from_input)
+                            .clear_route();
+                        self.routers[from_router]
+                            .output_mut(Direction::Local)
+                            .unlock();
+                    }
+                    self.routers[from_router]
+                        .output_mut(Direction::Local)
+                        .forwarded(self.now, flow);
+                    self.record_ejection(flit);
+                }
+            }
+        }
+    }
+
+    fn record_ejection(&mut self, flit: Flit) {
+        let idx = flit.packet.value() as usize;
+        let entry = self.in_flight[idx]
+            .as_mut()
+            .expect("ejected flit for an already-completed packet");
+        entry.flits_delivered += 1;
+        if flit.kind.is_head() {
+            entry.head_delivered_at = Some(self.now);
+        }
+        self.stats.flits_delivered += 1;
+        if flit.kind.is_tail() {
+            debug_assert_eq!(entry.flits_delivered, entry.flits, "flit loss detected");
+            let record = self.in_flight[idx].take().expect("checked above");
+            let head_at = record.head_delivered_at.unwrap_or(self.now);
+            let delivered = DeliveredPacket {
+                id: flit.packet,
+                src: record.src,
+                dest: record.dest,
+                tag: record.tag,
+                injected_at: record.injected_at,
+                head_delivered_at: head_at,
+                tail_delivered_at: self.now,
+                hops: self.config.mesh().distance(record.src, record.dest),
+                flits: record.flits,
+            };
+            self.stats.delivered += 1;
+            self.stats.packet_latency.record(delivered.latency());
+            self.stats
+                .header_latency
+                .record(head_at - record.injected_at);
+            self.total_in_flight -= 1;
+            self.delivered.push(delivered);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_delivers_a_packet() {
+        let config = NocConfig::builder(4, 4).build().unwrap();
+        let mut net = ReferenceNetwork::new(config).unwrap();
+        let src = NodeId::new(0);
+        let dst = NodeId::new(15);
+        net.inject(Packet::new(src, dst, 4).with_tag(7)).unwrap();
+        let delivered = net.run_until_idle(10_000).unwrap();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].tag, 7);
+        assert_eq!(delivered[0].hops, 6);
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.energy().total_energy() > 0.0);
+        assert!(net.stats().idle_cycles == 0, "reference never skips");
+    }
+}

@@ -140,6 +140,11 @@ pub struct NetworkStats {
     pub flits_delivered: u64,
     /// Cycles simulated.
     pub cycles: u64,
+    /// Cycles the event-driven engine fast-forwarded without touching a
+    /// single router (a subset of [`NetworkStats::cycles`]). High values
+    /// mean the workload is sparse in time — exactly the regime test
+    /// schedules live in.
+    pub idle_cycles: u64,
 }
 
 impl NetworkStats {

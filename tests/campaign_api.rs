@@ -58,6 +58,47 @@ fn json_request_runs_under_every_registered_scheduler() {
     }
 }
 
+/// Acceptance: the fidelity section (whole-schedule simulation replay)
+/// round-trips through JSON for every registered scheduler on d695.
+#[test]
+fn fidelity_section_roundtrips_for_every_scheduler_on_d695() {
+    let campaign = Campaign::new();
+    for name in campaign.registry().names() {
+        // `optimal` enumerates exhaustively and guards against systems
+        // beyond 10 cores; d695 without processors (10 cores) is within
+        // the guard. The heuristics get the full processor-reuse system.
+        let request = if name == "optimal" {
+            PlanRequest::benchmark("d695", 4, 4)
+        } else {
+            PlanRequest::benchmark("d695", 4, 4).with_processors("leon", 6, 4)
+        }
+        .with_scheduler(&name)
+        .with_fidelity(4);
+
+        let outcome = campaign
+            .run(&request)
+            .unwrap_or_else(|e| panic!("{name} fails: {e}"));
+        let fidelity = outcome
+            .fidelity
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: fidelity section missing"));
+        assert_eq!(fidelity.patterns_cap, 4, "{name}");
+        assert_eq!(fidelity.sessions.len(), outcome.sessions.len(), "{name}");
+        assert!(fidelity.simulated_makespan > 0, "{name}");
+        assert!(
+            fidelity.worst_relative_error() < 0.25,
+            "{name}: worst error {:.1}%",
+            fidelity.worst_relative_error() * 100.0
+        );
+
+        let json = outcome.to_json_string();
+        assert!(json.contains("\"fidelity\""), "{name}");
+        let back = PlanOutcome::from_json_str(&json)
+            .unwrap_or_else(|e| panic!("{name} outcome re-decodes: {e}"));
+        assert_eq!(back, outcome, "{name}: fidelity JSON round-trip");
+    }
+}
+
 #[test]
 fn request_roundtrips_through_json_exactly() {
     let request = PlanRequest::from_json_str(REQUEST_JSON).expect("request decodes");

@@ -1,8 +1,11 @@
 //! Integration test: the planner's analytic transport model must track the
-//! cycle-level wormhole simulator for stimulus streams across systems,
-//! cores and interfaces.
+//! cycle-level wormhole simulator — for single stimulus streams across
+//! systems, cores and interfaces, and for **whole schedules** replayed
+//! under real contention on one shared mesh.
 
-use noctest::core::{replay_stimulus_stream, BudgetSpec, InterfaceId};
+use noctest::core::{
+    replay_schedule, replay_stimulus_stream, BudgetSpec, GreedyScheduler, InterfaceId, Scheduler,
+};
 use noctest_bench::{build_system, SystemId};
 
 #[test]
@@ -32,6 +35,27 @@ fn analytic_model_tracks_simulation_across_systems() {
         }
     }
     assert_eq!(checked, 18);
+}
+
+#[test]
+fn whole_schedules_replay_within_model_error_across_systems() {
+    // The schedule-level counterpart: every session of the greedy plan is
+    // injected at its planned start on one shared mesh; the planner's
+    // link-disjointness invariant means contention must not push any
+    // session's transport past the analytic error budget.
+    for id in SystemId::ALL {
+        let sys = build_system(id, "leon", 2, BudgetSpec::Unlimited).expect("system builds");
+        let schedule = GreedyScheduler::new().schedule(&sys).expect("plans");
+        let replay = replay_schedule(&sys, &schedule, 8).expect("replay completes");
+        assert_eq!(replay.sessions.len(), schedule.entries().len());
+        assert!(replay.simulated_makespan > 0);
+        assert!(
+            replay.worst_relative_error() < 0.25,
+            "{}: worst error {:.1}%",
+            id.name(),
+            replay.worst_relative_error() * 100.0
+        );
+    }
 }
 
 #[test]
