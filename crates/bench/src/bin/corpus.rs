@@ -1,0 +1,106 @@
+//! Generated-corpus scheduler stress: expand a deterministic population
+//! of synthetic SoCs (`noctest-gen`), cross it with mesh / processor /
+//! budget / scheduler axes, run everything through the Campaign batch
+//! runner and report per-scheduler win rates, distributions, throughput
+//! and profile-cache hit/miss figures.
+//!
+//! Modes:
+//!
+//! * `--smoke` — the CI gate: 20 small SoCs × 2 budgets × every
+//!   default-registry scheduler (160 scenarios, fidelity replay on). The
+//!   corpus is executed **twice** and the run fails unless the two
+//!   deterministic report sections are byte-identical and every scenario
+//!   produced a valid schedule.
+//! * `--full` — the paper-style sweep: 40 mid-size SoCs × 2 meshes × 3
+//!   processor complements × 3 budgets × serial/greedy/smart (2160
+//!   scenarios, single pass).
+//!
+//! `--seed N` reseeds the population (default 2005, the paper's year);
+//! `--json` prints the full `CorpusReport` JSON instead of the table.
+//! Exit status: 0 on success, 1 on invalid schedules or a
+//! non-reproducible report, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use noctest_core::plan::Campaign;
+use noctest_gen::CorpusSpec;
+
+const DEFAULT_SEED: u64 = 2005;
+
+fn main() -> ExitCode {
+    let mut mode: Option<&'static str> = None;
+    let mut seed = DEFAULT_SEED;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => mode = Some("smoke"),
+            "--full" => mode = Some("full"),
+            "--json" => json = true,
+            "--seed" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("corpus: --seed needs an unsigned integer");
+                    return ExitCode::from(2);
+                };
+                seed = value;
+            }
+            other => {
+                eprintln!(
+                    "corpus: unknown argument `{other}` \
+                     (supported: --smoke | --full, --seed N, --json)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(mode) = mode else {
+        eprintln!("corpus: pick a mode: --smoke (CI gate) or --full (paper-style sweep)");
+        return ExitCode::from(2);
+    };
+
+    let campaign = Campaign::new();
+    let (spec, check_reproducibility) = match mode {
+        "smoke" => (CorpusSpec::smoke(seed), true),
+        _ => (CorpusSpec::full(seed), false),
+    };
+
+    eprintln!(
+        "corpus [{mode}]: {} SoCs, {} scenarios over {} schedulers...",
+        spec.soc_count(),
+        spec.scenario_count(),
+        spec.schedulers.len()
+    );
+    let report = spec.run(&campaign);
+
+    let mut failed = false;
+    if !report.all_valid() {
+        eprintln!(
+            "corpus: {} scenarios failed to plan or validate",
+            report.failures.len()
+        );
+        failed = true;
+    }
+    if check_reproducibility {
+        // A second pass over the same spec must reproduce the
+        // deterministic section byte for byte — this is the CI guarantee
+        // that corpus results are data, not timing accidents.
+        let second = spec.run(&campaign);
+        if second.deterministic_json() != report.deterministic_json() {
+            eprintln!("corpus: NONDETERMINISTIC report (two runs of seed {seed} disagree)");
+            failed = true;
+        } else {
+            eprintln!("corpus: reproducibility check passed (two runs byte-identical)");
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json_string());
+    } else {
+        print!("{}", report.table());
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

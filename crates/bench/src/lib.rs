@@ -10,7 +10,11 @@
 //! * `characterize` — the paper's Section-2 characterisation tables
 //!   (NoC latency/power fit, processor cycles-per-pattern measurements);
 //! * `validate_model` — analytic-vs-simulated transport cross-check;
-//! * `ablations` — scheduler/routing/flit-width/generation-model studies.
+//! * `ablations` — scheduler/routing/flit-width/generation-model studies;
+//! * `corpus` — generated-SoC population stress (`noctest-gen`): win
+//!   rates, distributions and throughput over hundreds of synthetic
+//!   scenarios, with a `--smoke` CI gate asserting byte-identical
+//!   reports and a `--full` paper-style sweep.
 //!
 //! This library hosts the shared experiment definitions so integration
 //! tests, examples and binaries agree on the exact Figure-1 configuration,

@@ -212,9 +212,14 @@ impl Json {
     }
 }
 
-/// Typed member access used by the request/outcome decoders: object member
-/// `key`, decoded by `f`, with a path-qualified error when absent/mistyped.
-pub(crate) fn field<'a, T>(
+/// Typed member access used by the request/outcome decoders (and by
+/// sibling crates building on this module): object member `key`, decoded
+/// by `f`, with a qualified error when absent or mistyped.
+///
+/// # Errors
+///
+/// A [`JsonError`] naming the member when it is missing or `f` rejects it.
+pub fn field<'a, T>(
     doc: &'a Json,
     key: &str,
     what: &str,
@@ -229,7 +234,11 @@ pub(crate) fn field<'a, T>(
 /// Like [`field`] but returns `None` when the member is absent or null;
 /// a present member that fails to decode is still an error (never
 /// silently ignored).
-pub(crate) fn field_opt<'a, T>(
+///
+/// # Errors
+///
+/// A [`JsonError`] naming the member when `f` rejects a present value.
+pub fn field_opt<'a, T>(
     doc: &'a Json,
     key: &str,
     what: &str,
@@ -244,7 +253,11 @@ pub(crate) fn field_opt<'a, T>(
 }
 
 /// Like [`field`] but with a default when the member is absent.
-pub(crate) fn field_or<'a, T>(
+///
+/// # Errors
+///
+/// A [`JsonError`] naming the member when `f` rejects a present value.
+pub fn field_or<'a, T>(
     doc: &'a Json,
     key: &str,
     what: &str,

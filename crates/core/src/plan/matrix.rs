@@ -37,6 +37,15 @@ impl RequestMatrix {
         }
     }
 
+    /// Wraps an already-expanded request list (e.g. several per-system
+    /// matrices concatenated into one batch) so the matrix combinators —
+    /// notably [`RequestMatrix::ensure_unique_names`] — apply across the
+    /// whole batch.
+    #[must_use]
+    pub fn from_requests(requests: Vec<PlanRequest>) -> Self {
+        RequestMatrix { requests }
+    }
+
     fn expand(self, f: impl Fn(&PlanRequest) -> Vec<PlanRequest>) -> Self {
         RequestMatrix {
             requests: self.requests.iter().flat_map(f).collect(),
@@ -153,6 +162,40 @@ impl RequestMatrix {
         })
     }
 
+    /// Deterministically disambiguates duplicate request names by
+    /// appending `#2`, `#3`, ... to the second and later occurrences (the
+    /// first keeps its name).
+    ///
+    /// Axis tags normally keep names unique, but a base name that already
+    /// contains a tag — or a sweep over externally supplied systems such
+    /// as generated SoCs — can collide, and batch results keyed by
+    /// request name would then silently overwrite each other.
+    #[must_use]
+    pub fn ensure_unique_names(mut self) -> Self {
+        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for request in &mut self.requests {
+            let base = request.name.clone();
+            let occurrence = seen.entry(base.clone()).or_insert(0);
+            *occurrence += 1;
+            if *occurrence == 1 {
+                continue;
+            }
+            // Skip suffixes already taken by literal names ("x", "x#2",
+            // "x" must yield "x#3", not a second "x#2").
+            loop {
+                let n = *seen.get(&base).expect("entry inserted above");
+                let candidate = format!("{base}#{n}");
+                if !seen.contains_key(&candidate) {
+                    seen.insert(candidate.clone(), 1);
+                    request.name = candidate;
+                    break;
+                }
+                *seen.get_mut(&base).expect("entry inserted above") += 1;
+            }
+        }
+        self
+    }
+
     /// The expanded request list.
     #[must_use]
     pub fn build(self) -> Vec<PlanRequest> {
@@ -217,5 +260,41 @@ mod tests {
     #[should_panic(expected = "vary_reused needs a processor spec")]
     fn vary_reused_requires_processors() {
         let _ = RequestMatrix::new(PlanRequest::benchmark("d695", 4, 4)).vary_reused(&[2]);
+    }
+
+    #[test]
+    fn unique_names_disambiguate_collisions_deterministically() {
+        // Two axis values whose tags collide: every expansion gets the
+        // same tag, so all four requests share a name pair.
+        let matrix = RequestMatrix::new(base())
+            .vary_with(&[10u32, 10], |r, &bits| {
+                r.timing.flit_width_bits = Some(bits);
+            })
+            .vary_with(&[1u32, 1], |r, &lat| {
+                r.timing.flow_latency = Some(lat);
+            })
+            .ensure_unique_names()
+            .build();
+        let names: Vec<&str> = matrix.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["d695 10 1", "d695 10 1#2", "d695 10 1#3", "d695 10 1#4"]
+        );
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), matrix.len());
+    }
+
+    #[test]
+    fn unique_names_leave_distinct_matrices_untouched() {
+        let before = RequestMatrix::new(base())
+            .vary_scheduler(&["serial", "greedy", "smart"])
+            .build();
+        let after = RequestMatrix::new(base())
+            .vary_scheduler(&["serial", "greedy", "smart"])
+            .ensure_unique_names()
+            .build();
+        assert_eq!(before, after);
     }
 }

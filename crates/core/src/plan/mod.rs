@@ -25,6 +25,10 @@
 //!   also JSON-round-trippable.
 //! * [`CampaignError`] — one error type wrapping the four crates'
 //!   failures plus request-resolution errors.
+//! * [`CacheStats`] / [`profile_cache_stats`] — observability for the
+//!   process-wide processor-characterisation cache: batch runners diff
+//!   two snapshots to prove calibration is paid once per
+//!   `(family, calibration, application)` key, not once per request.
 //!
 //! ## End to end
 //!
@@ -57,6 +61,7 @@ pub use campaign::Campaign;
 pub use error::CampaignError;
 pub use matrix::RequestMatrix;
 pub use outcome::{PlanOutcome, SessionOutcome, StageTiming};
+pub use profile_cache::{stats as profile_cache_stats, CacheStats};
 pub use registry::SchedulerRegistry;
 pub use request::{
     ApplicationSpec, CoreRequest, FidelitySpec, MeshSpec, PlanRequest, ProcessorSpec, SocSource,

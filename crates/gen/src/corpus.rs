@@ -1,0 +1,499 @@
+//! [`CorpusSpec`]: crossing generated SoC populations with planning axes.
+//!
+//! A corpus is the cartesian product
+//! `SoCs × meshes × processor complements × budgets × schedulers`,
+//! expressed as one [`RequestMatrix`] batch and executed through
+//! [`Campaign::run_all`] (so it inherits the batch worker pool and the
+//! process-wide profile cache). Scenarios sharing everything but the
+//! scheduler form a *group*; per-group makespan comparison is what win
+//! rates are computed from.
+
+use std::time::Instant;
+
+use noctest_core::plan::{
+    profile_cache_stats, ApplicationSpec, Campaign, FidelitySpec, MeshSpec, PlanOutcome,
+    PlanRequest, ProcessorSpec, RequestMatrix, SocSource, TimingSpec,
+};
+use noctest_core::{BudgetSpec, PriorityPolicy};
+use noctest_noc::rng::SplitMix64;
+use noctest_noc::RoutingKind;
+
+use crate::recipe::{RecipeFamily, SocRecipe};
+use crate::report::{
+    CorpusFailure, CorpusMeasurement, CorpusReport, DistributionSummary, SchedulerSummary,
+};
+
+/// A processor complement axis value.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ProcessorAxis {
+    /// Profile family (`"leon"` / `"plasma"`).
+    pub family: String,
+    /// Processors placed on the mesh.
+    pub total: usize,
+    /// Processors reused as test interfaces.
+    pub reused: usize,
+}
+
+impl std::fmt::Debug for ProcessorAxis {
+    // The Debug form doubles as the request-name tag (see
+    // `RequestMatrix::vary_with`), so keep it short and token-friendly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}r{}", self.family, self.total, self.reused)
+    }
+}
+
+/// A mesh axis value; `Debug` renders as the request-name tag.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct MeshAxis(u16, u16);
+
+impl std::fmt::Debug for MeshAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mesh={}x{}", self.0, self.1)
+    }
+}
+
+/// A processor axis wrapper so `None` tags as `noproc`.
+#[derive(Clone, PartialEq, Eq)]
+struct ProcAxisTag(Option<ProcessorAxis>);
+
+impl std::fmt::Debug for ProcAxisTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "noproc"),
+            Some(p) => write!(f, "{p:?}"),
+        }
+    }
+}
+
+/// The full description of a corpus run: which SoC population to
+/// generate and which planning axes to cross it with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Master seed; per-SoC seeds derive from it deterministically.
+    pub seed: u64,
+    /// The recipe population.
+    pub recipes: Vec<SocRecipe>,
+    /// SoCs generated per recipe.
+    pub socs_per_recipe: usize,
+    /// Mesh geometry axis.
+    pub meshes: Vec<(u16, u16)>,
+    /// Processor complement axis (`None` plans with the external tester
+    /// only).
+    pub processors: Vec<Option<ProcessorAxis>>,
+    /// Power budget axis.
+    pub budgets: Vec<BudgetSpec>,
+    /// Scheduler axis (registry names); the innermost axis, so scenarios
+    /// group by everything else.
+    pub schedulers: Vec<String>,
+    /// Enable the schedule-level fidelity replay with this per-session
+    /// pattern cap.
+    pub fidelity_patterns_cap: Option<u32>,
+}
+
+impl CorpusSpec {
+    /// The CI smoke corpus: 20 small SoCs (all five families, sized so
+    /// even the exponential `optimal` scheduler stays inside its guard)
+    /// crossed with two budgets under **every** default-registry
+    /// scheduler — 160 scenarios, seconds in release mode.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        CorpusSpec {
+            seed,
+            recipes: RecipeFamily::ALL.iter().map(|f| f.recipe(8)).collect(),
+            socs_per_recipe: 4,
+            meshes: vec![(3, 3)],
+            processors: vec![Some(ProcessorAxis {
+                family: "plasma".to_owned(),
+                total: 2,
+                reused: 2,
+            })],
+            budgets: vec![BudgetSpec::Unlimited, BudgetSpec::Fraction(0.8)],
+            schedulers: Campaign::new().registry().names(),
+            fidelity_patterns_cap: Some(2),
+        }
+    }
+
+    /// The paper-style sweep: 40 mid-size SoCs crossed with two meshes,
+    /// three processor complements and three budgets under the scalable
+    /// schedulers (`optimal` is excluded — these systems exceed its
+    /// exponential-search guard) — 2160 scenarios.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        CorpusSpec {
+            seed,
+            recipes: RecipeFamily::ALL.iter().map(|f| f.recipe(28)).collect(),
+            socs_per_recipe: 8,
+            meshes: vec![(4, 4), (5, 5)],
+            processors: vec![
+                None,
+                Some(ProcessorAxis {
+                    family: "leon".to_owned(),
+                    total: 4,
+                    reused: 4,
+                }),
+                Some(ProcessorAxis {
+                    family: "plasma".to_owned(),
+                    total: 4,
+                    reused: 4,
+                }),
+            ],
+            budgets: vec![
+                BudgetSpec::Unlimited,
+                BudgetSpec::Fraction(0.5),
+                BudgetSpec::Fraction(0.35),
+            ],
+            schedulers: vec!["serial".to_owned(), "greedy".to_owned(), "smart".to_owned()],
+            fidelity_patterns_cap: None,
+        }
+    }
+
+    /// Generated SoCs in the corpus.
+    #[must_use]
+    pub fn soc_count(&self) -> usize {
+        self.recipes.len() * self.socs_per_recipe
+    }
+
+    /// Scenarios the corpus expands to.
+    #[must_use]
+    pub fn scenario_count(&self) -> usize {
+        self.group_count() * self.schedulers.len()
+    }
+
+    /// Scenario groups (scenarios sharing everything but the scheduler).
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.soc_count() * self.meshes.len() * self.processors.len() * self.budgets.len()
+    }
+
+    /// Expands the corpus to its full request batch: every generated SoC
+    /// crossed with every axis, scheduler innermost, names guaranteed
+    /// unique. Fully deterministic in `self` (including the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty or a recipe is degenerate.
+    #[must_use]
+    pub fn requests(&self) -> Vec<PlanRequest> {
+        assert!(
+            !self.recipes.is_empty()
+                && self.socs_per_recipe > 0
+                && !self.meshes.is_empty()
+                && !self.processors.is_empty()
+                && !self.budgets.is_empty()
+                && !self.schedulers.is_empty(),
+            "corpus axes must be non-empty"
+        );
+        let mesh_axes: Vec<MeshAxis> = self.meshes.iter().map(|&(w, h)| MeshAxis(w, h)).collect();
+        let proc_axes: Vec<ProcAxisTag> = self
+            .processors
+            .iter()
+            .map(|p| ProcAxisTag(p.clone()))
+            .collect();
+        let scheduler_names: Vec<&str> = self.schedulers.iter().map(String::as_str).collect();
+
+        // Per-SoC seeds come from one deterministic side stream, so
+        // adding a recipe changes which SoCs later recipes generate but
+        // never introduces wall-clock or iteration-order dependence.
+        let mut seeder = SplitMix64::new(self.seed);
+        let mut all = Vec::with_capacity(self.scenario_count());
+        for recipe in &self.recipes {
+            for _ in 0..self.socs_per_recipe {
+                let soc_seed = seeder.next_u64();
+                let base = PlanRequest {
+                    name: recipe.soc_name(soc_seed),
+                    soc: SocSource::SocText(recipe.generate_text(soc_seed)),
+                    // Placeholder; every scenario overwrites it via the
+                    // mesh axis below.
+                    mesh: MeshSpec {
+                        width: 1,
+                        height: 1,
+                        routing: RoutingKind::Xy,
+                    },
+                    processors: None,
+                    budget: BudgetSpec::Unlimited,
+                    scheduler: String::new(),
+                    priority: PriorityPolicy::Distance,
+                    timing: TimingSpec::default(),
+                    validate: true,
+                    fidelity: self
+                        .fidelity_patterns_cap
+                        .map(|patterns_cap| FidelitySpec { patterns_cap }),
+                };
+                all.extend(
+                    RequestMatrix::new(base)
+                        .vary_with(&mesh_axes, |r, &MeshAxis(w, h)| {
+                            r.mesh.width = w;
+                            r.mesh.height = h;
+                        })
+                        .vary_with(&proc_axes, |r, tag| {
+                            r.processors = tag.0.as_ref().map(|p| ProcessorSpec {
+                                family: p.family.clone(),
+                                total: p.total,
+                                reused: p.reused,
+                                calibrate: true,
+                                application: ApplicationSpec::Bist,
+                            });
+                        })
+                        .vary_budget(&self.budgets)
+                        .vary_scheduler(&scheduler_names)
+                        .build(),
+                );
+            }
+        }
+        // Generated SoC names are unique by construction; this guards the
+        // batch against silent result-keying collisions anyway (recipes
+        // relabelled by hand, repeated axis values, ...).
+        RequestMatrix::from_requests(all)
+            .ensure_unique_names()
+            .build()
+    }
+
+    /// Runs the corpus through `campaign` and aggregates the report.
+    /// The deterministic section of the report depends only on the spec;
+    /// the measured section captures wall-clock throughput and the
+    /// profile-cache delta attributable to this run.
+    #[must_use]
+    pub fn run(&self, campaign: &Campaign) -> CorpusReport {
+        let requests = self.requests();
+        let cache_before = profile_cache_stats();
+        let started = Instant::now();
+        let results = campaign.run_all(&requests);
+        let elapsed_micros = started.elapsed().as_micros() as u64;
+        let cache = profile_cache_stats().since(cache_before);
+
+        let mut failures = Vec::new();
+        let scheduler_count = self.schedulers.len();
+        let mut per_scheduler: Vec<Accumulator> = self
+            .schedulers
+            .iter()
+            .map(|name| Accumulator::new(name.clone()))
+            .collect();
+
+        for (group, chunk) in results.chunks(scheduler_count).enumerate() {
+            let winning = chunk
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|o| o.makespan)
+                .min();
+            for (j, (acc, result)) in per_scheduler.iter_mut().zip(chunk).enumerate() {
+                match result {
+                    Ok(outcome) => acc.observe(outcome, winning),
+                    Err(error) => {
+                        acc.failure_count += 1;
+                        // Groups outer, schedulers inner: this collection
+                        // order IS request order.
+                        failures.push(CorpusFailure {
+                            request: requests[group * scheduler_count + j].name.clone(),
+                            error: error.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let group_count = results.len() / scheduler_count;
+        let scenario_count = results.len();
+        CorpusReport {
+            seed: self.seed,
+            soc_count: self.soc_count(),
+            scenario_count,
+            group_count,
+            schedulers: per_scheduler
+                .into_iter()
+                .map(|acc| acc.finish(group_count))
+                .collect(),
+            failures,
+            measured: CorpusMeasurement {
+                elapsed_micros,
+                scenarios_per_second: if elapsed_micros == 0 {
+                    0.0
+                } else {
+                    scenario_count as f64 * 1e6 / elapsed_micros as f64
+                },
+                cache,
+            },
+        }
+    }
+}
+
+/// Per-scheduler aggregation state.
+struct Accumulator {
+    name: String,
+    runs: usize,
+    failure_count: usize,
+    wins: usize,
+    makespans: Vec<u64>,
+    mean_concurrency_sum: f64,
+    peak_concurrency: usize,
+    reduction_sum: f64,
+    worst_fidelity_error: Option<f64>,
+}
+
+impl Accumulator {
+    fn new(name: String) -> Self {
+        Accumulator {
+            name,
+            runs: 0,
+            failure_count: 0,
+            wins: 0,
+            makespans: Vec::new(),
+            mean_concurrency_sum: 0.0,
+            peak_concurrency: 0,
+            reduction_sum: 0.0,
+            worst_fidelity_error: None,
+        }
+    }
+
+    fn observe(&mut self, outcome: &PlanOutcome, group_minimum: Option<u64>) {
+        self.runs += 1;
+        if Some(outcome.makespan) == group_minimum {
+            self.wins += 1;
+        }
+        self.makespans.push(outcome.makespan);
+        self.mean_concurrency_sum += outcome.mean_concurrency;
+        self.peak_concurrency = self.peak_concurrency.max(outcome.peak_concurrency);
+        self.reduction_sum += outcome.reduction_percent;
+        if let Some(fidelity) = &outcome.fidelity {
+            let error = fidelity.worst_relative_error();
+            self.worst_fidelity_error =
+                Some(self.worst_fidelity_error.map_or(error, |w| w.max(error)));
+        }
+    }
+
+    fn finish(self, group_count: usize) -> SchedulerSummary {
+        let runs = self.runs;
+        SchedulerSummary {
+            name: self.name,
+            runs: runs + self.failure_count,
+            failures: self.failure_count,
+            wins: self.wins,
+            win_rate: if group_count == 0 {
+                0.0
+            } else {
+                self.wins as f64 / group_count as f64
+            },
+            makespan: DistributionSummary::of(&self.makespans),
+            mean_concurrency: if runs == 0 {
+                0.0
+            } else {
+                self.mean_concurrency_sum / runs as f64
+            },
+            peak_concurrency: self.peak_concurrency,
+            mean_reduction_percent: if runs == 0 {
+                0.0
+            } else {
+                self.reduction_sum / runs as f64
+            },
+            worst_fidelity_error: self.worst_fidelity_error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CorpusSpec {
+        CorpusSpec {
+            seed: 11,
+            recipes: vec![SocRecipe::wide_shallow(5), SocRecipe::d695_like(5)],
+            socs_per_recipe: 2,
+            meshes: vec![(3, 3)],
+            processors: vec![None],
+            budgets: vec![BudgetSpec::Unlimited],
+            schedulers: vec!["serial".to_owned(), "greedy".to_owned()],
+            fidelity_patterns_cap: None,
+        }
+    }
+
+    #[test]
+    fn counts_multiply_across_axes() {
+        let spec = tiny_spec();
+        assert_eq!(spec.soc_count(), 4);
+        assert_eq!(spec.group_count(), 4);
+        assert_eq!(spec.scenario_count(), 8);
+        let requests = spec.requests();
+        assert_eq!(requests.len(), 8);
+        // Scheduler is the innermost axis: groups are adjacent chunks.
+        assert_eq!(requests[0].scheduler, "serial");
+        assert_eq!(requests[1].scheduler, "greedy");
+        assert_eq!(
+            requests[0].name.trim_end_matches(" serial"),
+            requests[1].name.trim_end_matches(" greedy")
+        );
+    }
+
+    #[test]
+    fn request_names_are_unique_and_deterministic() {
+        let spec = tiny_spec();
+        let a: Vec<String> = spec.requests().into_iter().map(|r| r.name).collect();
+        let b: Vec<String> = spec.requests().into_iter().map(|r| r.name).collect();
+        assert_eq!(a, b, "request expansion is deterministic");
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "no silent name collisions");
+    }
+
+    #[test]
+    fn identical_recipes_still_get_unique_request_names() {
+        // Two hand-relabelled copies of the same recipe would collide on
+        // every (soc, axes) name pair if the SoC seed were reused; the
+        // side stream hands each SoC its own seed, and the uniqueness
+        // pass guards whatever remains.
+        let mut spec = tiny_spec();
+        spec.recipes = vec![
+            SocRecipe::wide_shallow(5).with_name("twin"),
+            SocRecipe::wide_shallow(5).with_name("twin"),
+        ];
+        let names: Vec<String> = spec.requests().into_iter().map(|r| r.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn run_aggregates_wins_and_failures() {
+        let mut spec = tiny_spec();
+        // An unknown scheduler fails every scenario it appears in,
+        // exercising the failure path deterministically.
+        spec.schedulers.push("nope".to_owned());
+        let report = spec.run(&Campaign::new());
+        assert_eq!(report.scenario_count, 12);
+        assert_eq!(report.group_count, 4);
+        assert_eq!(report.schedulers.len(), 3);
+        let nope = &report.schedulers[2];
+        assert_eq!(nope.name, "nope");
+        assert_eq!(nope.failures, 4);
+        assert_eq!(nope.runs, 4);
+        assert_eq!(nope.makespan, DistributionSummary::default());
+        assert_eq!(report.failures.len(), 4);
+        assert!(report.failures.iter().all(|f| f.request.contains("nope")));
+        // Serial can never beat greedy; greedy wins every group (ties
+        // included), so its win rate is 1.
+        let greedy = &report.schedulers[1];
+        assert_eq!(greedy.name, "greedy");
+        assert_eq!(greedy.failures, 0);
+        assert!((greedy.win_rate - 1.0).abs() < 1e-12);
+        assert!(greedy.makespan.min > 0);
+        assert!(!report.all_valid());
+    }
+
+    #[test]
+    fn smoke_spec_meets_the_scale_contract() {
+        let spec = CorpusSpec::smoke(1);
+        assert!(spec.soc_count() >= 20, "{}", spec.soc_count());
+        assert!(spec.scenario_count() >= 100, "{}", spec.scenario_count());
+        // Every default-registry scheduler participates.
+        assert_eq!(
+            spec.schedulers,
+            vec!["greedy", "optimal", "serial", "smart"]
+        );
+        // Small enough for optimal's exponential-search guard: cores
+        // plus processors stay within 10 cuts.
+        for recipe in &spec.recipes {
+            assert!(recipe.cores.1 + 2 <= 10, "{recipe:?}");
+        }
+    }
+}

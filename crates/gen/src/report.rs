@@ -1,0 +1,466 @@
+//! [`CorpusReport`]: the serialisable result of one corpus run.
+//!
+//! The report splits into a **deterministic** section (per-scheduler win
+//! rates and distributions, failures — byte-identical JSON for the same
+//! [`crate::CorpusSpec`] and seed) and a **measured** section (wall-clock
+//! throughput and profile-cache hit/miss counters, which depend on the
+//! machine and on what the process cached before). The split is what lets
+//! CI assert reproducibility while still reporting speed:
+//! [`CorpusReport::deterministic_json`] omits the measured section,
+//! [`CorpusReport::to_json`] keeps everything.
+
+use noctest_core::json::{field, field_opt, Json, JsonError};
+use noctest_core::plan::{CacheStats, CampaignError};
+
+/// Min/mean/max summary of a per-scheduler metric over its successful
+/// scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistributionSummary {
+    /// Successful scenarios the summary covers.
+    pub count: usize,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl DistributionSummary {
+    /// Summarises a slice of observations (zeroes when empty).
+    #[must_use]
+    pub fn of(values: &[u64]) -> Self {
+        if values.is_empty() {
+            return DistributionSummary::default();
+        }
+        let sum: u128 = values.iter().map(|&v| u128::from(v)).sum();
+        DistributionSummary {
+            count: values.len(),
+            min: *values.iter().min().expect("non-empty"),
+            max: *values.iter().max().expect("non-empty"),
+            mean: sum as f64 / values.len() as f64,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("count", Json::int(self.count as u64)),
+            ("min", Json::int(self.min)),
+            ("max", Json::int(self.max)),
+            ("mean", Json::Num(self.mean)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        Ok(DistributionSummary {
+            count: field(doc, "count", "an integer", Json::as_u64)? as usize,
+            min: field(doc, "min", "an integer", Json::as_u64)?,
+            max: field(doc, "max", "an integer", Json::as_u64)?,
+            mean: field(doc, "mean", "a number", Json::as_f64)?,
+        })
+    }
+}
+
+/// One scheduler's aggregate over the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerSummary {
+    /// Registry name.
+    pub name: String,
+    /// Scenarios attempted (one per scenario group).
+    pub runs: usize,
+    /// Scenarios that errored (resolution, planning or validation).
+    pub failures: usize,
+    /// Groups where this scheduler achieved the group-minimal makespan
+    /// (ties count for every scheduler achieving the minimum).
+    pub wins: usize,
+    /// `wins` over the number of scenario groups.
+    pub win_rate: f64,
+    /// Makespan distribution over successful scenarios.
+    pub makespan: DistributionSummary,
+    /// Mean of the per-scenario mean concurrency.
+    pub mean_concurrency: f64,
+    /// Largest peak concurrency observed.
+    pub peak_concurrency: usize,
+    /// Mean test-time reduction vs. the serial external baseline, in
+    /// percent.
+    pub mean_reduction_percent: f64,
+    /// Worst analytic-vs-simulated relative error over the corpus (only
+    /// when the spec enabled fidelity replay).
+    pub worst_fidelity_error: Option<f64>,
+}
+
+impl SchedulerSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("runs", Json::int(self.runs as u64)),
+            ("failures", Json::int(self.failures as u64)),
+            ("wins", Json::int(self.wins as u64)),
+            ("win_rate", Json::Num(self.win_rate)),
+            ("makespan", self.makespan.to_json()),
+            ("mean_concurrency", Json::Num(self.mean_concurrency)),
+            ("peak_concurrency", Json::int(self.peak_concurrency as u64)),
+            (
+                "mean_reduction_percent",
+                Json::Num(self.mean_reduction_percent),
+            ),
+            (
+                "worst_fidelity_error",
+                self.worst_fidelity_error.map_or(Json::Null, Json::Num),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        Ok(SchedulerSummary {
+            name: field(doc, "name", "a string", |v| v.as_str().map(str::to_owned))?,
+            runs: field(doc, "runs", "an integer", Json::as_u64)? as usize,
+            failures: field(doc, "failures", "an integer", Json::as_u64)? as usize,
+            wins: field(doc, "wins", "an integer", Json::as_u64)? as usize,
+            win_rate: field(doc, "win_rate", "a number", Json::as_f64)?,
+            makespan: DistributionSummary::from_json(field(doc, "makespan", "an object", |v| {
+                v.as_obj().map(|_| v)
+            })?)?,
+            mean_concurrency: field(doc, "mean_concurrency", "a number", Json::as_f64)?,
+            peak_concurrency: field(doc, "peak_concurrency", "an integer", Json::as_u64)? as usize,
+            mean_reduction_percent: field(doc, "mean_reduction_percent", "a number", Json::as_f64)?,
+            worst_fidelity_error: field_opt(doc, "worst_fidelity_error", "a number", Json::as_f64)?,
+        })
+    }
+}
+
+/// One failed scenario: the request's (unique) name and the error text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusFailure {
+    /// The failing request's name.
+    pub request: String,
+    /// Rendered [`CampaignError`].
+    pub error: String,
+}
+
+/// Wall-clock and cache measurements of one corpus run. Everything here
+/// varies between machines and runs, which is exactly why it lives apart
+/// from the deterministic results.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CorpusMeasurement {
+    /// Total wall-clock time of the batch, in microseconds.
+    pub elapsed_micros: u64,
+    /// Scenarios per wall-clock second.
+    pub scenarios_per_second: f64,
+    /// Profile-cache counters attributable to this run (snapshot delta).
+    pub cache: CacheStats,
+}
+
+/// The aggregate outcome of running a corpus through a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusReport {
+    /// The corpus master seed.
+    pub seed: u64,
+    /// Generated SoCs in the corpus.
+    pub soc_count: usize,
+    /// Total scenarios (requests) executed.
+    pub scenario_count: usize,
+    /// Scenario groups (scenarios sharing everything but the scheduler).
+    pub group_count: usize,
+    /// Per-scheduler aggregates, in spec order.
+    pub schedulers: Vec<SchedulerSummary>,
+    /// Failed scenarios, in request order.
+    pub failures: Vec<CorpusFailure>,
+    /// Wall-clock throughput and cache observability.
+    pub measured: CorpusMeasurement,
+}
+
+impl CorpusReport {
+    /// `true` if every scenario planned and validated.
+    #[must_use]
+    pub fn all_valid(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The full report as a JSON value (measured section included).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members = self.deterministic_members();
+        members.push((
+            "measured",
+            Json::obj(vec![
+                ("elapsed_micros", Json::int(self.measured.elapsed_micros)),
+                (
+                    "scenarios_per_second",
+                    Json::Num(self.measured.scenarios_per_second),
+                ),
+                ("cache_hits", Json::int(self.measured.cache.hits)),
+                ("cache_misses", Json::int(self.measured.cache.misses)),
+            ]),
+        ));
+        Json::obj(members)
+    }
+
+    /// The full report as pretty-printed JSON text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Only the reproducible section, as pretty-printed JSON: two runs of
+    /// the same spec and seed yield byte-identical output regardless of
+    /// machine speed or prior cache state. This is what CI compares.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        Json::obj(self.deterministic_members()).pretty()
+    }
+
+    fn deterministic_members(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            // As a string: JSON numbers are f64s, and a u64 seed above
+            // 2^53 would silently round (and then fail to decode).
+            ("seed", Json::str(self.seed.to_string())),
+            ("soc_count", Json::int(self.soc_count as u64)),
+            ("scenario_count", Json::int(self.scenario_count as u64)),
+            ("group_count", Json::int(self.group_count as u64)),
+            (
+                "schedulers",
+                Json::Arr(
+                    self.schedulers
+                        .iter()
+                        .map(SchedulerSummary::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "failures",
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("request", Json::str(&f.request)),
+                                ("error", Json::str(&f.error)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]
+    }
+
+    /// Decodes a report from JSON text (inverse of
+    /// [`CorpusReport::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Json`] describing the first malformed member.
+    pub fn from_json_str(text: &str) -> Result<Self, CampaignError> {
+        Ok(Self::from_json(&Json::parse(text)?)?)
+    }
+
+    /// Decodes a report from a parsed JSON value. A missing `measured`
+    /// section (e.g. a deterministic-only document) decodes as zeroes.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] describing the first malformed member.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        let schedulers_doc = field(doc, "schedulers", "an array", Json::as_arr)?;
+        let mut schedulers = Vec::with_capacity(schedulers_doc.len());
+        for s in schedulers_doc {
+            schedulers.push(SchedulerSummary::from_json(s)?);
+        }
+        let failures_doc = field(doc, "failures", "an array", Json::as_arr)?;
+        let mut failures = Vec::with_capacity(failures_doc.len());
+        for f in failures_doc {
+            failures.push(CorpusFailure {
+                request: field(f, "request", "a string", |v| v.as_str().map(str::to_owned))?,
+                error: field(f, "error", "a string", |v| v.as_str().map(str::to_owned))?,
+            });
+        }
+        let measured = match doc.get("measured") {
+            None | Some(Json::Null) => CorpusMeasurement::default(),
+            Some(m) => CorpusMeasurement {
+                elapsed_micros: field(m, "elapsed_micros", "an integer", Json::as_u64)?,
+                scenarios_per_second: field(m, "scenarios_per_second", "a number", Json::as_f64)?,
+                cache: CacheStats {
+                    hits: field(m, "cache_hits", "an integer", Json::as_u64)?,
+                    misses: field(m, "cache_misses", "an integer", Json::as_u64)?,
+                },
+            },
+        };
+        Ok(CorpusReport {
+            // Accept the string form (canonical) and, leniently, a small
+            // integer (hand-written documents).
+            seed: field(doc, "seed", "a u64 (as a string)", |v| match v {
+                Json::Str(s) => s.parse().ok(),
+                other => other.as_u64(),
+            })?,
+            soc_count: field(doc, "soc_count", "an integer", Json::as_u64)? as usize,
+            scenario_count: field(doc, "scenario_count", "an integer", Json::as_u64)? as usize,
+            group_count: field(doc, "group_count", "an integer", Json::as_u64)? as usize,
+            schedulers,
+            failures,
+            measured,
+        })
+    }
+
+    /// A human-readable summary table (one row per scheduler).
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "corpus seed {:#018x}: {} SoCs, {} scenarios in {} groups",
+            self.seed, self.soc_count, self.scenario_count, self.group_count
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>5} {:>6} {:>9} {:>12} {:>12} {:>8} {:>10}",
+            "scheduler",
+            "runs",
+            "fail",
+            "wins",
+            "win-rate",
+            "mks-mean",
+            "mks-max",
+            "conc",
+            "reduct%"
+        );
+        for s in &self.schedulers {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>5} {:>5} {:>6} {:>8.1}% {:>12.0} {:>12} {:>8.2} {:>9.1}%",
+                s.name,
+                s.runs,
+                s.failures,
+                s.wins,
+                s.win_rate * 100.0,
+                s.makespan.mean,
+                s.makespan.max,
+                s.mean_concurrency,
+                s.mean_reduction_percent
+            );
+        }
+        let _ = writeln!(
+            out,
+            "throughput {:.1} scenarios/s, profile cache {} hits / {} misses",
+            self.measured.scenarios_per_second,
+            self.measured.cache.hits,
+            self.measured.cache.misses
+        );
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "{} FAILED scenarios:", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(out, "  {}: {}", f.request, f.error);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CorpusReport {
+        CorpusReport {
+            seed: 7,
+            soc_count: 20,
+            scenario_count: 160,
+            group_count: 40,
+            schedulers: vec![SchedulerSummary {
+                name: "greedy".into(),
+                runs: 40,
+                failures: 1,
+                wins: 25,
+                win_rate: 0.625,
+                makespan: DistributionSummary::of(&[100, 300, 200]),
+                mean_concurrency: 2.5,
+                peak_concurrency: 5,
+                mean_reduction_percent: 31.25,
+                worst_fidelity_error: Some(0.04),
+            }],
+            failures: vec![CorpusFailure {
+                request: "gen-x mesh=3x3 greedy".into(),
+                error: "planning failed".into(),
+            }],
+            measured: CorpusMeasurement {
+                elapsed_micros: 1_500_000,
+                scenarios_per_second: 106.7,
+                cache: CacheStats {
+                    hits: 159,
+                    misses: 1,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn distribution_summary_math() {
+        let d = DistributionSummary::of(&[100, 300, 200]);
+        assert_eq!((d.count, d.min, d.max), (3, 100, 300));
+        assert!((d.mean - 200.0).abs() < 1e-12);
+        assert_eq!(DistributionSummary::of(&[]), DistributionSummary::default());
+    }
+
+    #[test]
+    fn full_json_roundtrip_is_exact() {
+        let r = sample();
+        let back = CorpusReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn seed_above_f64_precision_roundtrips() {
+        // JSON numbers are f64s; (2^53)+1 would round as a numeric
+        // member. The string encoding must carry every u64 exactly.
+        let mut r = sample();
+        r.seed = (1u64 << 53) + 1;
+        let text = r.to_json_string();
+        assert!(text.contains("\"seed\": \"9007199254740993\""));
+        let back = CorpusReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+        // Lenient decode of a hand-written integer member still works.
+        let hand = text.replace("\"seed\": \"9007199254740993\"", "\"seed\": 7");
+        assert_eq!(CorpusReport::from_json_str(&hand).unwrap().seed, 7);
+    }
+
+    #[test]
+    fn deterministic_json_omits_measured_but_decodes() {
+        let r = sample();
+        let text = r.deterministic_json();
+        assert!(!text.contains("measured"));
+        assert!(!text.contains("scenarios_per_second"));
+        // A deterministic document still decodes (measured zeroes out).
+        let back = CorpusReport::from_json_str(&text).unwrap();
+        assert_eq!(back.measured, CorpusMeasurement::default());
+        assert_eq!(back.schedulers, r.schedulers);
+        assert_eq!(back.failures, r.failures);
+    }
+
+    #[test]
+    fn measured_differences_do_not_change_the_deterministic_section() {
+        let a = sample();
+        let mut b = sample();
+        b.measured.elapsed_micros = 99;
+        b.measured.scenarios_per_second = 1.0;
+        b.measured.cache = CacheStats {
+            hits: 0,
+            misses: 160,
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+    }
+
+    #[test]
+    fn table_mentions_every_scheduler_and_failure() {
+        let text = sample().table();
+        assert!(text.contains("greedy"));
+        assert!(text.contains("FAILED"));
+        assert!(text.contains("planning failed"));
+        assert!(text.contains("hits"));
+    }
+
+    #[test]
+    fn missing_members_are_reported() {
+        assert!(CorpusReport::from_json_str("{}").is_err());
+    }
+}

@@ -47,4 +47,4 @@ pub mod writer;
 pub use error::ParseError;
 pub use model::{Module, ModuleId, ScanUse, SocDesc, TamUse, TestDesc};
 pub use parser::parse_soc;
-pub use writer::write_soc;
+pub use writer::{is_token_safe_name, write_soc};

@@ -4,6 +4,15 @@ use std::fmt::Write as _;
 
 use crate::model::{ScanUse, SocDesc, TamUse};
 
+/// `true` if `name` survives a write/parse cycle unchanged: the parser
+/// tokenises on whitespace and treats `#` as a comment starter, so a name
+/// containing either (or an empty name) would serialise to text that
+/// parses back to a *different* model.
+#[must_use]
+pub fn is_token_safe_name(name: &str) -> bool {
+    !name.is_empty() && !name.contains(|c: char| c.is_whitespace() || c == '#')
+}
+
 /// Serialises `soc` to the canonical `.soc` text form.
 ///
 /// The output is accepted by [`crate::parse_soc`] and round-trips exactly
@@ -15,8 +24,20 @@ use crate::model::{ScanUse, SocDesc, TamUse};
 /// let text = write_soc(&soc);
 /// assert_eq!(parse_soc(&text).unwrap(), soc);
 /// ```
+///
+/// # Panics
+///
+/// Panics if the SoC's name is not [token-safe](is_token_safe_name):
+/// whitespace or `#` in a `SocName` would round-trip to a different name
+/// (silent corruption), so the writer refuses instead.
 #[must_use]
 pub fn write_soc(soc: &SocDesc) -> String {
+    assert!(
+        is_token_safe_name(soc.name()),
+        "SoC name {:?} would not survive a write/parse cycle \
+         (must be non-empty, without whitespace or `#`)",
+        soc.name()
+    );
     let mut out = String::new();
     let _ = writeln!(out, "SocName {}", soc.name());
     let _ = writeln!(out, "TotalModules {}", soc.modules().len());
@@ -111,5 +132,28 @@ mod tests {
             vec![Module::new(ModuleId(1), 1, 1, 1, 0, vec![], vec![])],
         );
         assert!(!write_soc(&soc).contains("Power"));
+    }
+
+    #[test]
+    fn token_safety_matches_the_parser_rules() {
+        for good in ["d695", "gen-giant-s00ff", "a_b.c"] {
+            assert!(is_token_safe_name(good), "{good}");
+        }
+        for bad in ["", "two words", "tab\tname", "gen#1", "line\nbreak"] {
+            assert!(!is_token_safe_name(bad), "{bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "would not survive a write/parse cycle")]
+    fn unwritable_name_is_refused_not_corrupted() {
+        // "gen #1" would serialise as `SocName gen #1`: the parser stops
+        // the name at the space and drops `#1` as a comment, so parsing
+        // the output would yield a *different* SoC. Refuse loudly.
+        let soc = SocDesc::new(
+            "gen #1",
+            vec![Module::new(ModuleId(1), 1, 1, 1, 0, vec![], vec![])],
+        );
+        let _ = write_soc(&soc);
     }
 }

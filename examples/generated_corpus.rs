@@ -1,0 +1,68 @@
+//! Generate a synthetic SoC population and race the schedulers over it.
+//!
+//! ```text
+//! cargo run --release --example generated_corpus
+//! ```
+//!
+//! Layer 1: a seeded `SocRecipe` collapses to concrete SoCs —
+//! deterministic, so the corpus below reproduces byte-for-byte anywhere.
+//! Layer 2: a `CorpusSpec` crosses the population with planning axes and
+//! aggregates win rates, distributions, throughput and profile-cache
+//! figures into a `CorpusReport`.
+
+use noctest::core::plan::Campaign;
+use noctest::core::BudgetSpec;
+use noctest::gen::{CorpusSpec, ProcessorAxis, RecipeFamily, SocRecipe};
+
+fn main() {
+    // Layer 1: one recipe, one seed, one concrete SoC.
+    let recipe = SocRecipe::scaled_industrial(10);
+    let soc = recipe.generate(2005);
+    println!(
+        "{}: {} cores, {} bits of test data, {:.0} units of test power",
+        soc.name(),
+        soc.cores().count(),
+        soc.total_test_volume_bits(),
+        soc.total_test_power()
+    );
+    let preview: String = recipe
+        .generate_text(2005)
+        .lines()
+        .take(8)
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("--- .soc preview ---\n{preview}\n    ...\n");
+
+    // Layer 2: every family, crossed with two budgets, under three
+    // schedulers.
+    let spec = CorpusSpec {
+        seed: 2005,
+        recipes: RecipeFamily::ALL.iter().map(|f| f.recipe(10)).collect(),
+        socs_per_recipe: 3,
+        meshes: vec![(3, 3)],
+        processors: vec![Some(ProcessorAxis {
+            family: "plasma".to_owned(),
+            total: 2,
+            reused: 2,
+        })],
+        budgets: vec![BudgetSpec::Unlimited, BudgetSpec::Fraction(0.6)],
+        schedulers: vec!["serial".to_owned(), "greedy".to_owned(), "smart".to_owned()],
+        fidelity_patterns_cap: None,
+    };
+    println!(
+        "running {} scenarios ({} SoCs x {} groups x {} schedulers)...",
+        spec.scenario_count(),
+        spec.soc_count(),
+        spec.group_count() / spec.soc_count(),
+        spec.schedulers.len()
+    );
+    let report = spec.run(&Campaign::new());
+    print!("{}", report.table());
+
+    // The deterministic section is what CI byte-compares between runs;
+    // the measured section (throughput, cache) is machine-dependent.
+    println!(
+        "deterministic report section: {} bytes of JSON",
+        report.deterministic_json().len()
+    );
+}

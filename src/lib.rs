@@ -19,7 +19,12 @@
 //!   test sources/sinks over the NoC, exposed through the **Campaign
 //!   API**: a serialisable [`PlanRequest`] consumed by a [`Campaign`]
 //!   returning a [`PlanOutcome`], with schedulers resolved by name from a
-//!   [`SchedulerRegistry`].
+//!   [`SchedulerRegistry`];
+//! * [`gen`] (`noctest-gen`) — a seeded, deterministic synthetic-SoC
+//!   generator (five named recipe families) and a corpus engine that
+//!   crosses generated populations with mesh/processor/budget/scheduler
+//!   axes and aggregates win rates, distributions and throughput into a
+//!   JSON-round-trippable report.
 //!
 //! ## Quickstart
 //!
@@ -72,6 +77,7 @@
 
 pub use noctest_core as core;
 pub use noctest_cpu as cpu;
+pub use noctest_gen as gen;
 pub use noctest_itc02 as itc02;
 pub use noctest_noc as noc;
 
