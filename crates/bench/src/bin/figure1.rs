@@ -5,13 +5,23 @@
 //!
 //! ```text
 //! cargo run -p noctest-bench --bin figure1 [-- --system d695 --proc leon \
-//!     --scheduler greedy --csv out.csv --json out.json --summary]
+//!     --scheduler greedy --csv out.csv --json out.json --summary \
+//!     --threads N --events events.ndjson]
 //! ```
+//!
+//! `--threads N` pins the worker pool; `--events PATH` streams the
+//! executor's NDJSON lifecycle events (one line per event) to a file
+//! while the figure is computed.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use noctest_bench::{ascii_panel, csv_panels, figure1_panel, Figure1Panel, SystemId};
+use noctest_bench::{
+    ascii_panel, csv_panels, figure1_panel, figure1_panel_streamed, ndjson_file_sink,
+    parse_threads_value, Figure1Panel, SystemId,
+};
 use noctest_core::json::Json;
+use noctest_core::plan::exec::{EventSink, Executor};
 use noctest_core::plan::Campaign;
 
 struct Args {
@@ -21,6 +31,8 @@ struct Args {
     csv: Option<String>,
     json: Option<String>,
     summary: bool,
+    threads: Option<usize>,
+    events: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         csv: None,
         json: None,
         summary: false,
+        threads: None,
+        events: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,11 +73,14 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => args.csv = Some(it.next().ok_or("--csv needs a path")?),
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--summary" => args.summary = true,
+            "--threads" => args.threads = Some(parse_threads_value(it.next())?),
+            "--events" => args.events = Some(it.next().ok_or("--events needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "usage: figure1 [--system d695|p22810|p93791|all] \
                      [--proc leon|plasma|both] [--scheduler NAME] \
-                     [--csv PATH] [--json PATH] [--summary]"
+                     [--csv PATH] [--json PATH] [--summary] \
+                     [--threads N] [--events PATH]"
                 );
                 std::process::exit(0);
             }
@@ -82,11 +99,43 @@ fn main() -> ExitCode {
         }
     };
 
-    let campaign = Campaign::new();
+    let mut campaign = Campaign::new();
+    if let Some(threads) = args.threads {
+        campaign = match campaign.with_threads(threads) {
+            Ok(campaign) => campaign,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    // With --events the whole figure is streamed through one executor so
+    // the NDJSON file carries every job's lifecycle; otherwise the
+    // blocking batch path is identical and needs no pool of its own.
+    let event_sink = match &args.events {
+        None => None,
+        Some(path) => match ndjson_file_sink(path) {
+            Ok(sink) => Some(sink),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let executor = event_sink.as_ref().map(|sink| {
+        Executor::builder()
+            .campaign(campaign.clone())
+            .sink(Arc::clone(sink) as Arc<dyn EventSink>)
+            .build()
+    });
     let mut panels: Vec<Figure1Panel> = Vec::new();
     for family in &args.processors {
         for &id in &args.systems {
-            match figure1_panel(&campaign, id, family, &args.scheduler) {
+            let panel = match &executor {
+                Some(executor) => figure1_panel_streamed(executor, id, family, &args.scheduler),
+                None => figure1_panel(&campaign, id, family, &args.scheduler),
+            };
+            match panel {
                 Ok(panel) => panels.push(panel),
                 Err(e) => {
                     eprintln!("error: {}/{family}: {e}", id.name());
@@ -94,6 +143,14 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if let Some(path) = &args.events {
+        drop(executor);
+        if event_sink.as_ref().is_some_and(|sink| sink.failed()) {
+            eprintln!("error: event log {path} truncated (a line failed to write)");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
     }
 
     for panel in &panels {

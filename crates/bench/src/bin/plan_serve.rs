@@ -1,0 +1,157 @@
+//! `plan-serve` — the NDJSON planning daemon.
+//!
+//! Reads one JSON document per line on stdin and emits one JSON document
+//! per line on stdout: the shape a real planning service wraps. Input
+//! lines are either
+//!
+//! * a [`PlanRequest`] object (the format of
+//!   [`PlanRequest::from_json_str`]) — submitted to the job executor
+//!   immediately; jobs are numbered in submission order starting at 1, or
+//! * a control object `{"cancel": 3}` / `{"cancel": "name"}` — cancels
+//!   the job with that id (or the most recent job submitted under that
+//!   request name).
+//!
+//! Output lines are the executor's full lifecycle event stream
+//! (`queued`, `started`, `stage_finished`, `completed` with the embedded
+//! outcome, `failed`, `cancelled` — see `noctest_core::plan::exec`), plus
+//! daemon-level lines: `{"event":"error","line":N,"error":"..."}` for
+//! input that cannot be parsed (the daemon keeps serving), and a final
+//! `{"event":"done","jobs":N}` once stdin closes and every job is
+//! terminal.
+//!
+//! Planning failures are *in-band*: an unknown scheduler, a malformed
+//! SoC or a validation failure produce a `failed` event for that job and
+//! never take the daemon down. The exit status is 0 whenever stdin was
+//! served to the end, 2 on usage errors.
+//!
+//! ```text
+//! printf '%s\n' \
+//!   '{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}}' \
+//!   | cargo run -p noctest-bench --bin plan-serve -- --threads 2
+//! ```
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use noctest_bench::parse_threads_value;
+use noctest_core::json::Json;
+use noctest_core::plan::exec::{EventSink, Executor, JobHandle, NdjsonSink};
+use noctest_core::plan::PlanRequest;
+
+fn error_line(line: usize, message: &str) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("error")),
+        ("line", Json::int(line as u64)),
+        ("error", Json::str(message)),
+    ])
+}
+
+/// Resolves a `{"cancel": ...}` target: an integer job id, or a string
+/// request name (the most recent submission wins, matching how repeated
+/// names shadow each other).
+fn resolve<'a>(handles: &'a [JobHandle], target: &Json) -> Option<&'a JobHandle> {
+    if let Some(id) = target.as_u64() {
+        return handles.iter().find(|h| h.id().0 == id);
+    }
+    let name = target.as_str()?;
+    handles.iter().rev().find(|h| h.request_name() == name)
+}
+
+fn main() -> ExitCode {
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => match parse_threads_value(args.next()) {
+                Ok(value) => threads = Some(value),
+                Err(message) => {
+                    eprintln!("plan-serve: {message}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: plan-serve [--threads N]\n\
+                     reads NDJSON PlanRequests (or {{\"cancel\": id|name}}) on stdin,\n\
+                     emits NDJSON lifecycle events on stdout"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("plan-serve: unknown argument `{other}` (supported: --threads N)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let sink = Arc::new(NdjsonSink::new(std::io::stdout()));
+    let mut builder = Executor::builder().sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+    if let Some(threads) = threads {
+        builder = match builder.threads(threads) {
+            Ok(builder) => builder,
+            Err(error) => {
+                eprintln!("plan-serve: {error}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+    let executor = builder.build();
+
+    let mut handles: Vec<JobHandle> = Vec::new();
+    for (index, line) in std::io::stdin().lock().lines().enumerate() {
+        let lineno = index + 1;
+        if sink.failed() {
+            // Nobody is reading the event stream (broken pipe, full
+            // disk): stop accepting work and cancel whatever is pending
+            // instead of planning into the void.
+            for handle in &handles {
+                handle.cancel();
+            }
+            break;
+        }
+        let line = match line {
+            Ok(line) => line,
+            Err(error) => {
+                sink.write_line(&error_line(lineno, &format!("stdin read failed: {error}")));
+                break;
+            }
+        };
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(error) => {
+                sink.write_line(&error_line(lineno, &error.to_string()));
+                continue;
+            }
+        };
+        if let Some(target) = doc.get("cancel") {
+            match resolve(&handles, target) {
+                Some(handle) => handle.cancel(),
+                None => sink.write_line(&error_line(
+                    lineno,
+                    &format!("cancel target {} matches no job", target.compact()),
+                )),
+            }
+            continue;
+        }
+        match PlanRequest::from_json(&doc) {
+            Ok(request) => handles.push(executor.submit(request)),
+            Err(error) => sink.write_line(&error_line(lineno, &error.to_string())),
+        }
+    }
+
+    executor.join();
+    sink.write_line(&Json::obj(vec![
+        ("event", Json::str("done")),
+        ("jobs", Json::int(handles.len() as u64)),
+    ]));
+    if sink.failed() {
+        eprintln!("plan-serve: event stream truncated (stdout write failed)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

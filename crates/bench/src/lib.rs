@@ -27,7 +27,10 @@ pub mod harness;
 
 use std::fmt::Write as _;
 
-use noctest_core::plan::{Campaign, CampaignError, PlanRequest, RequestMatrix};
+use std::sync::Arc;
+
+use noctest_core::plan::exec::{Executor, JobResult, NdjsonSink};
+use noctest_core::plan::{Campaign, CampaignError, PlanOutcome, PlanRequest, RequestMatrix};
 use noctest_core::{BudgetSpec, SystemUnderTest};
 use noctest_cpu::ProcessorProfile;
 use noctest_itc02::{data, SocDesc};
@@ -185,6 +188,32 @@ fn reduction_percent<I: Iterator<Item = u64>>(first: Option<&Figure1Point>, seri
     100.0 * (1.0 - best as f64 / base as f64)
 }
 
+/// Parses the value following a `--threads` flag (shared by the
+/// `figure1`, `corpus` and `plan-serve` binaries).
+///
+/// # Errors
+///
+/// A usage message when the value is missing or not an unsigned integer.
+pub fn parse_threads_value(value: Option<String>) -> Result<usize, String> {
+    value
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| "--threads needs an unsigned integer".to_owned())
+}
+
+/// Opens `path` as a line-flushed NDJSON event sink — the `--events`
+/// flag shared by the binaries. The returned handle doubles as the
+/// stream-integrity check: [`NdjsonSink::failed`] after the run reports
+/// whether any event line was lost to a write error.
+///
+/// # Errors
+///
+/// A usage message when the file cannot be created.
+pub fn ndjson_file_sink(path: &str) -> Result<Arc<NdjsonSink<std::fs::File>>, String> {
+    std::fs::File::create(path)
+        .map(|file| Arc::new(NdjsonSink::new(file)))
+        .map_err(|error| format!("cannot create {path}: {error}"))
+}
+
 /// The Figure-1 request matrix for one panel: the reuse sweep crossed
 /// with the two power settings, under the named scheduler.
 #[must_use]
@@ -212,12 +241,52 @@ pub fn figure1_panel(
 ) -> Result<Figure1Panel, CampaignError> {
     let requests = figure1_requests(id, family, scheduler);
     let results = campaign.run_all(&requests);
-    // The matrix is reuse-major, budget-minor: [r0/none, r0/50%, r1/none, ...].
-    let mut points = Vec::with_capacity(id.sweep().len());
     let mut outcomes = Vec::with_capacity(results.len());
     for result in results {
         outcomes.push(result?);
     }
+    Ok(panel_from_outcomes(id, family, &outcomes))
+}
+
+/// Computes one Figure-1 panel by streaming the request matrix through a
+/// job [`Executor`] — same outcomes as [`figure1_panel`], but the
+/// executor's event sinks observe every job live (the `figure1` binary's
+/// `--events` flag).
+///
+/// # Errors
+///
+/// Propagates the first [`CampaignError`] of the batch.
+pub fn figure1_panel_streamed(
+    executor: &Executor,
+    id: SystemId,
+    family: &str,
+    scheduler: &str,
+) -> Result<Figure1Panel, CampaignError> {
+    let requests = figure1_requests(id, family, scheduler);
+    let handles: Vec<_> = requests.into_iter().map(|r| executor.submit(r)).collect();
+    let mut outcomes = Vec::with_capacity(handles.len());
+    for handle in handles {
+        match handle.wait() {
+            JobResult::Completed(outcome) => outcomes.push(*outcome),
+            JobResult::Failed(error) => return Err(error),
+            JobResult::Cancelled => unreachable!("panel jobs are never cancelled"),
+        }
+    }
+    Ok(panel_from_outcomes(id, family, &outcomes))
+}
+
+/// Folds the outcomes of a [`figure1_requests`] matrix (request order)
+/// into a panel.
+///
+/// # Panics
+///
+/// Panics if `outcomes` does not match the matrix shape (two budget
+/// points per reuse step).
+#[must_use]
+pub fn panel_from_outcomes(id: SystemId, family: &str, outcomes: &[PlanOutcome]) -> Figure1Panel {
+    assert_eq!(outcomes.len(), 2 * id.sweep().len(), "matrix shape");
+    // The matrix is reuse-major, budget-minor: [r0/none, r0/50%, r1/none, ...].
+    let mut points = Vec::with_capacity(id.sweep().len());
     for (reused, pair) in id.sweep().into_iter().zip(outcomes.chunks(2)) {
         points.push(Figure1Point {
             reused,
@@ -225,11 +294,11 @@ pub fn figure1_panel(
             limited_50: pair[1].makespan,
         });
     }
-    Ok(Figure1Panel {
+    Figure1Panel {
         system: id.name(),
         processor: family.to_owned(),
         points,
-    })
+    }
 }
 
 /// Computes a panel with the paper's greedy scheduler.

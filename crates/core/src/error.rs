@@ -48,6 +48,9 @@ pub enum PlanError {
     },
     /// Schedule validation failed.
     InvalidSchedule(String),
+    /// Planning was cancelled cooperatively (see
+    /// [`crate::sched::CancelToken`]); no schedule was produced.
+    Cancelled,
 }
 
 impl fmt::Display for PlanError {
@@ -77,6 +80,7 @@ impl fmt::Display for PlanError {
                 )
             }
             PlanError::InvalidSchedule(reason) => write!(f, "invalid schedule: {reason}"),
+            PlanError::Cancelled => write!(f, "planning cancelled"),
         }
     }
 }

@@ -1,14 +1,114 @@
 //! [`Campaign`]: the runner turning [`PlanRequest`]s into [`PlanOutcome`]s.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::error::PlanError;
 use crate::plan::error::CampaignError;
-use crate::plan::outcome::{PlanOutcome, StageTiming};
+use crate::plan::exec::{Executor, JobResult};
+use crate::plan::outcome::{PlanOutcome, Stage, StageTiming};
 use crate::plan::registry::SchedulerRegistry;
 use crate::plan::request::PlanRequest;
 use crate::replay::replay_schedule;
+use crate::sched::CancelToken;
+
+/// Validates a worker-thread count: zero workers cannot make progress, so
+/// it is rejected outright rather than silently clamped.
+///
+/// # Errors
+///
+/// [`CampaignError::Invalid`] when `threads` is 0.
+pub(crate) fn validate_thread_count(threads: usize) -> Result<usize, CampaignError> {
+    if threads == 0 {
+        return Err(CampaignError::Invalid(
+            "worker thread count must be at least 1 (got 0)".to_owned(),
+        ));
+    }
+    Ok(threads)
+}
+
+/// The staged planning pipeline shared by [`Campaign::run`] and the
+/// executor of [`crate::plan::exec`]: resolve the scheduler, build the
+/// system, schedule, validate, replay. `on_stage` observes each stage
+/// that actually ran (with its wall-clock microseconds — the same value
+/// recorded in the outcome's [`StageTiming`]); `cancel`, when present,
+/// is polled between stages and threaded into
+/// [`crate::sched::Scheduler::schedule_cancellable`].
+///
+/// With `cancel = None` this is byte-for-byte the behaviour
+/// [`Campaign::run`] always had.
+pub(crate) fn run_pipeline(
+    registry: &SchedulerRegistry,
+    request: &PlanRequest,
+    cancel: Option<&CancelToken>,
+    on_stage: &mut dyn FnMut(Stage, u64),
+) -> Result<PlanOutcome, CampaignError> {
+    fn check(cancel: Option<&CancelToken>) -> Result<(), CampaignError> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            Err(CampaignError::Plan(PlanError::Cancelled))
+        } else {
+            Ok(())
+        }
+    }
+
+    // Resolve the scheduler first: a typo'd name must fail fast, before
+    // system construction pays for ISS calibration.
+    let scheduler = registry.get(&request.scheduler)?;
+
+    check(cancel)?;
+    let build_start = Instant::now();
+    let sys = request.build_system()?;
+    let build_micros = build_start.elapsed().as_micros() as u64;
+    on_stage(Stage::Build, build_micros);
+
+    check(cancel)?;
+    let schedule_start = Instant::now();
+    let schedule = match cancel {
+        Some(token) => scheduler.schedule_cancellable(&sys, token)?,
+        None => scheduler.schedule(&sys)?,
+    };
+    let schedule_micros = schedule_start.elapsed().as_micros() as u64;
+    on_stage(Stage::Schedule, schedule_micros);
+
+    let validate_micros = if request.validate {
+        check(cancel)?;
+        let validate_start = Instant::now();
+        schedule.validate(&sys)?;
+        let micros = validate_start.elapsed().as_micros() as u64;
+        on_stage(Stage::Validate, micros);
+        micros
+    } else {
+        0
+    };
+
+    let (fidelity, replay_micros) = if let Some(spec) = &request.fidelity {
+        check(cancel)?;
+        let replay_start = Instant::now();
+        let replay = replay_schedule(&sys, &schedule, spec.patterns_cap)?;
+        let micros = replay_start.elapsed().as_micros() as u64;
+        on_stage(Stage::Replay, micros);
+        (Some(replay), micros)
+    } else {
+        (None, 0)
+    };
+
+    let mut outcome = PlanOutcome::from_schedule(
+        &request.name,
+        // Report the registry key the request selected, not the
+        // implementation's self-reported name: two keys may map to
+        // the same algorithm, and sweep results join on the key.
+        &request.scheduler,
+        &sys,
+        &schedule,
+        StageTiming {
+            build_micros,
+            schedule_micros,
+            validate_micros,
+            replay_micros,
+        },
+    );
+    outcome.fidelity = fidelity;
+    Ok(outcome)
+}
 
 /// Executes planning requests against a [`SchedulerRegistry`].
 ///
@@ -58,10 +158,31 @@ impl Campaign {
     }
 
     /// Pins the batch worker count (default: available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Invalid`] when `threads` is 0 — zero workers can
+    /// never make progress, and silently clamping would hide the bug in
+    /// the caller's arithmetic. The executor builder
+    /// ([`crate::plan::exec::ExecutorBuilder::threads`]) applies the same
+    /// validation.
+    pub fn with_threads(mut self, threads: usize) -> Result<Self, CampaignError> {
+        self.threads = Some(validate_thread_count(threads)?);
+        Ok(self)
+    }
+
+    /// The pinned batch worker count, if any.
     #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads.max(1));
-        self
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The worker count batches will actually use: the pinned count, or
+    /// the machine's available parallelism.
+    pub(crate) fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
     }
 
     /// The registry (for name listing).
@@ -86,92 +207,62 @@ impl Campaign {
     /// Any [`CampaignError`] from resolution, construction, scheduling,
     /// validation or the fidelity replay.
     pub fn run(&self, request: &PlanRequest) -> Result<PlanOutcome, CampaignError> {
-        // Resolve the scheduler first: a typo'd name must fail fast, before
-        // system construction pays for ISS calibration.
-        let scheduler = self.registry.get(&request.scheduler)?;
-
-        let build_start = Instant::now();
-        let sys = request.build_system()?;
-        let build_micros = build_start.elapsed().as_micros() as u64;
-
-        let schedule_start = Instant::now();
-        let schedule = scheduler.schedule(&sys)?;
-        let schedule_micros = schedule_start.elapsed().as_micros() as u64;
-
-        let validate_micros = if request.validate {
-            let validate_start = Instant::now();
-            schedule.validate(&sys)?;
-            validate_start.elapsed().as_micros() as u64
-        } else {
-            0
-        };
-
-        let (fidelity, replay_micros) = if let Some(spec) = &request.fidelity {
-            let replay_start = Instant::now();
-            let replay = replay_schedule(&sys, &schedule, spec.patterns_cap)?;
-            (Some(replay), replay_start.elapsed().as_micros() as u64)
-        } else {
-            (None, 0)
-        };
-
-        let mut outcome = PlanOutcome::from_schedule(
-            &request.name,
-            // Report the registry key the request selected, not the
-            // implementation's self-reported name: two keys may map to
-            // the same algorithm, and sweep results join on the key.
-            &request.scheduler,
-            &sys,
-            &schedule,
-            StageTiming {
-                build_micros,
-                schedule_micros,
-                validate_micros,
-                replay_micros,
-            },
-        );
-        outcome.fidelity = fidelity;
-        Ok(outcome)
+        run_pipeline(&self.registry, request, None, &mut |_, _| {})
     }
 
     /// Runs a request matrix, parallelised over worker threads. Results
     /// come back in request order; each request fails or succeeds
     /// independently.
+    ///
+    /// This is a compatibility wrapper over the job executor of
+    /// [`crate::plan::exec`]: every request is submitted as one job and
+    /// the handles are awaited in request order, which reproduces the
+    /// historical blocking-batch behaviour exactly (same outcomes, same
+    /// ordering, independent failures). Callers that want results *as
+    /// they complete*, priorities or cancellation use the [`Executor`]
+    /// directly.
+    ///
+    /// A user-registered scheduler that *panics* fails its own request
+    /// with [`CampaignError::Invalid`] instead of propagating the panic
+    /// to the caller (the executor contains panics so one bad job cannot
+    /// hang the pool).
     #[must_use]
     pub fn run_all(&self, requests: &[PlanRequest]) -> Vec<Result<PlanOutcome, CampaignError>> {
         if requests.is_empty() {
             return Vec::new();
         }
-        let workers = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })
-            .min(requests.len());
+        let workers = self.effective_threads().min(requests.len());
         if workers <= 1 {
-            return requests.iter().map(|r| self.run(r)).collect();
+            // One worker degenerates to the caller's thread: no pool to
+            // spin up, identical results — including the executor's panic
+            // containment, so behaviour does not depend on thread count.
+            return requests
+                .iter()
+                .map(|r| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(r)))
+                        .unwrap_or_else(|payload| {
+                            Err(CampaignError::Invalid(
+                                crate::plan::exec::panic_description(&*payload),
+                            ))
+                        })
+                })
+                .collect();
         }
-
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<PlanOutcome, CampaignError>>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(request) = requests.get(i) else {
-                        break;
-                    };
-                    let outcome = self.run(request);
-                    *results[i].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every slot filled by a worker")
+        let executor = Executor::builder()
+            .campaign(self.clone())
+            .threads(workers)
+            .expect("worker count is nonzero")
+            .build();
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| executor.submit(r.clone()))
+            .collect();
+        handles
+            .iter()
+            .map(|handle| match handle.wait() {
+                JobResult::Completed(outcome) => Ok(*outcome),
+                JobResult::Failed(error) => Err(error),
+                JobResult::Cancelled => unreachable!("run_all never cancels jobs"),
             })
             .collect()
     }
@@ -216,7 +307,7 @@ mod tests {
             d695_request("nope"),
             d695_request("serial").with_name("baseline"),
         ];
-        let results = Campaign::new().with_threads(2).run_all(&requests);
+        let results = Campaign::new().with_threads(2).unwrap().run_all(&requests);
         assert_eq!(results.len(), 3);
         assert!(results[0].is_ok());
         assert!(matches!(
@@ -250,6 +341,16 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(Campaign::new().run_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_are_rejected_not_clamped() {
+        let err = Campaign::new().with_threads(0).unwrap_err();
+        assert!(matches!(err, CampaignError::Invalid(_)));
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        // Valid counts still chain builder-style.
+        let campaign = Campaign::new().with_threads(3).unwrap();
+        assert_eq!(campaign.threads(), Some(3));
     }
 
     #[test]

@@ -52,11 +52,24 @@ impl fmt::Display for CampaignError {
             CampaignError::UnknownScheduler {
                 requested,
                 available,
-            } => write!(
-                f,
-                "unknown scheduler `{requested}` (registered: {})",
-                available.join(", ")
-            ),
+            } => {
+                // This message is part of the daemon wire format (it
+                // surfaces verbatim in plan-serve NDJSON `failed` events),
+                // so its shape is asserted stable by tests: names sorted,
+                // comma-separated.
+                if available.is_empty() {
+                    write!(
+                        f,
+                        "unknown scheduler `{requested}` (no schedulers registered)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "unknown scheduler `{requested}` (registered: {})",
+                        available.join(", ")
+                    )
+                }
+            }
             CampaignError::UnknownBenchmark(name) => {
                 write!(f, "unknown benchmark `{name}` (know d695, p22810, p93791)")
             }

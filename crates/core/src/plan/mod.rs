@@ -15,7 +15,13 @@
 //!   seeded with `serial` / `greedy` / `smart` / `optimal` and open for
 //!   user registration.
 //! * [`Campaign`] — resolves a request against the registry and runs it;
-//!   [`Campaign::run_all`] spreads a request matrix over worker threads.
+//!   [`Campaign::run_all`] spreads a request matrix over worker threads
+//!   (a compatibility wrapper over the job executor below).
+//! * [`exec`] — the streaming execution layer: [`Executor`] turns
+//!   requests into prioritised, cancellable jobs ([`JobHandle`]) with a
+//!   typed lifecycle event stream ([`PlanEvent`] through pluggable
+//!   [`EventSink`]s, including the NDJSON daemon format) and an
+//!   [`OutcomeStream`] yielding results in completion order.
 //! * [`RequestMatrix`] — cartesian sweep builder, so experiment grids
 //!   (Figure 1, the ablations) are data rather than hand-wired loops.
 //! * [`PlanOutcome`] — schedule, makespan, concurrency and power figures
@@ -51,6 +57,7 @@
 
 mod campaign;
 mod error;
+pub mod exec;
 mod matrix;
 mod outcome;
 mod profile_cache;
@@ -59,8 +66,12 @@ mod request;
 
 pub use campaign::Campaign;
 pub use error::CampaignError;
+pub use exec::{
+    CompletedJob, EventCollector, EventSink, Executor, ExecutorBuilder, JobHandle, JobId,
+    JobResult, JobStatus, NdjsonSink, OutcomeStream, PlanEvent,
+};
 pub use matrix::RequestMatrix;
-pub use outcome::{PlanOutcome, SessionOutcome, StageTiming};
+pub use outcome::{PlanOutcome, SessionOutcome, Stage, StageTiming};
 pub use profile_cache::{stats as profile_cache_stats, CacheStats};
 pub use registry::SchedulerRegistry;
 pub use request::{

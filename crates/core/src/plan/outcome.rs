@@ -34,6 +34,53 @@ impl SessionOutcome {
     }
 }
 
+/// One stage of the planning pipeline, in execution order. Names the
+/// members of [`StageTiming`] and labels the `StageFinished` events of
+/// [`crate::plan::exec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// System resolution + placement (includes ISS calibration on a cache
+    /// miss).
+    Build,
+    /// Scheduling proper.
+    Schedule,
+    /// Invariant re-validation.
+    Validate,
+    /// Whole-schedule simulation replay.
+    Replay,
+}
+
+impl Stage {
+    /// Stable lower-case name (used in event JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Build => "build",
+            Stage::Schedule => "schedule",
+            Stage::Validate => "validate",
+            Stage::Replay => "replay",
+        }
+    }
+
+    /// Parses a [`Stage::name`] back (None for anything else).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Stage> {
+        match name {
+            "build" => Some(Stage::Build),
+            "schedule" => Some(Stage::Schedule),
+            "validate" => Some(Stage::Validate),
+            "replay" => Some(Stage::Replay),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Wall-clock timing of the pipeline stages, in microseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageTiming {
@@ -50,10 +97,39 @@ pub struct StageTiming {
 }
 
 impl StageTiming {
-    /// Total pipeline time in microseconds.
+    /// Total pipeline time in microseconds. Saturating: pathological
+    /// per-stage values (a clock jump, a corrupted document) cap at
+    /// `u64::MAX` instead of overflowing in release builds.
     #[must_use]
     pub fn total_micros(&self) -> u64 {
-        self.build_micros + self.schedule_micros + self.validate_micros + self.replay_micros
+        self.build_micros
+            .saturating_add(self.schedule_micros)
+            .saturating_add(self.validate_micros)
+            .saturating_add(self.replay_micros)
+    }
+
+    /// The recorded time for one stage.
+    #[must_use]
+    pub fn stage_micros(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Build => self.build_micros,
+            Stage::Schedule => self.schedule_micros,
+            Stage::Validate => self.validate_micros,
+            Stage::Replay => self.replay_micros,
+        }
+    }
+
+    /// Adds a per-stage increment (saturating) — the accumulation the
+    /// event stream of [`crate::plan::exec`] uses to rebuild a
+    /// `StageTiming` from `StageFinished` deltas.
+    pub fn record(&mut self, stage: Stage, micros: u64) {
+        let slot = match stage {
+            Stage::Build => &mut self.build_micros,
+            Stage::Schedule => &mut self.schedule_micros,
+            Stage::Validate => &mut self.validate_micros,
+            Stage::Replay => &mut self.replay_micros,
+        };
+        *slot = slot.saturating_add(micros);
     }
 }
 
@@ -497,6 +573,42 @@ mod tests {
         assert_eq!(o.sessions[0].cycles(), 400);
         assert_eq!(o.timing.total_micros(), 160);
         assert_eq!(sample_with_fidelity().timing.total_micros(), 202);
+    }
+
+    #[test]
+    fn pathological_stage_timings_saturate_instead_of_overflowing() {
+        let mut t = StageTiming {
+            build_micros: u64::MAX - 10,
+            schedule_micros: 500,
+            validate_micros: u64::MAX,
+            replay_micros: 1,
+        };
+        assert_eq!(t.total_micros(), u64::MAX);
+        t.record(Stage::Validate, u64::MAX);
+        assert_eq!(t.validate_micros, u64::MAX);
+        assert_eq!(t.total_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn stage_names_roundtrip_and_record_accumulates() {
+        let mut t = StageTiming::default();
+        for (i, stage) in [
+            Stage::Build,
+            Stage::Schedule,
+            Stage::Validate,
+            Stage::Replay,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+            assert_eq!(stage.to_string(), stage.name());
+            t.record(stage, i as u64 + 1);
+            t.record(stage, 10);
+            assert_eq!(t.stage_micros(stage), i as u64 + 11);
+        }
+        assert_eq!(Stage::from_name("parse"), None);
+        assert_eq!(t.total_micros(), 50);
     }
 
     #[test]

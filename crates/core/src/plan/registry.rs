@@ -80,7 +80,10 @@ impl SchedulerRegistry {
     ///
     /// # Errors
     ///
-    /// [`CampaignError::UnknownScheduler`] listing the registered names.
+    /// [`CampaignError::UnknownScheduler`] listing every registered name
+    /// in sorted order — the message is stable (asserted by tests)
+    /// because it surfaces verbatim through the `plan-serve` daemon's
+    /// NDJSON `failed` events.
     pub fn get(&self, name: &str) -> Result<Arc<dyn Scheduler>, CampaignError> {
         self.entries
             .get(name)
@@ -142,6 +145,29 @@ mod tests {
             }
             other => panic!("expected UnknownScheduler, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn unknown_scheduler_message_is_stable_and_sorted() {
+        // The exact message is daemon wire format (plan-serve NDJSON
+        // `failed` events carry it verbatim): names sorted, comma-
+        // separated. Registration order must not leak into it.
+        let mut r = SchedulerRegistry::empty();
+        r.register("smart", Arc::new(SmartScheduler));
+        r.register("greedy", Arc::new(GreedyScheduler));
+        r.register("serial", Arc::new(SerialScheduler));
+        r.register("optimal", Arc::new(OptimalScheduler::new()));
+        assert_eq!(
+            r.get("annealing").unwrap_err().to_string(),
+            "unknown scheduler `annealing` (registered: greedy, optimal, serial, smart)"
+        );
+        assert_eq!(
+            SchedulerRegistry::empty()
+                .get("any")
+                .unwrap_err()
+                .to_string(),
+            "unknown scheduler `any` (no schedulers registered)"
+        );
     }
 
     #[test]

@@ -261,6 +261,56 @@ pub trait Scheduler: Send + Sync + std::fmt::Debug {
     /// Implementations return [`PlanError`] if no valid schedule exists or
     /// an internal invariant breaks.
     fn schedule(&self, sys: &SystemUnderTest) -> Result<Schedule, PlanError>;
+
+    /// Plans the complete test of `sys`, polling `cancel` cooperatively.
+    ///
+    /// Long-running searches (the branch-and-bound of
+    /// [`OptimalScheduler`]) override this to poll the token and abandon
+    /// the search mid-stage; the default implementation ignores the token
+    /// and delegates to [`Scheduler::schedule`], which is fine for
+    /// heuristics that finish in microseconds. When the token is *not*
+    /// cancelled, the result must be identical to [`Scheduler::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Cancelled`] when the token fires mid-search; otherwise
+    /// exactly the errors of [`Scheduler::schedule`].
+    fn schedule_cancellable(
+        &self,
+        sys: &SystemUnderTest,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, PlanError> {
+        let _ = cancel;
+        self.schedule(sys)
+    }
+}
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning yields another handle to the *same* flag. The executor of
+/// [`crate::plan::exec`] hands every job one token; cancelling the job
+/// trips it, and the pipeline (plus any [`Scheduler::schedule_cancellable`]
+/// override) polls it at its next opportunity.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the flag; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

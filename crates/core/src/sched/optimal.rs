@@ -19,8 +19,13 @@ use crate::cut::{CutId, CutKind};
 use crate::error::PlanError;
 use crate::interface::InterfaceId;
 use crate::path::LinkSet;
-use crate::sched::{Schedule, ScheduledTest, Scheduler};
+use crate::sched::{CancelToken, Schedule, ScheduledTest, Scheduler};
 use crate::system::SystemUnderTest;
+
+/// How many node expansions pass between cancellation polls — cheap
+/// enough to be invisible, frequent enough that a cancelled search stops
+/// within milliseconds.
+const CANCEL_POLL_PERIOD: u64 = 1024;
 
 /// Exact scheduler with a size guard (exponential search).
 ///
@@ -85,6 +90,11 @@ struct Search<'a> {
     /// Nodes expanded so far vs. the (deterministic) budget.
     expansions: u64,
     max_expansions: u64,
+    /// Cooperative-cancellation token, polled every
+    /// [`CANCEL_POLL_PERIOD`] expansions.
+    cancel: Option<&'a CancelToken>,
+    /// Latched once the token fires, so the whole recursion unwinds.
+    cancelled: bool,
 }
 
 impl Search<'_> {
@@ -156,7 +166,15 @@ impl Search<'_> {
         // Anytime cut: past the expansion budget, stop refining and keep
         // the incumbent (counted in nodes, not wall time, so the result
         // is reproducible on any machine).
-        if self.expansions >= self.max_expansions {
+        if self.cancelled || self.expansions >= self.max_expansions {
+            return;
+        }
+        // Poll on the first expansion and every period after it, so even
+        // a pre-cancelled token aborts before any real work.
+        if self.expansions.is_multiple_of(CANCEL_POLL_PERIOD)
+            && self.cancel.is_some_and(CancelToken::is_cancelled)
+        {
+            self.cancelled = true;
             return;
         }
         self.expansions += 1;
@@ -259,12 +277,13 @@ impl Search<'_> {
     }
 }
 
-impl Scheduler for OptimalScheduler {
-    fn name(&self) -> &'static str {
-        "optimal"
-    }
-
-    fn schedule(&self, sys: &SystemUnderTest) -> Result<Schedule, PlanError> {
+impl OptimalScheduler {
+    /// The search proper; `cancel` aborts it between node expansions.
+    fn search(
+        &self,
+        sys: &SystemUnderTest,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Schedule, PlanError> {
         if sys.interfaces().is_empty() {
             return Err(PlanError::NoInterfaces);
         }
@@ -300,6 +319,8 @@ impl Scheduler for OptimalScheduler {
             min_dur,
             expansions: 0,
             max_expansions: self.max_expansions.unwrap_or(u64::MAX),
+            cancel,
+            cancelled: false,
         };
         let proc_count = sys.interfaces().iter().filter(|i| !i.is_external()).count();
         let mut remaining: Vec<CutId> = sys.cuts().iter().map(|c| c.id).collect();
@@ -312,7 +333,32 @@ impl Scheduler for OptimalScheduler {
             &mut Vec::new(),
             None,
         );
+        if search.cancelled {
+            // A cancelled search reports Cancelled rather than its
+            // incumbent: the caller asked for the job to stop, and a
+            // half-refined "best so far" would be indistinguishable from
+            // a completed budgeted search.
+            return Err(PlanError::Cancelled);
+        }
         Ok(Schedule::new(search.best_entries))
+    }
+}
+
+impl Scheduler for OptimalScheduler {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn schedule(&self, sys: &SystemUnderTest) -> Result<Schedule, PlanError> {
+        self.search(sys, None)
+    }
+
+    fn schedule_cancellable(
+        &self,
+        sys: &SystemUnderTest,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, PlanError> {
+        self.search(sys, Some(cancel))
     }
 }
 
@@ -405,6 +451,24 @@ mod tests {
         optimal.validate(&sys).unwrap();
         assert!(optimal.peak_concurrency() >= 2);
         assert!(optimal.makespan() < sys.serial_external_cycles());
+    }
+
+    #[test]
+    fn cancellation_aborts_the_search_and_an_idle_token_changes_nothing() {
+        let sys = small_system(5, 2);
+        let token = CancelToken::new();
+        // An un-cancelled token is invisible: identical schedule.
+        let plain = OptimalScheduler::new().schedule(&sys).unwrap();
+        let observed = OptimalScheduler::new()
+            .schedule_cancellable(&sys, &token)
+            .unwrap();
+        assert_eq!(plain.entries(), observed.entries());
+        // A tripped token aborts with Cancelled, not a half-refined plan.
+        token.cancel();
+        let err = OptimalScheduler::new()
+            .schedule_cancellable(&sys, &token)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Cancelled));
     }
 
     #[test]

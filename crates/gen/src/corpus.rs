@@ -2,17 +2,23 @@
 //!
 //! A corpus is the cartesian product
 //! `SoCs × meshes × processor complements × budgets × schedulers`,
-//! expressed as one [`RequestMatrix`] batch and executed through
-//! [`Campaign::run_all`] (so it inherits the batch worker pool and the
-//! process-wide profile cache). Scenarios sharing everything but the
-//! scheduler form a *group*; per-group makespan comparison is what win
-//! rates are computed from.
+//! expressed as one [`RequestMatrix`] batch and streamed through the job
+//! executor of [`noctest_core::plan::exec`] (worker count from the
+//! campaign's pinned thread count or available parallelism; the
+//! process-wide profile cache is shared as ever). Scenarios sharing
+//! everything but the scheduler form a *group*; per-group makespan
+//! comparison is what win rates are computed from.
+//! [`CorpusSpec::run`] blocks for the whole batch;
+//! [`CorpusSpec::run_streaming`] observes scenarios as they complete and
+//! can abort-and-cancel on the first failure.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use noctest_core::plan::exec::{CompletedJob, EventSink, Executor, JobResult};
 use noctest_core::plan::{
-    profile_cache_stats, ApplicationSpec, Campaign, FidelitySpec, MeshSpec, PlanOutcome,
-    PlanRequest, ProcessorSpec, RequestMatrix, SocSource, TimingSpec,
+    profile_cache_stats, ApplicationSpec, Campaign, CampaignError, FidelitySpec, MeshSpec,
+    PlanOutcome, PlanRequest, ProcessorSpec, RequestMatrix, SocSource, TimingSpec,
 };
 use noctest_core::{BudgetSpec, PriorityPolicy};
 use noctest_noc::rng::SplitMix64;
@@ -252,15 +258,88 @@ impl CorpusSpec {
     /// The deterministic section of the report depends only on the spec;
     /// the measured section captures wall-clock throughput and the
     /// profile-cache delta attributable to this run.
+    ///
+    /// Equivalent to [`CorpusSpec::run_streaming`] with default options
+    /// and no progress observer.
     #[must_use]
     pub fn run(&self, campaign: &Campaign) -> CorpusReport {
+        self.run_streaming(campaign, StreamOptions::default(), |_, _, _| {})
+            .report
+    }
+
+    /// Runs the corpus through the job executor of
+    /// [`noctest_core::plan::exec`], observing every scenario as it
+    /// completes instead of blocking on the whole batch.
+    ///
+    /// `progress` is called once per terminal scenario with
+    /// `(job, completed_so_far, total)` — live progress for long sweeps.
+    /// With [`StreamOptions::abort_on_failure`] the first failed scenario
+    /// cancels every scenario still queued or running (the executor's
+    /// cooperative cancellation reaches even mid-search branch-and-bound
+    /// jobs); cancelled scenarios are excluded from the aggregates and
+    /// counted in [`CorpusRun::cancelled`]. Event sinks in
+    /// [`StreamOptions::sinks`] receive the full per-job lifecycle stream
+    /// (NDJSON event logs, progress UIs).
+    #[must_use]
+    pub fn run_streaming(
+        &self,
+        campaign: &Campaign,
+        options: StreamOptions,
+        mut progress: impl FnMut(&CompletedJob, usize, usize),
+    ) -> CorpusRun {
         let requests = self.requests();
         let cache_before = profile_cache_stats();
         let started = Instant::now();
-        let results = campaign.run_all(&requests);
+
+        let mut builder = Executor::builder().campaign(campaign.clone());
+        for sink in options.sinks {
+            builder = builder.sink(sink);
+        }
+        let executor = builder.build();
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| executor.submit(r.clone()))
+            .collect();
+        // Job ids are assigned in submission order, so the offset of the
+        // first handle maps any completion back to its request index.
+        let first_id = handles.first().map_or(1, |h| h.id().0);
+        let total = handles.len();
+        let mut results: Vec<Option<Result<PlanOutcome, CampaignError>>> =
+            (0..total).map(|_| None).collect();
+        let mut aborted = false;
+        let mut done = 0usize;
+        for completed in executor.outcomes() {
+            done += 1;
+            progress(&completed, done, total);
+            let failed = matches!(completed.result, JobResult::Failed(_));
+            results[(completed.job.0 - first_id) as usize] = completed.result.into_result();
+            if failed && options.abort_on_failure && !aborted {
+                aborted = true;
+                for handle in &handles {
+                    handle.cancel();
+                }
+            }
+        }
         let elapsed_micros = started.elapsed().as_micros() as u64;
         let cache = profile_cache_stats().since(cache_before);
+        let cancelled = results.iter().filter(|r| r.is_none()).count();
+        let report = self.aggregate(&requests, &results, elapsed_micros, cache);
+        CorpusRun {
+            report,
+            cancelled,
+            aborted,
+        }
+    }
 
+    /// Folds per-scenario results (in request order; `None` = cancelled)
+    /// into the report.
+    fn aggregate(
+        &self,
+        requests: &[PlanRequest],
+        results: &[Option<Result<PlanOutcome, CampaignError>>],
+        elapsed_micros: u64,
+        cache: noctest_core::plan::CacheStats,
+    ) -> CorpusReport {
         let mut failures = Vec::new();
         let scheduler_count = self.schedulers.len();
         let mut per_scheduler: Vec<Accumulator> = self
@@ -272,13 +351,13 @@ impl CorpusSpec {
         for (group, chunk) in results.chunks(scheduler_count).enumerate() {
             let winning = chunk
                 .iter()
-                .filter_map(|r| r.as_ref().ok())
+                .filter_map(|r| r.as_ref().and_then(|r| r.as_ref().ok()))
                 .map(|o| o.makespan)
                 .min();
             for (j, (acc, result)) in per_scheduler.iter_mut().zip(chunk).enumerate() {
                 match result {
-                    Ok(outcome) => acc.observe(outcome, winning),
-                    Err(error) => {
+                    Some(Ok(outcome)) => acc.observe(outcome, winning),
+                    Some(Err(error)) => {
                         acc.failure_count += 1;
                         // Groups outer, schedulers inner: this collection
                         // order IS request order.
@@ -287,6 +366,9 @@ impl CorpusSpec {
                             error: error.to_string(),
                         });
                     }
+                    // Cancelled scenarios never planned anything: they are
+                    // neither runs nor failures.
+                    None => {}
                 }
             }
         }
@@ -314,6 +396,38 @@ impl CorpusSpec {
             },
         }
     }
+}
+
+/// Options for [`CorpusSpec::run_streaming`].
+#[derive(Default)]
+pub struct StreamOptions {
+    /// Cancel every remaining scenario as soon as one fails (planning
+    /// error or validation failure).
+    pub abort_on_failure: bool,
+    /// Event sinks receiving the full per-job lifecycle stream.
+    pub sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for StreamOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamOptions")
+            .field("abort_on_failure", &self.abort_on_failure)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+/// What a streamed corpus run produced: the report over the scenarios
+/// that actually ran, plus how many were cancelled by an early abort.
+#[derive(Debug)]
+pub struct CorpusRun {
+    /// The aggregated report (cancelled scenarios excluded from every
+    /// accumulator).
+    pub report: CorpusReport,
+    /// Scenarios cancelled before producing a result.
+    pub cancelled: usize,
+    /// `true` if [`StreamOptions::abort_on_failure`] tripped.
+    pub aborted: bool,
 }
 
 /// Per-scheduler aggregation state.
@@ -478,6 +592,57 @@ mod tests {
         assert!((greedy.win_rate - 1.0).abs() < 1e-12);
         assert!(greedy.makespan.min > 0);
         assert!(!report.all_valid());
+    }
+
+    /// Delegates to the serial scheduler after a nap — long enough that
+    /// an abort raised while it sleeps always lands before its validate
+    /// stage, making early-abort scenario counts deterministic.
+    #[derive(Debug)]
+    struct Sleepy;
+
+    impl noctest_core::Scheduler for Sleepy {
+        fn name(&self) -> &'static str {
+            "sleepy"
+        }
+        fn schedule(
+            &self,
+            sys: &noctest_core::SystemUnderTest,
+        ) -> Result<noctest_core::Schedule, noctest_core::PlanError> {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            noctest_core::SerialScheduler.schedule(sys)
+        }
+    }
+
+    #[test]
+    fn streaming_run_aborts_on_first_failure_and_cancels_the_rest() {
+        let mut spec = tiny_spec();
+        spec.schedulers = vec!["sleepy".to_owned(), "nope".to_owned()];
+        let mut campaign = Campaign::new().with_threads(1).unwrap();
+        campaign.registry_mut().register("sleepy", Arc::new(Sleepy));
+        let mut observed = 0usize;
+        let run = spec.run_streaming(
+            &campaign,
+            StreamOptions {
+                abort_on_failure: true,
+                sinks: Vec::new(),
+            },
+            |_, done, total| {
+                observed = done;
+                assert_eq!(total, 8);
+            },
+        );
+        // Single worker: job 1 (sleepy) completes, job 2 (nope) fails and
+        // trips the abort while job 3 is still asleep — everything from
+        // job 3 on is cancelled at a stage boundary or before starting.
+        assert_eq!(observed, 8, "every scenario reaches a terminal state");
+        assert!(run.aborted);
+        assert_eq!(run.report.failures.len(), 1);
+        assert!(run.report.failures[0].request.contains("nope"));
+        assert_eq!(run.cancelled, 6);
+        let sleepy = &run.report.schedulers[0];
+        assert_eq!((sleepy.runs, sleepy.failures), (1, 0));
+        // Cancelled scenarios stay out of the accumulators entirely.
+        assert_eq!(sleepy.makespan.count, 1);
     }
 
     #[test]

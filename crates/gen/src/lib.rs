@@ -58,7 +58,7 @@ mod corpus;
 mod recipe;
 mod report;
 
-pub use corpus::{CorpusSpec, ProcessorAxis};
+pub use corpus::{CorpusRun, CorpusSpec, ProcessorAxis, StreamOptions};
 pub use recipe::{CoreClass, RecipeFamily, SocRecipe};
 pub use report::{
     CorpusFailure, CorpusMeasurement, CorpusReport, DistributionSummary, SchedulerSummary,

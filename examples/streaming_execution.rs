@@ -1,0 +1,74 @@
+//! Streaming plan execution: submit a batch of requests to the job
+//! executor, watch results arrive in completion order (not submission
+//! order), prioritise one job, cancel another, and print the NDJSON
+//! event form a planning daemon would emit.
+//!
+//! ```text
+//! cargo run --example streaming_execution
+//! ```
+
+use std::sync::Arc;
+
+use noctest::core::plan::exec::{EventCollector, EventSink, Executor, JobResult};
+use noctest::core::plan::{PlanRequest, RequestMatrix};
+use noctest::core::BudgetSpec;
+
+fn main() {
+    // Collect every lifecycle event; a daemon would use NdjsonSink to
+    // write the same stream to stdout or a socket.
+    let collector = Arc::new(EventCollector::new());
+    let executor = Executor::builder()
+        .sink(Arc::clone(&collector) as Arc<dyn EventSink>)
+        .build();
+
+    // The d695 reuse sweep as independent jobs. The serial baseline is
+    // submitted at high priority, and one job is cancelled mid-batch.
+    let matrix =
+        RequestMatrix::new(PlanRequest::benchmark("d695", 4, 4).with_processors("plasma", 6, 0))
+            .vary_reused(&[0, 2, 4, 6])
+            .vary_budget(&[BudgetSpec::Unlimited, BudgetSpec::Fraction(0.5)])
+            .build();
+    let handles: Vec<_> = matrix
+        .into_iter()
+        .map(|request| executor.submit(request))
+        .collect();
+    let baseline = executor.submit_with_priority(
+        PlanRequest::benchmark("d695", 4, 4)
+            .with_scheduler("serial")
+            .with_name("baseline"),
+        10,
+    );
+    handles[3].cancel();
+
+    // Results stream back as they complete; the batch barrier is gone.
+    for completed in executor.outcomes() {
+        match &completed.result {
+            JobResult::Completed(outcome) => println!(
+                "job {:>2} {:<28} makespan {:>7} cycles ({:>5.1}% reduction)",
+                completed.job, completed.request, outcome.makespan, outcome.reduction_percent
+            ),
+            JobResult::Failed(error) => {
+                println!(
+                    "job {:>2} {:<28} FAILED: {error}",
+                    completed.job, completed.request
+                );
+            }
+            JobResult::Cancelled => {
+                println!(
+                    "job {:>2} {:<28} cancelled",
+                    completed.job, completed.request
+                );
+            }
+        }
+    }
+    assert!(matches!(baseline.wait(), JobResult::Completed(_)));
+
+    // The same lifecycle, as the NDJSON lines `plan-serve` would emit
+    // (completed events elided for brevity).
+    println!("\nevent stream (NDJSON, outcome payloads elided):");
+    for event in collector.take() {
+        if event.kind() != "completed" {
+            println!("{}", event.to_ndjson_line());
+        }
+    }
+}

@@ -82,5 +82,6 @@ pub use noctest_itc02 as itc02;
 pub use noctest_noc as noc;
 
 pub use noctest_core::plan::{
-    Campaign, CampaignError, PlanOutcome, PlanRequest, RequestMatrix, SchedulerRegistry,
+    Campaign, CampaignError, Executor, JobHandle, PlanEvent, PlanOutcome, PlanRequest,
+    RequestMatrix, SchedulerRegistry,
 };

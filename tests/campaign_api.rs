@@ -193,6 +193,7 @@ fn batch_matrix_runs_in_parallel_with_stable_results() {
         .collect();
     let serial_exec: Vec<u64> = Campaign::new()
         .with_threads(1)
+        .expect("1 is a valid worker count")
         .run_all(&matrix)
         .into_iter()
         .map(|r| r.expect("plans").makespan)

@@ -1,0 +1,139 @@
+//! Mid-batch cancellation keeps the process-wide profile cache
+//! consistent: cancelled jobs emit `Cancelled`, never `Completed`, and
+//! never touch the processor-characterisation cache (they are skipped
+//! before their build stage). This lives in its own integration-test
+//! binary because the cache counters are process-wide — any other test
+//! planning in the same process would race the deltas.
+
+use std::sync::Arc;
+
+use noctest::core::plan::exec::{
+    EventCollector, EventSink, Executor, JobResult, JobStatus, PlanEvent,
+};
+use noctest::core::plan::{profile_cache_stats, CoreRequest, PlanRequest, SocSource};
+use noctest::core::OptimalScheduler;
+use noctest::Campaign;
+
+/// See `tests/exec_streaming.rs`: an exact search too large to finish,
+/// used here to pin one worker deterministically.
+fn hard_optimal_request() -> PlanRequest {
+    let mut request = PlanRequest::benchmark("hard", 4, 4)
+        .with_processors("plasma", 2, 2)
+        .with_scheduler("optimal-deep");
+    request.soc = SocSource::Cores {
+        name: "hard".to_owned(),
+        cores: (0..9)
+            .map(|i| CoreRequest {
+                name: format!("c{i}"),
+                bits_in: 1600,
+                bits_out: 1600,
+                patterns: 40,
+                power: 50.0,
+            })
+            .collect(),
+    };
+    request
+}
+
+#[test]
+fn cancelled_jobs_emit_cancelled_and_never_touch_the_profile_cache() {
+    let before = profile_cache_stats();
+    let mut campaign = Campaign::new();
+    campaign.registry_mut().register(
+        "optimal-deep",
+        Arc::new(OptimalScheduler {
+            max_cores: 16,
+            max_expansions: Some(u64::MAX / 2),
+        }),
+    );
+    let collector = Arc::new(EventCollector::new());
+    let executor = Executor::builder()
+        .campaign(campaign)
+        .threads(1)
+        .expect("nonzero")
+        .sink(Arc::clone(&collector) as Arc<dyn EventSink>)
+        .build();
+
+    // The gate occupies the single worker (its build resolves the plasma
+    // profile: one cache miss), so everything behind it stays queued.
+    // Wait until its build *stage* has finished: the cache lookup has
+    // happened and the worker is deep inside the long search.
+    let gate = executor.submit(hard_optimal_request());
+    let start = std::time::Instant::now();
+    loop {
+        let built = collector
+            .snapshot()
+            .iter()
+            .any(|e| e.job() == gate.id() && matches!(e, PlanEvent::StageFinished { .. }));
+        if built {
+            break;
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(60),
+            "gate never finished its build stage (status {:?})",
+            gate.status()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(gate.status(), JobStatus::Running);
+
+    // Four leon-calibrated jobs queue behind the gate and are cancelled
+    // before any worker can reach them.
+    let doomed: Vec<_> = (0..4)
+        .map(|i| {
+            let handle = executor.submit(
+                PlanRequest::benchmark("d695", 4, 4)
+                    .with_processors("leon", 6, 4)
+                    .with_name(format!("doomed{i}")),
+            );
+            handle.cancel();
+            handle
+        })
+        .collect();
+    for handle in &doomed {
+        assert_eq!(handle.wait(), JobResult::Cancelled);
+    }
+    // Then the gate itself is cancelled mid-search.
+    gate.cancel();
+    assert_eq!(gate.wait(), JobResult::Cancelled);
+    executor.join();
+
+    // Cache consistency: exactly one lookup (the gate's plasma build),
+    // nothing from the four cancelled leon jobs.
+    let delta = profile_cache_stats().since(before);
+    assert_eq!(delta.lookups(), 1, "{delta:?}");
+    assert_eq!(delta.misses, 1, "{delta:?}");
+
+    // Every cancelled-in-queue job's lifecycle is exactly
+    // Queued → Cancelled; the gate additionally Started and finished its
+    // build stage before the cancellation landed.
+    let events = collector.take();
+    for handle in &doomed {
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter(|e| e.job() == handle.id())
+            .map(PlanEvent::kind)
+            .collect();
+        assert_eq!(kinds, vec!["queued", "cancelled"]);
+    }
+    let gate_kinds: Vec<&str> = events
+        .iter()
+        .filter(|e| e.job() == gate.id())
+        .map(PlanEvent::kind)
+        .collect();
+    assert_eq!(
+        gate_kinds,
+        vec!["queued", "started", "stage_finished", "cancelled"]
+    );
+
+    // The pool survives the whole episode: leon now calibrates (second
+    // lookup, second miss) and the job completes.
+    let after = executor.submit(
+        PlanRequest::benchmark("d695", 4, 4)
+            .with_processors("leon", 6, 4)
+            .with_name("after"),
+    );
+    assert!(matches!(after.wait(), JobResult::Completed(_)));
+    let delta = profile_cache_stats().since(before);
+    assert_eq!((delta.lookups(), delta.misses), (2, 2), "{delta:?}");
+}

@@ -1,0 +1,214 @@
+//! Acceptance tests for the streaming execution layer (`plan::exec`):
+//!
+//! * `Campaign::run_all` is now a compatibility wrapper over the job
+//!   executor — it must produce `PlanOutcome`s whose deterministic JSON
+//!   sections are byte-identical to running each request sequentially
+//!   through `Campaign::run`, on the d695 reuse matrix and on a
+//!   generated 40-SoC corpus.
+//! * The executor genuinely streams: a fast job completes (and its
+//!   `Completed` event is observed) while a slower budgeted `optimal`
+//!   branch-and-bound job is still `Started`; cancelling that job yields
+//!   `Cancelled` mid-search without poisoning the pool.
+
+use std::sync::Arc;
+
+use noctest::core::plan::exec::{
+    EventCollector, EventSink, Executor, JobResult, JobStatus, PlanEvent,
+};
+use noctest::core::plan::{
+    Campaign, CoreRequest, PlanOutcome, PlanRequest, SocSource, StageTiming,
+};
+use noctest::core::{BudgetSpec, OptimalScheduler};
+use noctest::gen::{CorpusSpec, RecipeFamily};
+
+/// Strips the only nondeterministic section (wall-clock stage timing) so
+/// outcomes can be compared byte for byte.
+fn deterministic_json(outcome: &PlanOutcome) -> String {
+    let mut outcome = outcome.clone();
+    outcome.timing = StageTiming::default();
+    outcome.to_json_string()
+}
+
+fn assert_results_identical(
+    requests: &[PlanRequest],
+    batch: &[Result<PlanOutcome, noctest::CampaignError>],
+    campaign: &Campaign,
+) {
+    assert_eq!(requests.len(), batch.len());
+    for (request, batched) in requests.iter().zip(batch) {
+        let sequential = campaign.run(request);
+        match (sequential, batched) {
+            (Ok(sequential), Ok(batched)) => {
+                assert_eq!(
+                    deterministic_json(&sequential),
+                    deterministic_json(batched),
+                    "request `{}` diverged between run and run_all",
+                    request.name
+                );
+            }
+            (Err(sequential), Err(batched)) => {
+                assert_eq!(sequential.to_string(), batched.to_string());
+            }
+            (sequential, batched) => {
+                panic!("request `{}`: {sequential:?} vs {batched:?}", request.name)
+            }
+        }
+    }
+}
+
+#[test]
+fn run_all_matches_sequential_run_on_the_d695_matrix() {
+    use noctest::RequestMatrix;
+    // The Figure-1 style d695 sweep, plus a failing scheduler column to
+    // prove error results survive the wrapper identically too.
+    let base = PlanRequest::benchmark("d695", 4, 4).with_processors("leon", 6, 0);
+    let matrix = RequestMatrix::new(base)
+        .vary_reused(&[0, 2, 4, 6])
+        .vary_budget(&[BudgetSpec::Unlimited, BudgetSpec::Fraction(0.5)])
+        .vary_scheduler(&["greedy", "smart", "nope"])
+        .build();
+    assert_eq!(matrix.len(), 24);
+    let campaign = Campaign::new().with_threads(4).expect("nonzero");
+    let batch = campaign.run_all(&matrix);
+    assert_results_identical(&matrix, &batch, &campaign);
+}
+
+#[test]
+fn run_all_matches_sequential_run_on_a_generated_40_soc_corpus() {
+    // 5 recipe families × 8 SoCs each = 40 generated SoCs, two scalable
+    // schedulers per SoC.
+    let spec = CorpusSpec {
+        seed: 0x40C0,
+        recipes: RecipeFamily::ALL.iter().map(|f| f.recipe(5)).collect(),
+        socs_per_recipe: 8,
+        meshes: vec![(3, 3)],
+        processors: vec![None],
+        budgets: vec![BudgetSpec::Unlimited],
+        schedulers: vec!["serial".to_owned(), "greedy".to_owned()],
+        fidelity_patterns_cap: None,
+    };
+    assert_eq!(spec.soc_count(), 40);
+    let requests = spec.requests();
+    assert_eq!(requests.len(), 80);
+    let campaign = Campaign::new();
+    let batch = campaign.run_all(&requests);
+    assert_results_identical(&requests, &batch, &campaign);
+}
+
+/// A system whose exact branch-and-bound search is astronomically large:
+/// nine identical cores over three interfaces. The test *always* cancels
+/// it — the search would otherwise run for hours.
+fn hard_optimal_request() -> PlanRequest {
+    let mut request = PlanRequest::benchmark("hard", 4, 4)
+        .with_processors("plasma", 2, 2)
+        .with_scheduler("optimal-deep");
+    request.soc = SocSource::Cores {
+        name: "hard".to_owned(),
+        cores: (0..9)
+            .map(|i| CoreRequest {
+                name: format!("c{i}"),
+                bits_in: 1600,
+                bits_out: 1600,
+                patterns: 40,
+                power: 50.0,
+            })
+            .collect(),
+    };
+    request
+}
+
+fn wait_for_running(handle: &noctest::JobHandle) {
+    let start = std::time::Instant::now();
+    while handle.status() != JobStatus::Running {
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "job never started (status {:?})",
+            handle.status()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn fast_jobs_stream_past_a_running_optimal_search_and_cancellation_is_clean() {
+    let mut campaign = Campaign::new();
+    // The default `optimal` guard refuses 11 cuts; a deep variant with a
+    // effectively-unbounded node budget is registered for this test.
+    campaign.registry_mut().register(
+        "optimal-deep",
+        Arc::new(OptimalScheduler {
+            max_cores: 16,
+            max_expansions: Some(u64::MAX / 2),
+        }),
+    );
+    let collector = Arc::new(EventCollector::new());
+    let executor = Executor::builder()
+        .campaign(campaign)
+        .threads(2)
+        .expect("nonzero")
+        .sink(Arc::clone(&collector) as Arc<dyn EventSink>)
+        .build();
+
+    let slow = executor.submit(hard_optimal_request());
+    wait_for_running(&slow);
+
+    // The second worker serves a fast job to completion while the
+    // branch-and-bound is still searching.
+    let fast = executor.submit(PlanRequest::benchmark("d695", 4, 4).with_name("fast"));
+    let JobResult::Completed(outcome) = fast.wait() else {
+        panic!("fast job did not complete");
+    };
+    assert!(outcome.makespan > 0);
+    assert_eq!(
+        slow.status(),
+        JobStatus::Running,
+        "the optimal search must still be running when the fast job completes"
+    );
+
+    // The event stream saw the same interleaving: Completed for the fast
+    // job, nothing terminal for the slow one yet.
+    let events = collector.snapshot();
+    assert!(events
+        .iter()
+        .any(|e| e.job() == fast.id() && matches!(e, PlanEvent::Completed { .. })));
+    assert!(events
+        .iter()
+        .filter(|e| e.job() == slow.id())
+        .all(|e| !e.is_terminal()));
+
+    // Cancel mid-search: the branch-and-bound polls its token and stops.
+    slow.cancel();
+    assert_eq!(slow.wait(), JobResult::Cancelled);
+    assert_eq!(slow.status(), JobStatus::Cancelled);
+
+    // The pool is not poisoned: another job completes normally.
+    let after = executor.submit(PlanRequest::benchmark("d695", 4, 4).with_name("after"));
+    assert!(matches!(after.wait(), JobResult::Completed(_)));
+    executor.join();
+
+    // Per-job lifecycle ordering invariants over the whole stream:
+    // Queued ≤ Started ≤ terminal, stage events strictly between.
+    let events = collector.take();
+    for handle in [&slow, &fast, &after] {
+        let of_job: Vec<&PlanEvent> = events.iter().filter(|e| e.job() == handle.id()).collect();
+        assert_eq!(of_job.first().unwrap().kind(), "queued");
+        let started = of_job
+            .iter()
+            .position(|e| e.kind() == "started")
+            .expect("every job here started");
+        let terminal = of_job
+            .iter()
+            .position(|e| e.is_terminal())
+            .expect("every job reached a terminal state");
+        assert!(started < terminal);
+        assert_eq!(terminal, of_job.len() - 1, "nothing follows the terminal");
+        for event in &of_job[started + 1..terminal] {
+            assert_eq!(event.kind(), "stage_finished");
+        }
+    }
+    // The cancelled job never completed.
+    assert!(events
+        .iter()
+        .filter(|e| e.job() == slow.id())
+        .all(|e| !matches!(e, PlanEvent::Completed { .. })));
+}
