@@ -5,8 +5,11 @@
 //! lines are either
 //!
 //! * a [`PlanRequest`] object (the format of
-//!   [`PlanRequest::from_json_str`]) — submitted to the job executor
-//!   immediately; jobs are numbered in submission order starting at 1, or
+//!   [`PlanRequest::from_json_str`]) — submitted to the service tier;
+//!   jobs are numbered in submission order starting at 1. Two optional
+//!   daemon-level members ride alongside the request: `"client"` (a
+//!   string identity used for fair admission accounting) and
+//!   `"priority"` (an integer; higher runs first), or
 //! * a control object `{"cancel": 3}` / `{"cancel": "name"}` — cancels
 //!   the job with that id (or the most recent job submitted under that
 //!   request name).
@@ -15,14 +18,33 @@
 //! (`queued`, `started`, `stage_finished`, `completed` with the embedded
 //! outcome, `failed`, `cancelled` — see `noctest_core::plan::exec`), plus
 //! daemon-level lines: `{"event":"error","line":N,"error":"..."}` for
-//! input that cannot be parsed (the daemon keeps serving), and a final
-//! `{"event":"done","jobs":N}` once stdin closes and every job is
-//! terminal.
+//! input that cannot be parsed (the daemon keeps serving),
+//! `{"event":"rejected",...}` when admission control refuses a request,
+//! and a final `{"event":"done","jobs":N}` once stdin closes and every
+//! accepted job is terminal.
 //!
 //! Planning failures are *in-band*: an unknown scheduler, a malformed
 //! SoC or a validation failure produce a `failed` event for that job and
 //! never take the daemon down. The exit status is 0 whenever stdin was
 //! served to the end, 2 on usage errors.
+//!
+//! ## Service flags
+//!
+//! With the defaults the wire behaviour is exactly the classic
+//! single-executor daemon, byte for byte. Three flags opt into the
+//! service tier (see `noctest_serve`):
+//!
+//! * `--shards N` — N executor shards; requests route by consistent
+//!   hashing of their SoC + mesh content, so near-duplicate streams
+//!   share a shard.
+//! * `--queue-depth D` — bounded fair admission: each client may hold at
+//!   most D waiting jobs per shard; excess submissions are refused with
+//!   an in-band `rejected` line, and waiting jobs dispatch by round-robin
+//!   over clients.
+//! * `--journal PATH` — durable NDJSON job journal. On restart, jobs
+//!   that were queued are replayed (same ids); resubmissions of
+//!   completed requests are served from the journal byte-identically
+//!   without replanning.
 //!
 //! ```text
 //! printf '%s\n' \
@@ -36,30 +58,29 @@ use std::sync::Arc;
 
 use noctest_bench::parse_threads_value;
 use noctest_core::json::Json;
-use noctest_core::plan::exec::{EventSink, Executor, JobHandle, NdjsonSink};
+use noctest_core::plan::exec::{EventSink, NdjsonSink};
 use noctest_core::plan::PlanRequest;
+use noctest_serve::wire;
+use noctest_serve::{ServeTier, SubmitOutcome};
 
-fn error_line(line: usize, message: &str) -> Json {
-    Json::obj(vec![
-        ("event", Json::str("error")),
-        ("line", Json::int(line as u64)),
-        ("error", Json::str(message)),
-    ])
-}
+const USAGE: &str =
+    "usage: plan-serve [--threads N] [--shards N] [--queue-depth D] [--journal PATH]\n\
+     reads NDJSON PlanRequests (or {\"cancel\": id|name}) on stdin,\n\
+     emits NDJSON lifecycle events on stdout";
 
-/// Resolves a `{"cancel": ...}` target: an integer job id, or a string
-/// request name (the most recent submission wins, matching how repeated
-/// names shadow each other).
-fn resolve<'a>(handles: &'a [JobHandle], target: &Json) -> Option<&'a JobHandle> {
-    if let Some(id) = target.as_u64() {
-        return handles.iter().find(|h| h.id().0 == id);
-    }
-    let name = target.as_str()?;
-    handles.iter().rev().find(|h| h.request_name() == name)
+/// Parses the value of a `--shards` / `--queue-depth` style flag.
+fn parse_count(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} value `{value}` is not a non-negative integer"))
 }
 
 fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut journal: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,23 +91,47 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--shards" => match parse_count("--shards", args.next()) {
+                Ok(value) if value >= 1 => shards = Some(value),
+                Ok(_) => {
+                    eprintln!("plan-serve: --shards must be at least 1");
+                    return ExitCode::from(2);
+                }
+                Err(message) => {
+                    eprintln!("plan-serve: {message}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--queue-depth" => match parse_count("--queue-depth", args.next()) {
+                Ok(value) => queue_depth = Some(value),
+                Err(message) => {
+                    eprintln!("plan-serve: {message}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--journal" => match args.next() {
+                Some(path) => journal = Some(path),
+                None => {
+                    eprintln!("plan-serve: --journal needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!(
-                    "usage: plan-serve [--threads N]\n\
-                     reads NDJSON PlanRequests (or {{\"cancel\": id|name}}) on stdin,\n\
-                     emits NDJSON lifecycle events on stdout"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("plan-serve: unknown argument `{other}` (supported: --threads N)");
+                eprintln!(
+                    "plan-serve: unknown argument `{other}` (supported: --threads N, \
+                     --shards N, --queue-depth D, --journal PATH)"
+                );
                 return ExitCode::from(2);
             }
         }
     }
 
     let sink = Arc::new(NdjsonSink::new(std::io::stdout()));
-    let mut builder = Executor::builder().sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+    let mut builder = ServeTier::builder().sink(Arc::clone(&sink) as Arc<dyn EventSink>);
     if let Some(threads) = threads {
         builder = match builder.threads(threads) {
             Ok(builder) => builder,
@@ -96,24 +141,39 @@ fn main() -> ExitCode {
             }
         };
     }
-    let executor = builder.build();
+    if let Some(shards) = shards {
+        builder = builder.shards(shards);
+    }
+    if let Some(depth) = queue_depth {
+        builder = builder.queue_depth(depth);
+    }
+    if let Some(path) = &journal {
+        builder = builder.journal(path);
+    }
+    let tier = match builder.build() {
+        Ok(tier) => tier,
+        Err(error) => {
+            eprintln!("plan-serve: {error}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let mut handles: Vec<JobHandle> = Vec::new();
     for (index, line) in std::io::stdin().lock().lines().enumerate() {
-        let lineno = index + 1;
+        let lineno = (index + 1) as u64;
         if sink.failed() {
             // Nobody is reading the event stream (broken pipe, full
             // disk): stop accepting work and cancel whatever is pending
             // instead of planning into the void.
-            for handle in &handles {
-                handle.cancel();
-            }
+            tier.cancel_all();
             break;
         }
         let line = match line {
             Ok(line) => line,
             Err(error) => {
-                sink.write_line(&error_line(lineno, &format!("stdin read failed: {error}")));
+                sink.write_line(&wire::error_line(
+                    lineno,
+                    &format!("stdin read failed: {error}"),
+                ));
                 break;
             }
         };
@@ -124,31 +184,49 @@ fn main() -> ExitCode {
         let doc = match Json::parse(text) {
             Ok(doc) => doc,
             Err(error) => {
-                sink.write_line(&error_line(lineno, &error.to_string()));
+                sink.write_line(&wire::error_line(lineno, &error.to_string()));
                 continue;
             }
         };
         if let Some(target) = doc.get("cancel") {
-            match resolve(&handles, target) {
-                Some(handle) => handle.cancel(),
-                None => sink.write_line(&error_line(
+            let cancelled = if let Some(id) = target.as_u64() {
+                tier.cancel_by_id(id)
+            } else {
+                target
+                    .as_str()
+                    .is_some_and(|name| tier.cancel_by_name(name))
+            };
+            if !cancelled {
+                sink.write_line(&wire::error_line(
                     lineno,
-                    &format!("cancel target {} matches no job", target.compact()),
-                )),
+                    &wire::no_such_cancel_target(target),
+                ));
             }
             continue;
         }
         match PlanRequest::from_json(&doc) {
-            Ok(request) => handles.push(executor.submit(request)),
-            Err(error) => sink.write_line(&error_line(lineno, &error.to_string())),
+            Ok(request) => {
+                let client = doc.get("client").and_then(Json::as_str);
+                let priority = doc.get("priority").and_then(Json::as_f64).unwrap_or(0.0) as i32;
+                if let SubmitOutcome::Rejected {
+                    request,
+                    client,
+                    shard,
+                    reason,
+                } = tier.submit_for(request, client, priority)
+                {
+                    sink.write_line(&wire::rejected_line(&request, &client, &shard, &reason));
+                }
+            }
+            Err(error) => sink.write_line(&wire::error_line(lineno, &error.to_string())),
         }
     }
 
-    executor.join();
-    sink.write_line(&Json::obj(vec![
-        ("event", Json::str("done")),
-        ("jobs", Json::int(handles.len() as u64)),
-    ]));
+    tier.join();
+    sink.write_line(&wire::done_line(tier.admitted()));
+    if tier.journal_failed() {
+        eprintln!("plan-serve: journal truncated (write failed); recovery may replan");
+    }
     if sink.failed() {
         eprintln!("plan-serve: event stream truncated (stdout write failed)");
         return ExitCode::FAILURE;

@@ -368,11 +368,96 @@ impl<W: Write + Send> EventSink for NdjsonSink<W> {
     }
 }
 
+/// Everything one submission carries beyond the request itself — the
+/// service-tier entry point. [`Executor::submit`] and
+/// [`Executor::submit_with_priority`] are shorthands over this.
+///
+/// ```
+/// use noctest_core::plan::exec::{Executor, JobId, SubmitSpec};
+/// use noctest_core::plan::PlanRequest;
+///
+/// let executor = Executor::builder().build();
+/// let spec = SubmitSpec::new(PlanRequest::benchmark("d695", 4, 4))
+///     .with_id(JobId(40))
+///     .with_client("alice");
+/// let handle = executor.submit_spec(spec);
+/// assert_eq!(handle.id(), JobId(40));
+/// assert_eq!(handle.client(), Some("alice"));
+/// // Internal allocation resumes past any explicit id.
+/// assert_eq!(executor.submit(PlanRequest::benchmark("d695", 4, 4)).id(), JobId(41));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// The request to plan.
+    pub request: PlanRequest,
+    /// Scheduling priority (higher runs first; ties in id order).
+    pub priority: i32,
+    /// Explicit job id. `None` (the default) allocates the next internal
+    /// id; an explicit id advances the internal counter past it so later
+    /// internal allocations never collide. Uniqueness of explicit ids is
+    /// the caller's contract — a journal-replaying service tier owns its
+    /// own allocator.
+    pub id: Option<JobId>,
+    /// Client identity for multi-tenant admission accounting. Carried on
+    /// the job (see [`JobHandle::client`]); deliberately *not* part of
+    /// the event wire format, which predates it.
+    pub client: Option<String>,
+    /// Emit the `Queued` event on submission (default `true`). A service
+    /// tier that parks jobs in its own admission queue announces them
+    /// itself and suppresses the executor's duplicate announcement.
+    pub announce_queued: bool,
+}
+
+impl SubmitSpec {
+    /// A default-priority, auto-id, anonymous, announced submission —
+    /// exactly what [`Executor::submit`] does.
+    #[must_use]
+    pub fn new(request: PlanRequest) -> Self {
+        SubmitSpec {
+            request,
+            priority: 0,
+            id: None,
+            client: None,
+            announce_queued: true,
+        }
+    }
+
+    /// Sets the priority (builder style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Pins the job id (builder style).
+    #[must_use]
+    pub fn with_id(mut self, id: JobId) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Sets the client identity (builder style).
+    #[must_use]
+    pub fn with_client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
+        self
+    }
+
+    /// Suppresses the `Queued` event (builder style) — for callers that
+    /// already announced the job from their own admission layer.
+    #[must_use]
+    pub fn quiet_queued(mut self) -> Self {
+        self.announce_queued = false;
+        self
+    }
+}
+
 /// Per-job shared state (behind the [`JobHandle`]).
 #[derive(Debug)]
 struct JobInner {
     id: u64,
     request_name: String,
+    client: Option<String>,
     cancel: CancelToken,
     phase: Mutex<Phase>,
     phase_cv: Condvar,
@@ -430,6 +515,13 @@ impl JobHandle {
     #[must_use]
     pub fn request_name(&self) -> &str {
         &self.inner.request_name
+    }
+
+    /// The submitting client's identity, when one was attached via
+    /// [`SubmitSpec::with_client`].
+    #[must_use]
+    pub fn client(&self) -> Option<&str> {
+        self.inner.client.as_deref()
     }
 
     /// Requests cancellation. A job still queued becomes terminal
@@ -828,19 +920,44 @@ impl Executor {
     /// order. The call never blocks: the job is queued and a handle
     /// returned immediately, with a `Queued` event emitted to the sinks.
     pub fn submit_with_priority(&self, request: PlanRequest, priority: i32) -> JobHandle {
-        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_spec(SubmitSpec::new(request).with_priority(priority))
+    }
+
+    /// Submits a job with full control over id, client identity and the
+    /// `Queued` announcement — see [`SubmitSpec`]. An explicit id
+    /// advances the internal allocator past it, so mixing explicit and
+    /// internal ids never collides (explicit-vs-explicit uniqueness is
+    /// the caller's contract).
+    pub fn submit_spec(&self, spec: SubmitSpec) -> JobHandle {
+        let SubmitSpec {
+            request,
+            priority,
+            id,
+            client,
+            announce_queued,
+        } = spec;
+        let id = match id {
+            Some(JobId(id)) => {
+                self.shared.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                id
+            }
+            None => self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+        };
         let inner = Arc::new(JobInner {
             id,
             request_name: request.name.clone(),
+            client,
             cancel: CancelToken::new(),
             phase: Mutex::new(Phase::Queued),
             phase_cv: Condvar::new(),
         });
         lock(&self.shared.done).submitted += 1;
-        self.shared.emit(&PlanEvent::Queued {
-            job: JobId(id),
-            request: inner.request_name.clone(),
-        });
+        if announce_queued {
+            self.shared.emit(&PlanEvent::Queued {
+                job: JobId(id),
+                request: inner.request_name.clone(),
+            });
+        }
         {
             let mut queue = lock(&self.shared.queue);
             queue.heap.push(QueuedJob {
@@ -1283,6 +1400,53 @@ mod tests {
             Err(CampaignError::Plan(PlanError::Cancelled))
         ));
         assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn submit_spec_pins_ids_and_resumes_the_allocator_past_them() {
+        let collector = Arc::new(EventCollector::new());
+        let executor = Executor::builder()
+            .threads(1)
+            .unwrap()
+            .sink(Arc::clone(&collector) as Arc<dyn EventSink>)
+            .build();
+        let pinned = executor.submit_spec(
+            SubmitSpec::new(d695("greedy"))
+                .with_id(JobId(17))
+                .with_client("alice"),
+        );
+        assert_eq!(pinned.id(), JobId(17));
+        assert_eq!(pinned.client(), Some("alice"));
+        // The internal allocator resumed past the explicit id: no reuse.
+        let next = executor.submit(d695("serial"));
+        assert_eq!(next.id(), JobId(18));
+        assert_eq!(next.client(), None);
+        executor.join();
+        assert!(matches!(pinned.wait(), JobResult::Completed(_)));
+        assert!(matches!(next.wait(), JobResult::Completed(_)));
+        // A quiet submission emits no Queued event but a full lifecycle
+        // otherwise.
+        let quiet = executor.submit_spec(SubmitSpec::new(d695("greedy")).quiet_queued());
+        assert!(matches!(quiet.wait(), JobResult::Completed(_)));
+        let kinds_of = |id: JobId| -> Vec<&'static str> {
+            collector
+                .snapshot()
+                .iter()
+                .filter(|e| e.job() == id)
+                .map(PlanEvent::kind)
+                .collect()
+        };
+        assert_eq!(kinds_of(pinned.id()).first(), Some(&"queued"));
+        assert_eq!(
+            kinds_of(quiet.id()),
+            vec![
+                "started",
+                "stage_finished",
+                "stage_finished",
+                "stage_finished",
+                "completed"
+            ]
+        );
     }
 
     #[test]

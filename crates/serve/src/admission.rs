@@ -1,0 +1,208 @@
+//! Per-shard admission control: bounded per-client waiting rooms drained
+//! by deficit round-robin.
+//!
+//! When a queue depth is configured, admitted jobs wait in their shard's
+//! [`Room`] rather than going straight into the executor's priority
+//! queue. The room holds one FIFO per client id; a dispatcher thread
+//! drains it with deficit round-robin (every job costs one unit and each
+//! client earns a one-unit quantum per turn — i.e. fair round-robin,
+//! kept in DRR form so weighted quanta are a one-line change). One
+//! greedy client can therefore fill only *its own* waiting quota and its
+//! own turn in the rotation: other clients' jobs are admitted and
+//! dispatched at full fair share regardless of the backlog behind them.
+//!
+//! Backpressure is explicit: a submission that would push a client past
+//! the per-client depth is rejected up front (the daemon reports it
+//! in-band with a `rejected` wire line) instead of queueing unboundedly.
+
+use std::collections::VecDeque;
+
+use noctest_core::plan::exec::SubmitSpec;
+
+/// One admitted-but-not-yet-dispatched job.
+#[derive(Debug)]
+pub struct WaitingJob {
+    /// The tier-allocated job id.
+    pub id: u64,
+    /// The submission, ready to hand to the shard executor.
+    pub spec: SubmitSpec,
+}
+
+/// A client's FIFO plus its DRR deficit counter.
+#[derive(Debug)]
+struct ClientQueue {
+    client: String,
+    deficit: u64,
+    jobs: VecDeque<WaitingJob>,
+}
+
+/// The per-shard waiting room. All access is behind the tier's per-shard
+/// mutex; the room itself is plain data.
+#[derive(Debug, Default)]
+pub struct Room {
+    /// Client queues in first-arrival order; the DRR cursor rotates over
+    /// this list. Client counts are small (tens), so linear scans beat
+    /// map overhead and keep iteration order deterministic.
+    queues: Vec<ClientQueue>,
+    cursor: usize,
+    /// Jobs dispatched to the executor and not yet terminal.
+    pub in_flight: usize,
+    /// Raised when the tier shuts down; dispatchers exit.
+    pub shutdown: bool,
+}
+
+/// The DRR quantum: units of work a client earns per rotation turn.
+/// Every job costs one unit, so with `QUANTUM = 1` the discipline is
+/// exact fair round-robin over clients.
+const QUANTUM: u64 = 1;
+
+impl Room {
+    /// Jobs waiting under `client`.
+    #[must_use]
+    pub fn waiting_for(&self, client: &str) -> usize {
+        self.queues
+            .iter()
+            .find(|q| q.client == client)
+            .map_or(0, |q| q.jobs.len())
+    }
+
+    /// Total jobs waiting across all clients.
+    #[must_use]
+    pub fn total_waiting(&self) -> usize {
+        self.queues.iter().map(|q| q.jobs.len()).sum()
+    }
+
+    /// Parks a job on `client`'s FIFO (capacity was checked by the
+    /// caller under the same lock).
+    pub fn enqueue(&mut self, client: &str, job: WaitingJob) {
+        match self.queues.iter_mut().find(|q| q.client == client) {
+            Some(queue) => queue.jobs.push_back(job),
+            None => self.queues.push(ClientQueue {
+                client: client.to_owned(),
+                deficit: 0,
+                jobs: VecDeque::from([job]),
+            }),
+        }
+    }
+
+    /// Pops the next job by deficit round-robin over clients, or `None`
+    /// when the room is empty. Clients whose queues drain are removed
+    /// (their deficit resets, per standard DRR, so an idle client cannot
+    /// bank turns).
+    pub fn pop_drr(&mut self) -> Option<WaitingJob> {
+        if self.queues.iter().all(|q| q.jobs.is_empty()) {
+            return None;
+        }
+        loop {
+            if self.cursor >= self.queues.len() {
+                self.cursor = 0;
+            }
+            let queue = &mut self.queues[self.cursor];
+            queue.deficit += QUANTUM;
+            if let Some(job) = (queue.deficit >= 1)
+                .then(|| queue.jobs.pop_front())
+                .flatten()
+            {
+                queue.deficit -= 1;
+                if queue.jobs.is_empty() {
+                    self.queues.remove(self.cursor);
+                    // Cursor now points at the next client already.
+                } else {
+                    self.cursor += 1;
+                }
+                return Some(job);
+            }
+            // Drained queue: drop it rather than letting it bank deficit.
+            if queue.jobs.is_empty() {
+                self.queues.remove(self.cursor);
+            } else {
+                self.cursor += 1;
+            }
+        }
+    }
+
+    /// Removes a waiting job by id (a cancellation that beat dispatch).
+    /// Returns the job when it was still waiting.
+    pub fn remove(&mut self, id: u64) -> Option<WaitingJob> {
+        for (qi, queue) in self.queues.iter_mut().enumerate() {
+            if let Some(ji) = queue.jobs.iter().position(|j| j.id == id) {
+                let job = queue.jobs.remove(ji);
+                if queue.jobs.is_empty() {
+                    self.queues.remove(qi);
+                    if self.cursor > qi {
+                        self.cursor -= 1;
+                    }
+                }
+                return job;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noctest_core::plan::PlanRequest;
+
+    fn job(id: u64) -> WaitingJob {
+        WaitingJob {
+            id,
+            spec: SubmitSpec::new(PlanRequest::benchmark("d695", 4, 4)),
+        }
+    }
+
+    #[test]
+    fn drr_interleaves_clients_fairly() {
+        let mut room = Room::default();
+        // A greedy client parks four jobs before anyone else shows up.
+        for id in 1..=4 {
+            room.enqueue("greedy", job(id));
+        }
+        room.enqueue("alice", job(5));
+        room.enqueue("bob", job(6));
+        let order: Vec<u64> = std::iter::from_fn(|| room.pop_drr())
+            .map(|j| j.id)
+            .collect();
+        // One job per client per rotation: greedy cannot monopolise.
+        assert_eq!(order, vec![1, 5, 6, 2, 3, 4]);
+        assert_eq!(room.total_waiting(), 0);
+    }
+
+    #[test]
+    fn within_a_client_order_is_fifo() {
+        let mut room = Room::default();
+        for id in [10, 11, 12] {
+            room.enqueue("only", job(id));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| room.pop_drr())
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(order, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn remove_pulls_a_waiting_job_and_keeps_rotation_sane() {
+        let mut room = Room::default();
+        room.enqueue("a", job(1));
+        room.enqueue("b", job(2));
+        room.enqueue("a", job(3));
+        assert_eq!(room.waiting_for("a"), 2);
+        assert!(room.remove(1).is_some());
+        assert!(room.remove(1).is_none(), "already gone");
+        // The cursor still points at client `a`, whose next job is 3.
+        let order: Vec<u64> = std::iter::from_fn(|| room.pop_drr())
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(order, vec![3, 2]);
+    }
+
+    #[test]
+    fn empty_room_pops_none() {
+        let mut room = Room::default();
+        assert!(room.pop_drr().is_none());
+        room.enqueue("x", job(1));
+        let _ = room.pop_drr();
+        assert!(room.pop_drr().is_none());
+    }
+}

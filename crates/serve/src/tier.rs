@@ -1,0 +1,932 @@
+//! [`ServeTier`] — the service tier over the plan executor.
+//!
+//! One tier owns N executor shards (consistent-hashed by request
+//! affinity, see [`crate::shard`]), an optional bounded admission layer
+//! with per-client fairness ([`crate::admission`]), and an optional
+//! durable job journal ([`crate::journal`]). With the defaults — one
+//! shard, unbounded admission, no journal — the tier is a transparent
+//! wrapper over a single [`Executor`]: the event stream on the wire is
+//! byte-identical to driving the executor directly, which is the
+//! compatibility contract of the `plan-serve` daemon.
+//!
+//! ## Lifecycle of a submission
+//!
+//! 1. The request is canonicalised; its [`RequestKey`] and affinity key
+//!    are computed, and the affinity key picks the shard.
+//! 2. With a journal: if an identical request (same canonical bytes) has
+//!    a journaled outcome, the job is **deduplicated** — it gets a fresh
+//!    id, a `queued` event and a `completed` event carrying the
+//!    journaled outcome byte-identically, without planning anything.
+//! 3. With a queue depth: the job is **admitted** to its shard's waiting
+//!    room — or **rejected** when the client already holds `depth`
+//!    waiting jobs there — and a dispatcher drains the room by deficit
+//!    round-robin over clients into the shard executor.
+//! 4. Otherwise it is dispatched straight into the shard executor.
+//!
+//! Submissions are journaled before their `queued` event is emitted, and
+//! terminal records after the terminal event — so on restart, a job is
+//! either pending (replayed with its original id) or terminal (its
+//! outcome served for matching resubmissions). The id allocator resumes
+//! past the highest journaled id; a restarted daemon never reuses one.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use noctest_core::plan::exec::{EventSink, Executor, JobHandle, JobId, PlanEvent, SubmitSpec};
+use noctest_core::plan::{Campaign, CampaignError, PlanOutcome, PlanRequest};
+
+use crate::admission::{Room, WaitingJob};
+use crate::journal::{self, Journal, Recovery};
+use crate::key::{affinity_of_doc, fnv1a, RequestKey};
+use crate::shard::{shard_name, ShardRing};
+use crate::wire;
+
+/// Locks a mutex, recovering from a poisoned guard — one panicking
+/// worker must not take the tier down (same policy as the executor).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What [`ServeTier::submit_for`] did with a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job was accepted; its lifecycle events will stream.
+    Admitted {
+        /// The tier-allocated job id.
+        job: JobId,
+    },
+    /// An identical request already has a journaled outcome; the job
+    /// went `queued` → `completed` immediately, the outcome served from
+    /// the journal byte-identically, with no planning.
+    Deduped {
+        /// The tier-allocated job id.
+        job: JobId,
+    },
+    /// Admission control refused the job — nothing was queued and no
+    /// job id was spent. The daemon reports this in-band as a
+    /// `rejected` wire line.
+    Rejected {
+        /// The request's name.
+        request: String,
+        /// The submitting client ("" when anonymous).
+        client: String,
+        /// The shard that was full.
+        shard: String,
+        /// The stable human-readable reason.
+        reason: String,
+    },
+}
+
+impl SubmitOutcome {
+    /// The job id, for accepted (admitted or deduplicated) submissions.
+    #[must_use]
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            SubmitOutcome::Admitted { job } | SubmitOutcome::Deduped { job } => Some(*job),
+            SubmitOutcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// A tier construction error: executor configuration or journal I/O.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid configuration (zero threads, …).
+    Campaign(CampaignError),
+    /// The journal could not be opened or read.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Campaign(error) => error.fmt(f),
+            ServeError::Io(error) => write!(f, "journal error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CampaignError> for ServeError {
+    fn from(error: CampaignError) -> Self {
+        ServeError::Campaign(error)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(error: std::io::Error) -> Self {
+        ServeError::Io(error)
+    }
+}
+
+/// One tracked job (admitted, deduplicated or replayed).
+#[derive(Debug)]
+struct JobRecord {
+    id: u64,
+    name: String,
+    shard: usize,
+    key: RequestKey,
+    /// Canonical request text — kept only when a journal is active (it
+    /// feeds the dedupe map on completion).
+    request_text: Option<String>,
+    handle: Option<JobHandle>,
+    cancel_requested: bool,
+    /// Still parked in the admission room.
+    waiting: bool,
+    /// Was handed to a shard executor via the admission dispatcher (its
+    /// terminal event must release an `in_flight` slot).
+    dispatched: bool,
+    terminal: bool,
+}
+
+#[derive(Debug, Default)]
+struct Counts {
+    admitted: u64,
+    terminal: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DedupeEntry {
+    request_text: String,
+    outcome: noctest_core::json::Json,
+}
+
+struct ShardRoom {
+    room: Mutex<Room>,
+    cv: Condvar,
+}
+
+/// State shared between the tier, its dispatcher threads and the
+/// per-shard event sinks.
+///
+/// Lock hierarchy (outer → inner; every path acquires a descending
+/// subset): executor emit lock → tier `emit_lock` → `jobs` → journal →
+/// `dedupe` → `counts` → a shard room. `submit_lock` serialises
+/// submitters only and is never taken by workers or dispatchers. The
+/// `dedupe` map is additionally only ever *read* under a lone lock
+/// (cloned out before `jobs` is touched).
+struct TierShared {
+    sinks: Vec<Arc<dyn EventSink>>,
+    emit_lock: Mutex<()>,
+    submit_lock: Mutex<()>,
+    journal: Option<Journal>,
+    dedupe: Mutex<HashMap<RequestKey, DedupeEntry>>,
+    jobs: Mutex<Vec<JobRecord>>,
+    counts: Mutex<Counts>,
+    counts_cv: Condvar,
+    next_id: AtomicU64,
+    queue_depth: Option<usize>,
+    /// Dispatch width per shard (= the shard executor's worker count):
+    /// with admission on, at most this many jobs are inside an executor
+    /// at once, so ordering decisions stay in the fair dispatcher.
+    width: usize,
+    rooms: Vec<ShardRoom>,
+    ring: ShardRing,
+}
+
+impl TierShared {
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Forwards one event to every user sink under the tier-wide order
+    /// lock (executors serialise their own streams; this serialises
+    /// across shards and against synthetic tier events).
+    fn emit_event(&self, event: &PlanEvent) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let _order = lock(&self.emit_lock);
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    /// Terminal bookkeeping: exactly once per job, after its terminal
+    /// event is in the sinks — journal the terminal record, feed the
+    /// dedupe map, bump the terminal count and release the admission
+    /// slot.
+    fn finish_record(&self, event: &PlanEvent) {
+        let id = event.job().0;
+        let (shard, dispatched, key, request_text) = {
+            let mut jobs = lock(&self.jobs);
+            let Some(record) = jobs.iter_mut().find(|r| r.id == id) else {
+                return;
+            };
+            if record.terminal {
+                return;
+            }
+            record.terminal = true;
+            (
+                record.shard,
+                record.dispatched,
+                record.key,
+                record.request_text.clone(),
+            )
+        };
+        if let Some(journal) = &self.journal {
+            match event {
+                PlanEvent::Completed { outcome, .. } => {
+                    let outcome_json = outcome.to_json();
+                    journal.append(&journal::completed_record(id, key, &outcome_json));
+                    if let Some(request_text) = request_text {
+                        lock(&self.dedupe).entry(key).or_insert(DedupeEntry {
+                            request_text,
+                            outcome: outcome_json,
+                        });
+                    }
+                }
+                PlanEvent::Failed { error, .. } => {
+                    journal.append(&journal::failed_record(id, &error.to_string()));
+                }
+                PlanEvent::Cancelled { .. } => {
+                    journal.append(&journal::cancelled_record(id));
+                }
+                _ => {}
+            }
+        }
+        {
+            let mut counts = lock(&self.counts);
+            counts.terminal += 1;
+            self.counts_cv.notify_all();
+        }
+        if dispatched {
+            let room = &self.rooms[shard];
+            let mut guard = lock(&room.room);
+            guard.in_flight = guard.in_flight.saturating_sub(1);
+            room.cv.notify_all();
+        }
+    }
+
+    fn on_executor_event(&self, event: &PlanEvent) {
+        self.emit_event(event);
+        if event.is_terminal() {
+            self.finish_record(event);
+        }
+    }
+
+    /// Emits a tier-synthesised terminal lifecycle (used for
+    /// deduplicated completions and waiting-room cancellations).
+    fn finish_synthetic(&self, event: &PlanEvent) {
+        self.emit_event(event);
+        self.finish_record(event);
+    }
+}
+
+/// The per-shard sink bridging a shard executor's event stream into the
+/// tier (forwarding plus terminal bookkeeping).
+struct TierSink {
+    shared: Arc<TierShared>,
+}
+
+impl EventSink for TierSink {
+    fn emit(&self, event: &PlanEvent) {
+        self.shared.on_executor_event(event);
+    }
+}
+
+/// The dispatcher loop of one shard: drain the waiting room by deficit
+/// round-robin whenever an executor slot is free.
+fn dispatcher(shared: &Arc<TierShared>, executor: &Arc<Executor>, shard: usize) {
+    let room_state = &shared.rooms[shard];
+    loop {
+        let job = {
+            let mut room = lock(&room_state.room);
+            loop {
+                if room.shutdown {
+                    return;
+                }
+                if room.in_flight < shared.width {
+                    if let Some(job) = room.pop_drr() {
+                        room.in_flight += 1;
+                        break job;
+                    }
+                }
+                room = room_state
+                    .cv
+                    .wait(room)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let id = job.id;
+        // Flag the dispatch BEFORE submitting: the job's terminal event
+        // (which releases the in_flight slot) can arrive the instant
+        // submit returns.
+        {
+            let mut jobs = lock(&shared.jobs);
+            if let Some(record) = jobs.iter_mut().find(|r| r.id == id) {
+                record.waiting = false;
+                record.dispatched = true;
+            }
+        }
+        let handle = executor.submit_spec(job.spec);
+        let cancel_now = {
+            let mut jobs = lock(&shared.jobs);
+            match jobs.iter_mut().find(|r| r.id == id) {
+                Some(record) => {
+                    record.handle = Some(handle.clone());
+                    record.cancel_requested
+                }
+                None => false,
+            }
+        };
+        if cancel_now {
+            handle.cancel();
+        }
+    }
+}
+
+/// Builds a [`ServeTier`].
+pub struct ServeTierBuilder {
+    campaign: Campaign,
+    shards: usize,
+    threads: Option<usize>,
+    queue_depth: Option<usize>,
+    journal_path: Option<PathBuf>,
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl Default for ServeTierBuilder {
+    fn default() -> Self {
+        ServeTierBuilder {
+            campaign: Campaign::default(),
+            shards: 1,
+            threads: None,
+            queue_depth: None,
+            journal_path: None,
+            sinks: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeTierBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeTierBuilder")
+            .field("shards", &self.shards)
+            .field("threads", &self.threads)
+            .field("queue_depth", &self.queue_depth)
+            .field("journal", &self.journal_path)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl ServeTierBuilder {
+    /// Jobs execute through `campaign` (registry and defaults), one
+    /// clone per shard.
+    #[must_use]
+    pub fn campaign(mut self, campaign: Campaign) -> Self {
+        self.campaign = campaign;
+        self
+    }
+
+    /// Number of executor shards (default 1; 0 is clamped to 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Worker threads *per shard* (default: the campaign's pinned count,
+    /// else available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Invalid`] when `threads` is 0.
+    pub fn threads(mut self, threads: usize) -> Result<Self, CampaignError> {
+        // Reuse the executor's validation so the message is identical.
+        let _ = Executor::builder().threads(threads)?;
+        self.threads = Some(threads);
+        Ok(self)
+    }
+
+    /// Bounds each client's waiting jobs per shard at `depth`, enabling
+    /// the fair admission layer (default: unbounded, direct dispatch).
+    /// A depth of 0 rejects everything and is almost certainly not what
+    /// you want, but it is honoured.
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
+
+    /// Enables the durable journal at `path`: existing records are
+    /// recovered (pending jobs replayed, completed outcomes served for
+    /// matching resubmissions) and new activity is appended.
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Registers an event sink; all shards' lifecycle events (and the
+    /// tier's synthetic ones) are forwarded to every sink in
+    /// registration order.
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Recovers the journal (if any), spawns the shard executors and
+    /// dispatchers, and replays pending jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the journal cannot be read or opened;
+    /// [`ServeError::Campaign`] for invalid executor configuration.
+    pub fn build(self) -> Result<ServeTier, ServeError> {
+        let threads = self.threads.unwrap_or_else(|| {
+            self.campaign.threads().unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+        });
+        let (journal, recovery) = match &self.journal_path {
+            Some(path) => {
+                let recovery = journal::recover(path)?;
+                (Some(Journal::open_append(path)?), recovery)
+            }
+            None => (None, Recovery::default()),
+        };
+        let dedupe = recovery
+            .completed
+            .iter()
+            .map(|(key, done)| {
+                (
+                    *key,
+                    DedupeEntry {
+                        request_text: done.request_text.clone(),
+                        outcome: done.outcome.clone(),
+                    },
+                )
+            })
+            .collect();
+        let shared = Arc::new(TierShared {
+            sinks: self.sinks,
+            emit_lock: Mutex::new(()),
+            submit_lock: Mutex::new(()),
+            journal,
+            dedupe: Mutex::new(dedupe),
+            jobs: Mutex::new(Vec::new()),
+            counts: Mutex::new(Counts::default()),
+            counts_cv: Condvar::new(),
+            next_id: AtomicU64::new(recovery.next_job_id.max(1)),
+            queue_depth: self.queue_depth,
+            width: threads,
+            rooms: (0..self.shards)
+                .map(|_| ShardRoom {
+                    room: Mutex::new(Room::default()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            ring: ShardRing::new(self.shards),
+        });
+        let executors: Vec<Arc<Executor>> = (0..self.shards)
+            .map(|_| {
+                Ok(Arc::new(
+                    Executor::builder()
+                        .campaign(self.campaign.clone())
+                        .threads(threads)?
+                        .sink(Arc::new(TierSink {
+                            shared: Arc::clone(&shared),
+                        }) as Arc<dyn EventSink>)
+                        .build(),
+                ))
+            })
+            .collect::<Result<_, CampaignError>>()?;
+        let dispatchers = if shared.queue_depth.is_some() {
+            (0..self.shards)
+                .map(|shard| {
+                    let shared = Arc::clone(&shared);
+                    let executor = Arc::clone(&executors[shard]);
+                    std::thread::Builder::new()
+                        .name(format!("noctest-serve-dispatch-{shard}"))
+                        .spawn(move || dispatcher(&shared, &executor, shard))
+                        .expect("dispatcher thread spawns")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let tier = ServeTier {
+            shared,
+            executors,
+            dispatchers,
+        };
+        for pending in recovery.pending {
+            tier.replay(pending);
+        }
+        Ok(tier)
+    }
+}
+
+/// The service tier: sharded executors, fair admission, durable journal.
+/// See the module docs for the submission lifecycle.
+pub struct ServeTier {
+    shared: Arc<TierShared>,
+    executors: Vec<Arc<Executor>>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let counts = lock(&self.shared.counts);
+        f.debug_struct("ServeTier")
+            .field("shards", &self.executors.len())
+            .field("admitted", &counts.admitted)
+            .field("terminal", &counts.terminal)
+            .finish()
+    }
+}
+
+impl ServeTier {
+    /// Starts building a tier.
+    #[must_use]
+    pub fn builder() -> ServeTierBuilder {
+        ServeTierBuilder::default()
+    }
+
+    /// Number of executor shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.executors.len()
+    }
+
+    /// The shard `request` routes to (by affinity key — deterministic).
+    #[must_use]
+    pub fn shard_of(&self, request: &PlanRequest) -> usize {
+        self.shared
+            .ring
+            .shard_of(affinity_of_doc(&request.to_json()))
+    }
+
+    /// Jobs accepted so far (admitted + deduplicated + replayed).
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        lock(&self.shared.counts).admitted
+    }
+
+    /// `true` once any journal record failed to persist.
+    #[must_use]
+    pub fn journal_failed(&self) -> bool {
+        self.shared.journal.as_ref().is_some_and(Journal::failed)
+    }
+
+    /// Submits an anonymous, default-priority request.
+    pub fn submit(&self, request: PlanRequest) -> SubmitOutcome {
+        self.submit_for(request, None, 0)
+    }
+
+    /// Submits a request under a client identity and priority. See the
+    /// module docs for the dedupe/admission/dispatch lifecycle.
+    pub fn submit_for(
+        &self,
+        request: PlanRequest,
+        client: Option<&str>,
+        priority: i32,
+    ) -> SubmitOutcome {
+        let _serial = lock(&self.shared.submit_lock);
+        let doc = request.to_json();
+        let text = doc.compact();
+        let key = RequestKey(fnv1a(text.as_bytes()));
+        let shard = self.shared.ring.shard_of(affinity_of_doc(&doc));
+        let client_name = client.unwrap_or("");
+
+        // Journal dedupe: an identical request with a journaled outcome
+        // is served without planning.
+        if self.shared.journal.is_some() {
+            let hit = {
+                let dedupe = lock(&self.shared.dedupe);
+                dedupe
+                    .get(&key)
+                    .filter(|entry| entry.request_text == text)
+                    .map(|entry| entry.outcome.clone())
+            };
+            // A journal entry that no longer decodes (hand-edited file)
+            // falls through to an ordinary replan.
+            if let Some(outcome) = hit.and_then(|json| PlanOutcome::from_json(&json).ok()) {
+                let id = self.track(
+                    &request,
+                    shard,
+                    key,
+                    Some(text),
+                    None,
+                    TrackDisposition::Synthetic,
+                );
+                self.journal_submit(id, key, priority, client, &doc);
+                self.shared.finish_synthetic(&PlanEvent::Queued {
+                    job: JobId(id),
+                    request: request.name.clone(),
+                });
+                self.shared.finish_synthetic(&PlanEvent::Completed {
+                    job: JobId(id),
+                    request: request.name.clone(),
+                    outcome: Box::new(outcome),
+                });
+                return SubmitOutcome::Deduped { job: JobId(id) };
+            }
+        }
+
+        // Bounded fair admission.
+        if let Some(depth) = self.shared.queue_depth {
+            let over = lock(&self.shared.rooms[shard].room).waiting_for(client_name) >= depth;
+            if over {
+                return SubmitOutcome::Rejected {
+                    request: request.name.clone(),
+                    client: client_name.to_owned(),
+                    shard: shard_name(shard),
+                    reason: wire::rejection_reason(client_name, depth, &shard_name(shard)),
+                };
+            }
+            let id = self.track(
+                &request,
+                shard,
+                key,
+                self.text_if_journaled(&text),
+                None,
+                TrackDisposition::Waiting,
+            );
+            self.journal_submit(id, key, priority, client, &doc);
+            self.shared.emit_event(&PlanEvent::Queued {
+                job: JobId(id),
+                request: request.name.clone(),
+            });
+            let mut spec = SubmitSpec::new(request)
+                .with_priority(priority)
+                .with_id(JobId(id))
+                .quiet_queued();
+            if let Some(client) = client {
+                spec = spec.with_client(client);
+            }
+            {
+                let mut room = lock(&self.shared.rooms[shard].room);
+                room.enqueue(client_name, WaitingJob { id, spec });
+            }
+            self.shared.rooms[shard].cv.notify_all();
+            return SubmitOutcome::Admitted { job: JobId(id) };
+        }
+
+        // Direct dispatch.
+        let id = self.track(
+            &request,
+            shard,
+            key,
+            self.text_if_journaled(&text),
+            None,
+            TrackDisposition::Direct,
+        );
+        self.journal_submit(id, key, priority, client, &doc);
+        let mut spec = SubmitSpec::new(request)
+            .with_priority(priority)
+            .with_id(JobId(id));
+        if let Some(client) = client {
+            spec = spec.with_client(client);
+        }
+        let handle = self.executors[shard].submit_spec(spec);
+        self.store_handle(id, handle);
+        SubmitOutcome::Admitted { job: JobId(id) }
+    }
+
+    /// Replays one journaled pending job with its original id, bypassing
+    /// admission caps (it was admitted by the previous process).
+    fn replay(&self, pending: crate::journal::PendingJob) {
+        let shard = self
+            .shared
+            .ring
+            .shard_of(affinity_of_doc(&pending.request.to_json()));
+        let name = pending.request.name.clone();
+        let mut spec = SubmitSpec::new(pending.request)
+            .with_priority(pending.priority)
+            .with_id(JobId(pending.job));
+        if let Some(client) = &pending.client {
+            spec = spec.with_client(client.clone());
+        }
+        {
+            let mut jobs = lock(&self.shared.jobs);
+            jobs.push(JobRecord {
+                id: pending.job,
+                name,
+                shard,
+                key: pending.key,
+                request_text: Some(pending.request_text),
+                handle: None,
+                cancel_requested: false,
+                waiting: self.shared.queue_depth.is_some(),
+                dispatched: false,
+                terminal: false,
+            });
+        }
+        {
+            let mut counts = lock(&self.shared.counts);
+            counts.admitted += 1;
+        }
+        // The submit record is already journaled — do not re-append.
+        if self.shared.queue_depth.is_some() {
+            let client_name = spec.client.clone().unwrap_or_default();
+            self.shared.emit_event(&PlanEvent::Queued {
+                job: spec.id.expect("replay pins the id"),
+                request: spec.request.name.clone(),
+            });
+            let id = pending.job;
+            let spec = spec.quiet_queued();
+            {
+                let mut room = lock(&self.shared.rooms[shard].room);
+                room.enqueue(&client_name, WaitingJob { id, spec });
+            }
+            self.shared.rooms[shard].cv.notify_all();
+        } else {
+            let id = pending.job;
+            let handle = self.executors[shard].submit_spec(spec);
+            self.store_handle(id, handle);
+        }
+    }
+
+    fn text_if_journaled(&self, text: &str) -> Option<String> {
+        self.shared.journal.as_ref().map(|_| text.to_owned())
+    }
+
+    fn journal_submit(
+        &self,
+        id: u64,
+        key: RequestKey,
+        priority: i32,
+        client: Option<&str>,
+        doc: &noctest_core::json::Json,
+    ) {
+        if let Some(journal) = &self.shared.journal {
+            journal.append(&journal::submit_record(id, key, priority, client, doc));
+        }
+    }
+
+    /// Allocates an id, registers the job record and counts it admitted.
+    fn track(
+        &self,
+        request: &PlanRequest,
+        shard: usize,
+        key: RequestKey,
+        request_text: Option<String>,
+        handle: Option<JobHandle>,
+        disposition: TrackDisposition,
+    ) -> u64 {
+        let id = self.shared.alloc_id();
+        {
+            let mut jobs = lock(&self.shared.jobs);
+            jobs.push(JobRecord {
+                id,
+                name: request.name.clone(),
+                shard,
+                key,
+                request_text,
+                handle,
+                cancel_requested: false,
+                waiting: matches!(disposition, TrackDisposition::Waiting),
+                dispatched: false,
+                terminal: false,
+            });
+        }
+        let mut counts = lock(&self.shared.counts);
+        counts.admitted += 1;
+        id
+    }
+
+    fn store_handle(&self, id: u64, handle: JobHandle) {
+        let mut jobs = lock(&self.shared.jobs);
+        if let Some(record) = jobs.iter_mut().find(|r| r.id == id) {
+            record.handle = Some(handle);
+        }
+    }
+
+    /// Cancels the job with `id`. Returns `false` when no such job was
+    /// ever accepted (cancelling a terminal job is a successful no-op,
+    /// matching the executor's semantics).
+    pub fn cancel_by_id(&self, id: u64) -> bool {
+        let found = lock(&self.shared.jobs).iter().any(|r| r.id == id);
+        if found {
+            self.cancel_known(id);
+        }
+        found
+    }
+
+    /// Cancels the most recent job submitted under `name` (repeated
+    /// names shadow each other, like the daemon always resolved them).
+    /// Returns `false` when the name matches nothing.
+    pub fn cancel_by_name(&self, name: &str) -> bool {
+        let id = lock(&self.shared.jobs)
+            .iter()
+            .rev()
+            .find(|r| r.name == name)
+            .map(|r| r.id);
+        match id {
+            Some(id) => {
+                self.cancel_known(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cancels every non-terminal job (the daemon's lost-consumer path).
+    pub fn cancel_all(&self) {
+        let ids: Vec<u64> = lock(&self.shared.jobs)
+            .iter()
+            .filter(|r| !r.terminal)
+            .map(|r| r.id)
+            .collect();
+        for id in ids {
+            self.cancel_known(id);
+        }
+    }
+
+    fn cancel_known(&self, id: u64) {
+        let (terminal, waiting, shard, name) = {
+            let jobs = lock(&self.shared.jobs);
+            let Some(record) = jobs.iter().find(|r| r.id == id) else {
+                return;
+            };
+            (
+                record.terminal,
+                record.waiting,
+                record.shard,
+                record.name.clone(),
+            )
+        };
+        if terminal {
+            return;
+        }
+        if waiting {
+            let removed = lock(&self.shared.rooms[shard].room).remove(id).is_some();
+            if removed {
+                // Never dispatched: the tier owns the terminal lifecycle.
+                self.shared.finish_synthetic(&PlanEvent::Cancelled {
+                    job: JobId(id),
+                    request: name,
+                });
+                return;
+            }
+            // Lost the race to the dispatcher — fall through.
+        }
+        let handle = {
+            let mut jobs = lock(&self.shared.jobs);
+            match jobs.iter_mut().find(|r| r.id == id) {
+                Some(record) => {
+                    record.cancel_requested = true;
+                    record.handle.clone()
+                }
+                None => None,
+            }
+        };
+        if let Some(handle) = handle {
+            handle.cancel();
+        }
+    }
+
+    /// Blocks until every accepted job is terminal.
+    pub fn join(&self) {
+        let mut counts = lock(&self.shared.counts);
+        while counts.terminal < counts.admitted {
+            counts = self
+                .shared
+                .counts_cv
+                .wait(counts)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// How a freshly tracked job will reach execution.
+enum TrackDisposition {
+    /// Parked in an admission room.
+    Waiting,
+    /// Submitted straight to an executor.
+    Direct,
+    /// Never executes (deduplicated completion).
+    Synthetic,
+}
+
+impl Drop for ServeTier {
+    fn drop(&mut self) {
+        for room in &self.shared.rooms {
+            lock(&room.room).shutdown = true;
+            room.cv.notify_all();
+        }
+        for dispatcher in self.dispatchers.drain(..) {
+            let _ = dispatcher.join();
+        }
+        // Executors drop here: queued jobs drain, workers join. Jobs
+        // still parked in a waiting room are abandoned — with a journal
+        // they are exactly the pending records a restart replays.
+    }
+}
+
+/// Recovers a journal without building a tier — exposed for tools and
+/// tests that inspect durability state.
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from reading an existing journal file.
+pub fn recover_journal(path: &Path) -> std::io::Result<Recovery> {
+    journal::recover(path)
+}

@@ -1,0 +1,118 @@
+//! The daemon's in-band control lines. These are protocol surface — the
+//! exact bytes are pinned by tests here and by the CI smoke scripts, so
+//! changing any of them is a wire-format break, not a refactor.
+//!
+//! Three daemon-level line kinds sit alongside the executor's event
+//! stream (`queued` / `started` / `stage_finished` / `completed` /
+//! `failed` / `cancelled`):
+//!
+//! ```text
+//! {"event":"error","line":5,"error":"…"}
+//! {"event":"rejected","request":"r9","client":"greedy","shard":"s0","reason":"…"}
+//! {"event":"done","jobs":7}
+//! ```
+
+use noctest_core::json::Json;
+
+/// A daemon-level input error: line `line` of stdin could not be served.
+/// The daemon keeps reading; the event is the only trace.
+#[must_use]
+pub fn error_line(line: u64, message: &str) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("error")),
+        ("line", Json::int(line)),
+        ("error", Json::str(message)),
+    ])
+}
+
+/// An admission rejection for `request` from `client` (empty string for
+/// an anonymous client) on shard `shard`.
+#[must_use]
+pub fn rejected_line(request: &str, client: &str, shard: &str, reason: &str) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("rejected")),
+        ("request", Json::str(request)),
+        ("client", Json::str(client)),
+        ("shard", Json::str(shard)),
+        ("reason", Json::str(reason)),
+    ])
+}
+
+/// The stable human-readable reason of a per-client queue-full
+/// rejection.
+#[must_use]
+pub fn rejection_reason(client: &str, depth: usize, shard: &str) -> String {
+    let who = if client.is_empty() {
+        "the anonymous client".to_owned()
+    } else {
+        format!("client `{client}`")
+    };
+    format!("queue full: {who} already holds {depth} waiting jobs on shard {shard}")
+}
+
+/// The closing line once stdin is drained and every job is terminal.
+#[must_use]
+pub fn done_line(jobs: u64) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("done")),
+        ("jobs", Json::int(jobs)),
+    ])
+}
+
+/// The stable message for a cancel target that matches no job
+/// (`target` is the raw JSON the client sent, compact form).
+#[must_use]
+pub fn no_such_cancel_target(target: &Json) -> String {
+    format!("cancel target {} matches no job", target.compact())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Exact-byte pins: these strings are parsed by scripts and remote
+    // clients. A failure here is a protocol break.
+
+    #[test]
+    fn error_line_bytes() {
+        assert_eq!(
+            error_line(5, "boom").compact(),
+            r#"{"event":"error","line":5,"error":"boom"}"#
+        );
+    }
+
+    #[test]
+    fn rejected_line_bytes() {
+        assert_eq!(
+            rejected_line(
+                "r9",
+                "greedy",
+                "s0",
+                rejection_reason("greedy", 4, "s0").as_str()
+            )
+            .compact(),
+            r#"{"event":"rejected","request":"r9","client":"greedy","shard":"s0","reason":"queue full: client `greedy` already holds 4 waiting jobs on shard s0"}"#
+        );
+        assert_eq!(
+            rejection_reason("", 2, "s1"),
+            "queue full: the anonymous client already holds 2 waiting jobs on shard s1"
+        );
+    }
+
+    #[test]
+    fn done_line_bytes() {
+        assert_eq!(done_line(7).compact(), r#"{"event":"done","jobs":7}"#);
+    }
+
+    #[test]
+    fn cancel_miss_message_bytes() {
+        assert_eq!(
+            no_such_cancel_target(&Json::str("doomed")),
+            r#"cancel target "doomed" matches no job"#
+        );
+        assert_eq!(
+            no_such_cancel_target(&Json::int(9)),
+            "cancel target 9 matches no job"
+        );
+    }
+}

@@ -80,6 +80,7 @@ pub use noctest_cpu as cpu;
 pub use noctest_gen as gen;
 pub use noctest_itc02 as itc02;
 pub use noctest_noc as noc;
+pub use noctest_serve as serve;
 
 pub use noctest_core::plan::{
     Campaign, CampaignError, Executor, JobHandle, PlanEvent, PlanOutcome, PlanRequest,
