@@ -65,7 +65,7 @@ fi
 
 # The unknown-scheduler failure carries the registry's stable message.
 printf '%s\n' "$OUT" | grep -qF \
-    'unknown scheduler `annealing` (registered: greedy, optimal, serial, smart)' \
+    'unknown scheduler `annealing` (registered: greedy, optimal, optimal-par, portfolio, serial, smart)' \
     || { echo "plan_serve_smoke: missing stable unknown-scheduler message" >&2; exit 1; }
 
 # The non-JSON line produced a daemon-level error event naming line 5.

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI smoke gate for the parallel branch-and-bound benchmark: run
+# `search-bench --smoke` twice and byte-check the deterministic section
+# of `BENCH_search.json` (per-instance makespans, expansion counts,
+# proved/exhausted flags and FNV-1a schedule digests at a pinned thread
+# count). The binary prints exactly that section on stdout, so the gate
+# is a straight byte comparison; timings (the `measured` section) are
+# machine-dependent and deliberately excluded. The binary's own exit
+# status already gates within-budget byte-identity against the serial
+# search and exhausted-run reproducibility.
+#
+# Usage: ci/search_bench_smoke.sh [path-to-search-bench]
+set -euo pipefail
+
+BIN="${1:-target/release/search-bench}"
+if [ ! -x "$BIN" ]; then
+    echo "search_bench_smoke: $BIN not found or not executable" >&2
+    exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN" --smoke --out "$WORK/first.json" >"$WORK/first.det"
+"$BIN" --smoke --out "$WORK/second.json" >"$WORK/second.det"
+
+if ! cmp -s "$WORK/first.det" "$WORK/second.det"; then
+    echo "search_bench_smoke: deterministic sections differ between runs" >&2
+    diff "$WORK/first.det" "$WORK/second.det" >&2 || true
+    exit 1
+fi
+
+for run in first second; do
+    if [ ! -s "$WORK/$run.json" ]; then
+        echo "search_bench_smoke: $run run wrote no report" >&2
+        exit 1
+    fi
+done
+
+echo "search_bench_smoke: deterministic section reproduced byte-identically"

@@ -1,0 +1,379 @@
+//! `search-bench` — the parallel branch-and-bound benchmark.
+//!
+//! Runs the serial `optimal` search and the work-stealing `optimal-par`
+//! search over a deterministic population of generated SoCs and writes
+//! `BENCH_search.json` with two sections:
+//!
+//! * `deterministic` — per-instance makespans, expansion counts,
+//!   proved/exhausted flags and FNV-1a schedule digests at a **pinned**
+//!   thread count (2). Everything in this section is a pure function of
+//!   the seed, so two runs on the same machine must produce identical
+//!   bytes — `ci/search_bench_smoke.sh` gates exactly that. The section
+//!   is also printed on stdout as one compact JSON line so the gate
+//!   never has to carve it out of the report file.
+//! * `measured` — wall-clock micros for the serial and parallel searches
+//!   on the budget-limited instances at the machine's parallelism, the
+//!   per-instance speedup and the mean against the `cores/2` target.
+//!   Timings are machine-dependent by nature and are never part of the
+//!   smoke gate.
+//!
+//! Internal gates (exit 1): a within-budget parallel schedule that is
+//! not byte-identical to the serial one, or a budget-exhausted parallel
+//! run that does not reproduce itself when re-run at the same thread
+//! count. Usage errors exit 2.
+//!
+//! ```text
+//! cargo run --release -p noctest-bench --bin search-bench -- --smoke
+//! cargo run --release -p noctest-bench --bin search-bench            # full sweep
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use noctest_core::json::Json;
+use noctest_core::plan::{PlanRequest, SocSource};
+use noctest_core::{
+    OptimalScheduler, ParallelOptimalScheduler, Schedule, SearchTuning, SystemUnderTest,
+};
+use noctest_gen::RecipeFamily;
+
+/// Thread count for the `deterministic` section: pinned so the section
+/// depends only on the seed, and > 1 so the sharded search machinery
+/// (frontier split, rounds, stealing) is actually exercised.
+const DETERMINISTIC_THREADS: usize = 2;
+
+#[derive(Debug, Clone)]
+struct Config {
+    smoke: bool,
+    seed: u64,
+    threads: Option<usize>,
+    out: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            smoke: false,
+            seed: 2005,
+            threads: None,
+            out: "BENCH_search.json".to_owned(),
+        }
+    }
+}
+
+/// One benchmark instance: a generated SoC plus the budget it runs
+/// under.
+struct Instance {
+    name: String,
+    sys: SystemUnderTest,
+    budget: u64,
+}
+
+/// Builds the deterministic instance population. `cores` counts CUTs
+/// only; two plasma processors ride along, so the search sees
+/// `cores + 2` cuts.
+fn instances(base_seed: u64, count: usize, cores: u32, budget: u64) -> Vec<Instance> {
+    (0..count as u64)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i);
+            let family = RecipeFamily::ALL[(seed as usize) % RecipeFamily::ALL.len()];
+            let text = family
+                .recipe(cores)
+                .generate_text(seed.wrapping_mul(7919).wrapping_add(13));
+            let mesh = if cores > 6 { 4 } else { 3 };
+            let request = PlanRequest {
+                soc: SocSource::SocText(text),
+                ..PlanRequest::benchmark("bench", mesh, mesh)
+            }
+            .with_processors("plasma", 2, 2);
+            Instance {
+                name: format!("{}-{cores}c-s{seed}", family.slug()),
+                sys: request.build_system().expect("generated system builds"),
+                budget,
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a over the canonical schedule encoding: a compact, stable
+/// fingerprint for byte-identity checks.
+fn schedule_digest(schedule: &Schedule) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in schedule.entries() {
+        for word in [u64::from(e.cut.0), e.interface.0 as u64, e.start, e.end] {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    format!("{hash:016x}")
+}
+
+struct Run {
+    makespan: u64,
+    expansions: u64,
+    exact: bool,
+    digest: String,
+    wall_micros: u64,
+}
+
+fn run_serial(instance: &Instance) -> Run {
+    let started = Instant::now();
+    let (schedule, stats) = OptimalScheduler::new()
+        .with_max_expansions(Some(instance.budget))
+        .schedule_with_stats(&instance.sys, None)
+        .expect("serial search succeeds");
+    Run {
+        makespan: schedule.makespan(),
+        expansions: stats.expansions,
+        exact: stats.proved_optimal(),
+        digest: schedule_digest(&schedule),
+        wall_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    }
+}
+
+fn run_parallel(instance: &Instance, threads: usize) -> Run {
+    let started = Instant::now();
+    let (schedule, stats) = ParallelOptimalScheduler::new()
+        .with_threads(threads)
+        .with_max_expansions(Some(instance.budget))
+        .schedule_with_stats(&instance.sys, &SearchTuning::default(), None)
+        .expect("parallel search succeeds");
+    Run {
+        makespan: schedule.makespan(),
+        expansions: stats.expansions,
+        exact: stats.proved_optimal(),
+        digest: schedule_digest(&schedule),
+        wall_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    }
+}
+
+fn instance_json(instance: &Instance, serial: &Run, parallel: &Run, identical: bool) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(instance.name.clone())),
+        ("budget", Json::int(instance.budget)),
+        (
+            "serial",
+            Json::obj(vec![
+                ("makespan", Json::int(serial.makespan)),
+                ("expansions", Json::int(serial.expansions)),
+                ("exact", Json::Bool(serial.exact)),
+                ("digest", Json::str(serial.digest.clone())),
+            ]),
+        ),
+        (
+            "parallel",
+            Json::obj(vec![
+                ("makespan", Json::int(parallel.makespan)),
+                ("expansions", Json::int(parallel.expansions)),
+                ("exact", Json::Bool(parallel.exact)),
+                ("digest", Json::str(parallel.digest.clone())),
+            ]),
+        ),
+        ("identical", Json::Bool(identical)),
+    ])
+}
+
+fn parse_args() -> Result<Option<Config>, String> {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config.smoke = true,
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an unsigned integer")?;
+            }
+            "--threads" => {
+                let value: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs an unsigned integer")?;
+                if value == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                config.threads = Some(value);
+            }
+            "--out" => {
+                config.out = args.next().ok_or("--out needs a path")?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: search-bench [--smoke] [--seed S] [--threads N] [--out PATH]\n\
+                     benchmarks the serial vs work-stealing branch-and-bound and writes\n\
+                     BENCH_search.json (deterministic digests + wall-clock speedups)"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(Some(config)) => config,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("search-bench: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Two populations: small instances the exact search finishes within
+    // budget (the byte-identity gate), and larger budget-limited ones
+    // (the anytime/determinism gate and the timing corpus).
+    let (exact_set, limited_set) = if config.smoke {
+        (
+            instances(config.seed, 10, 5, 150_000),
+            instances(config.seed ^ 0x5ea7c4, 6, 8, 20_000),
+        )
+    } else {
+        (
+            instances(config.seed, 12, 5, 500_000),
+            instances(config.seed ^ 0x5ea7c4, 8, 8, 1_500_000),
+        )
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let measured_threads = config.threads.unwrap_or(cores);
+
+    let mut failures = 0u32;
+    let mut det_instances = Vec::new();
+    let mut exact_pairs = 0usize;
+
+    // Byte-identity: wherever both searches prove optimality within
+    // budget, the parallel schedule must equal the serial one.
+    for instance in &exact_set {
+        let serial = run_serial(instance);
+        let parallel = run_parallel(instance, DETERMINISTIC_THREADS);
+        let identical = serial.digest == parallel.digest;
+        if serial.exact && parallel.exact {
+            exact_pairs += 1;
+            if !identical {
+                eprintln!(
+                    "search-bench: {}: within-budget parallel schedule differs from serial \
+                     ({} vs {})",
+                    instance.name, parallel.digest, serial.digest
+                );
+                failures += 1;
+            }
+        }
+        det_instances.push(instance_json(instance, &serial, &parallel, identical));
+    }
+    if exact_pairs < exact_set.len() / 2 {
+        eprintln!(
+            "search-bench: only {exact_pairs}/{} instances proved optimal within budget — \
+             the byte-identity gate is starved",
+            exact_set.len()
+        );
+        failures += 1;
+    }
+
+    // Anytime determinism + timing: budget-limited instances, parallel
+    // run twice (the rerun must reproduce the incumbent byte for byte).
+    let mut measured = Vec::new();
+    let mut speedups = Vec::new();
+    for instance in &limited_set {
+        let serial = run_serial(instance);
+        let parallel = run_parallel(instance, measured_threads);
+        let det = run_parallel(instance, DETERMINISTIC_THREADS);
+        let det_rerun = run_parallel(instance, DETERMINISTIC_THREADS);
+        if det.digest != det_rerun.digest {
+            eprintln!(
+                "search-bench: {}: exhausted run is nondeterministic at {} threads \
+                 ({} vs {})",
+                instance.name, DETERMINISTIC_THREADS, det.digest, det_rerun.digest
+            );
+            failures += 1;
+        }
+        if parallel.makespan > serial.makespan && serial.exact {
+            eprintln!(
+                "search-bench: {}: parallel incumbent {} worse than proved optimum {}",
+                instance.name, parallel.makespan, serial.makespan
+            );
+            failures += 1;
+        }
+        let speedup = serial.wall_micros as f64 / parallel.wall_micros.max(1) as f64;
+        speedups.push(speedup);
+        measured.push(Json::obj(vec![
+            ("name", Json::str(instance.name.clone())),
+            ("serial_wall_micros", Json::int(serial.wall_micros)),
+            ("parallel_wall_micros", Json::int(parallel.wall_micros)),
+            ("speedup", Json::Num(speedup)),
+            ("serial_expansions", Json::int(serial.expansions)),
+            ("parallel_expansions", Json::int(parallel.expansions)),
+        ]));
+        det_instances.push(instance_json(
+            instance,
+            &serial,
+            &det,
+            det.digest == serial.digest,
+        ));
+    }
+    let mean_speedup = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    let target = cores as f64 / 2.0;
+
+    let deterministic = Json::obj(vec![
+        ("seed", Json::int(config.seed)),
+        ("threads", Json::int(DETERMINISTIC_THREADS as u64)),
+        ("instances", Json::Arr(det_instances)),
+    ]);
+    let det_line = deterministic.compact();
+
+    let report = Json::obj(vec![
+        (
+            "config",
+            Json::obj(vec![
+                (
+                    "mode",
+                    Json::str(if config.smoke { "smoke" } else { "full" }),
+                ),
+                ("seed", Json::int(config.seed)),
+                ("cores", Json::int(cores as u64)),
+                ("measured_threads", Json::int(measured_threads as u64)),
+            ]),
+        ),
+        ("deterministic", deterministic),
+        (
+            "measured",
+            Json::obj(vec![
+                ("instances", Json::Arr(measured)),
+                ("mean_speedup", Json::Num(mean_speedup)),
+                ("speedup_target", Json::Num(target)),
+                ("meets_target", Json::Bool(mean_speedup >= target)),
+            ]),
+        ),
+    ]);
+    if let Err(error) = std::fs::write(&config.out, format!("{}\n", report.pretty())) {
+        eprintln!("search-bench: cannot write {}: {error}", config.out);
+        return ExitCode::FAILURE;
+    }
+
+    // The deterministic section alone on stdout: the smoke script runs
+    // the binary twice and byte-compares these lines.
+    println!("{det_line}");
+    eprintln!(
+        "search-bench: {} exact + {} limited instances, mean speedup {mean_speedup:.2} \
+         (target {target:.1} on {cores} cores) -> {}",
+        exact_set.len(),
+        limited_set.len(),
+        config.out
+    );
+    // The speedup target is a full-mode gate only: smoke never fails on
+    // machine-dependent timings.
+    if !config.smoke && mean_speedup < target {
+        eprintln!(
+            "search-bench: mean speedup {mean_speedup:.2} misses the cores/2 target {target:.1}"
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        eprintln!("search-bench: {failures} gate failure(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

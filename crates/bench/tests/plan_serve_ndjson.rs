@@ -145,7 +145,7 @@ fn eight_request_session_produces_the_expected_deterministic_stream() {
     let expected = format!(
         "job=1 slow completed makespan={}\n\
          job=2 doomed cancelled\n\
-         job=3 invalid failed error=unknown scheduler `annealing` (registered: greedy, optimal, serial, smart)\n\
+         job=3 invalid failed error=unknown scheduler `annealing` (registered: greedy, optimal, optimal-par, portfolio, serial, smart)\n\
          job=4 g completed makespan={}\n\
          job=5 s completed makespan={}\n\
          job=6 base completed makespan={}\n\

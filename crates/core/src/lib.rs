@@ -85,8 +85,8 @@ pub use replay::{
     ScheduleReplay, SessionReplay, StreamReplay,
 };
 pub use sched::{
-    CancelToken, GreedyScheduler, OptimalScheduler, Schedule, ScheduledTest, Scheduler,
-    SerialScheduler, SmartScheduler,
+    CancelToken, GreedyScheduler, OptimalScheduler, ParallelOptimalScheduler, PortfolioScheduler,
+    Schedule, ScheduledTest, Scheduler, SearchStats, SearchTuning, SerialScheduler, SmartScheduler,
 };
 pub use system::{BudgetSpec, PriorityPolicy, SystemBuilder, SystemUnderTest};
 pub use timing::{GenerationModel, TimingModel};

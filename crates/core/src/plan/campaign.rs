@@ -62,10 +62,10 @@ pub(crate) fn run_pipeline(
 
     check(cancel)?;
     let schedule_start = Instant::now();
-    let schedule = match cancel {
-        Some(token) => scheduler.schedule_cancellable(&sys, token)?,
-        None => scheduler.schedule(&sys)?,
-    };
+    // `schedule_tuned` honours the request's search knobs on schedulers
+    // that have tunable machinery and falls back to the plain
+    // schedule/schedule_cancellable entry points everywhere else.
+    let schedule = scheduler.schedule_tuned(&sys, &request.search, cancel)?;
     let schedule_micros = schedule_start.elapsed().as_micros() as u64;
     on_stage(Stage::Schedule, schedule_micros);
 

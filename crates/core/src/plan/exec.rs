@@ -1156,7 +1156,7 @@ mod tests {
             [PlanEvent::Failed { error, .. }] => {
                 assert_eq!(
                     error.to_string(),
-                    "unknown scheduler `annealing` (registered: greedy, optimal, serial, smart)"
+                    "unknown scheduler `annealing` (registered: greedy, optimal, optimal-par, portfolio, serial, smart)"
                 );
             }
             other => panic!("expected one Failed event, got {other:?}"),

@@ -4,15 +4,19 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::plan::error::CampaignError;
-use crate::sched::{GreedyScheduler, OptimalScheduler, Scheduler, SerialScheduler, SmartScheduler};
+use crate::sched::{
+    GreedyScheduler, OptimalScheduler, ParallelOptimalScheduler, PortfolioScheduler, Scheduler,
+    SerialScheduler, SmartScheduler,
+};
 
 /// A string-keyed table of [`Scheduler`] implementations.
 ///
 /// Requests select their algorithm by name, so a campaign file can sweep
 /// schedulers the same way it sweeps power budgets. The default table
-/// serves the four built-in planners (`serial`, `greedy`, `smart`,
-/// `optimal`); users register their own implementations under new names —
-/// the planning pipeline treats them identically.
+/// serves the six built-in planners (`serial`, `greedy`, `smart`,
+/// `optimal`, the work-stealing `optimal-par` and the racing
+/// `portfolio`); users register their own implementations under new
+/// names — the planning pipeline treats them identically.
 ///
 /// ```
 /// use noctest_core::plan::SchedulerRegistry;
@@ -31,7 +35,7 @@ use crate::sched::{GreedyScheduler, OptimalScheduler, Scheduler, SerialScheduler
 /// let mut registry = SchedulerRegistry::with_defaults();
 /// registry.register("reverse", Arc::new(ReversePriority));
 /// assert!(registry.get("reverse").is_ok());
-/// assert_eq!(registry.names().len(), 5);
+/// assert_eq!(registry.names().len(), 7);
 /// ```
 #[derive(Clone)]
 pub struct SchedulerRegistry {
@@ -55,7 +59,8 @@ impl SchedulerRegistry {
         }
     }
 
-    /// The default registry: `serial`, `greedy`, `smart` and `optimal`.
+    /// The default registry: `serial`, `greedy`, `smart`, `optimal`,
+    /// `optimal-par` and `portfolio`.
     #[must_use]
     pub fn with_defaults() -> Self {
         let mut r = SchedulerRegistry::empty();
@@ -63,6 +68,8 @@ impl SchedulerRegistry {
         r.register("greedy", Arc::new(GreedyScheduler));
         r.register("smart", Arc::new(SmartScheduler));
         r.register("optimal", Arc::new(OptimalScheduler::new()));
+        r.register("optimal-par", Arc::new(ParallelOptimalScheduler::new()));
+        r.register("portfolio", Arc::new(PortfolioScheduler::new()));
         r
     }
 
@@ -124,9 +131,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_serve_the_four_planners() {
+    fn defaults_serve_the_six_planners() {
         let r = SchedulerRegistry::with_defaults();
-        assert_eq!(r.names(), vec!["greedy", "optimal", "serial", "smart"]);
+        assert_eq!(
+            r.names(),
+            vec![
+                "greedy",
+                "optimal",
+                "optimal-par",
+                "portfolio",
+                "serial",
+                "smart"
+            ]
+        );
         for name in r.names() {
             assert_eq!(r.get(&name).unwrap().name(), name);
         }
@@ -141,7 +158,7 @@ mod tests {
                 available,
             }) => {
                 assert_eq!(requested, "annealing");
-                assert_eq!(available.len(), 4);
+                assert_eq!(available.len(), 6);
             }
             other => panic!("expected UnknownScheduler, got {other:?}"),
         }

@@ -20,6 +20,7 @@ fn usize_of(v: &Json) -> Option<usize> {
     v.as_u64().and_then(|n| usize::try_from(n).ok())
 }
 use crate::plan::error::CampaignError;
+use crate::sched::SearchTuning;
 use crate::system::{BudgetSpec, PriorityPolicy, SystemBuilder, SystemUnderTest};
 use crate::timing::{GenerationModel, TimingModel};
 
@@ -183,6 +184,10 @@ pub struct PlanRequest {
     pub priority: PriorityPolicy,
     /// Timing-model overrides.
     pub timing: TimingSpec,
+    /// Search tuning forwarded to schedulers with tunable machinery
+    /// (thread count for `optimal-par`/`portfolio`); the default is
+    /// "scheduler decides" and is omitted from JSON.
+    pub search: SearchTuning,
     /// Re-check every schedule invariant after planning (default `true`).
     pub validate: bool,
     /// Replay the whole schedule on the cycle-level simulator and attach
@@ -208,6 +213,7 @@ impl PlanRequest {
             scheduler: "greedy".to_owned(),
             priority: PriorityPolicy::Distance,
             timing: TimingSpec::default(),
+            search: SearchTuning::default(),
             validate: true,
             fidelity: None,
         }
@@ -244,6 +250,13 @@ impl PlanRequest {
     #[must_use]
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Forces the parallel search's worker-thread count (builder style).
+    #[must_use]
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search.threads = Some(threads);
         self
     }
 
@@ -481,6 +494,23 @@ impl PlanRequest {
             },
         };
 
+        let search = match doc.get("search") {
+            None | Some(Json::Null) => SearchTuning::default(),
+            Some(t) => {
+                if t.as_obj().is_none() {
+                    return Err(bad("`search` must be null or an object"));
+                }
+                let threads = field_opt(t, "threads", "an integer", usize_of)?;
+                if threads == Some(0) {
+                    // Zero threads is always a typo: 0 means "auto" only
+                    // through the scheduler's own default, never per
+                    // request.
+                    return Err(bad("`search.threads` must be at least 1"));
+                }
+                SearchTuning { threads }
+            }
+        };
+
         let fidelity = match doc.get("fidelity") {
             None | Some(Json::Null) | Some(Json::Bool(false)) => None,
             Some(Json::Bool(true)) => Some(FidelitySpec::default()),
@@ -519,6 +549,7 @@ impl PlanRequest {
             })?,
             priority,
             timing,
+            search,
             validate: field_or(doc, "validate", "a boolean", true, Json::as_bool)?,
             fidelity,
         })
@@ -633,6 +664,13 @@ impl PlanRequest {
             }
             members.push(("timing", Json::obj(t)));
         }
+        if !self.search.is_default() {
+            let mut t = Vec::new();
+            if let Some(v) = self.search.threads {
+                t.push(("threads", Json::int(v as u64)));
+            }
+            members.push(("search", Json::obj(t)));
+        }
         members.push(("validate", Json::Bool(self.validate)));
         if let Some(f) = &self.fidelity {
             members.push((
@@ -665,6 +703,7 @@ mod tests {
         r.timing.flit_width_bits = Some(32);
         r.timing.generation = Some(GenerationModel::PaperFlat);
         r.fidelity = Some(FidelitySpec { patterns_cap: 12 });
+        r.search = SearchTuning { threads: Some(2) };
         r
     }
 
@@ -686,7 +725,24 @@ mod tests {
         assert!(r.validate);
         assert!(r.processors.is_none());
         assert!(r.timing.is_default());
+        assert!(r.search.is_default(), "search tuning defaults to unset");
         assert!(r.fidelity.is_none(), "fidelity replay is opt-in");
+    }
+
+    #[test]
+    fn search_knob_decodes_and_rejects_zero_threads() {
+        let base = r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}"#;
+        let with = |tail: &str| PlanRequest::from_json_str(&format!("{base}, {tail}}}"));
+        assert_eq!(
+            with(r#""search": {"threads": 3}"#).unwrap().search,
+            SearchTuning { threads: Some(3) }
+        );
+        assert!(with(r#""search": null"#).unwrap().search.is_default());
+        assert!(with(r#""search": {}"#).unwrap().search.is_default());
+        // Zero threads and scalar knobs are errors, not silent defaults.
+        assert!(with(r#""search": {"threads": 0}"#).is_err());
+        assert!(with(r#""search": 4"#).is_err());
+        assert!(with(r#""search": {"threads": "many"}"#).is_err());
     }
 
     #[test]

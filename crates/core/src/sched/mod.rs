@@ -3,13 +3,32 @@
 pub(crate) mod engine;
 pub mod greedy;
 pub mod optimal;
+pub mod parallel;
 pub mod serial;
 pub mod smart;
 
 pub use greedy::GreedyScheduler;
 pub use optimal::OptimalScheduler;
+pub use parallel::{ParallelOptimalScheduler, PortfolioScheduler, SearchStats};
 pub use serial::SerialScheduler;
 pub use smart::SmartScheduler;
+
+/// How many node expansions pass between cooperative-cancellation polls
+/// in the branch-and-bound searches — shared by the serial
+/// ([`OptimalScheduler`]) and parallel ([`ParallelOptimalScheduler`])
+/// searches so both react to a tripped [`CancelToken`] on the same
+/// cadence.
+///
+/// The value trades cancellation latency against search throughput: a
+/// node expansion costs on the order of a microsecond, so polling every
+/// 1024 expansions bounds the reaction time to a tripped token at
+/// roughly a millisecond while keeping the poll itself (an atomic load)
+/// amortised to under 0.1% of search time. Lowering it tightens the
+/// kill latency of the portfolio racer and the executor's job
+/// cancellation; raising it shaves contention when many shards poll the
+/// same token, at the price of cancelled searches running longer before
+/// they notice.
+pub const CANCEL_POLL_PERIOD: u64 = 1024;
 
 use std::collections::HashMap;
 
@@ -282,6 +301,54 @@ pub trait Scheduler: Send + Sync + std::fmt::Debug {
     ) -> Result<Schedule, PlanError> {
         let _ = cancel;
         self.schedule(sys)
+    }
+
+    /// Plans the complete test of `sys` under per-request search tuning.
+    ///
+    /// Schedulers with tunable search machinery (the work-stealing
+    /// [`ParallelOptimalScheduler`], the [`PortfolioScheduler`] racer)
+    /// override this to honour [`SearchTuning`] — today a thread count —
+    /// without baking per-request knobs into the scheduler value shared
+    /// across the registry. The default ignores the tuning and delegates
+    /// to the cancellable/plain entry points, so heuristics need not care.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Scheduler::schedule_cancellable`].
+    fn schedule_tuned(
+        &self,
+        sys: &SystemUnderTest,
+        tuning: &SearchTuning,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Schedule, PlanError> {
+        let _ = tuning;
+        match cancel {
+            Some(token) => self.schedule_cancellable(sys, token),
+            None => self.schedule(sys),
+        }
+    }
+}
+
+/// Per-request knobs for schedulers that run a tunable search.
+///
+/// Carried by [`crate::plan::PlanRequest`] (JSON member `"search"`) and
+/// threaded through the pipeline to [`Scheduler::schedule_tuned`]. All
+/// fields are optional; `SearchTuning::default()` means "scheduler
+/// defaults" and is omitted from request JSON entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchTuning {
+    /// Worker-thread count for the parallel branch-and-bound: `None`
+    /// keeps the scheduler's own setting, `Some(n)` forces `n` threads
+    /// (`Some(0)` is rejected at request decode).
+    pub threads: Option<usize>,
+}
+
+impl SearchTuning {
+    /// True when every knob is at its default (request JSON omits the
+    /// `"search"` object in that case).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == SearchTuning::default()
     }
 }
 

@@ -14,28 +14,29 @@
 //! time to the next completion. Pruning: a lower bound combining the
 //! longest remaining single session and per-interface remaining work
 //! against the incumbent.
+//!
+//! The pure search ingredients — feasibility, the lower bound, canonical
+//! candidate enumeration — live in the crate-private `SearchCore` so the
+//! multi-threaded search in [`crate::sched::parallel`] explores
+//! byte-identical trees.
 
 use crate::cut::{CutId, CutKind};
 use crate::error::PlanError;
 use crate::interface::InterfaceId;
 use crate::path::LinkSet;
-use crate::sched::{CancelToken, Schedule, ScheduledTest, Scheduler};
+use crate::sched::parallel::SearchStats;
+use crate::sched::{CancelToken, Schedule, ScheduledTest, Scheduler, CANCEL_POLL_PERIOD};
 use crate::system::SystemUnderTest;
-
-/// How many node expansions pass between cancellation polls — cheap
-/// enough to be invisible, frequent enough that a cancelled search stops
-/// within milliseconds.
-const CANCEL_POLL_PERIOD: u64 = 1024;
 
 /// Exact scheduler with a size guard (exponential search).
 ///
-/// The search is *anytime*: it starts from the greedy incumbent and only
+/// The search is *anytime*: it starts from the heuristic incumbent and only
 /// improves it, so a node-expansion budget ([`max_expansions`]) bounds the
 /// worst case deterministically — generated corpora contain instances
 /// whose exact search runs for hours, and an expansion count (unlike a
 /// wall-clock timeout) cuts them reproducibly. Within budget the result
 /// is provably minimal; when the budget trips, it is the best schedule
-/// found so far (always valid, never worse than greedy).
+/// found so far (always valid, never worse than the heuristics).
 ///
 /// [`max_expansions`]: OptimalScheduler::max_expansions
 #[derive(Debug, Clone, Copy)]
@@ -72,33 +73,86 @@ impl OptimalScheduler {
     }
 }
 
+/// A session currently running in a partial schedule.
 #[derive(Debug, Clone)]
-struct Active {
-    cut: CutId,
-    interface: InterfaceId,
-    end: u64,
-    power: f64,
-    links: LinkSet,
+pub(crate) struct Active {
+    pub(crate) cut: CutId,
+    pub(crate) interface: InterfaceId,
+    pub(crate) end: u64,
+    pub(crate) power: f64,
+    pub(crate) links: LinkSet,
 }
 
-struct Search<'a> {
-    sys: &'a SystemUnderTest,
-    best: u64,
-    best_entries: Vec<ScheduledTest>,
+/// Rejects systems the exponential search must not attempt.
+pub(crate) fn check_guards(sys: &SystemUnderTest, max_cores: usize) -> Result<(), PlanError> {
+    if sys.interfaces().is_empty() {
+        return Err(PlanError::NoInterfaces);
+    }
+    if sys.cuts().len() > max_cores {
+        return Err(PlanError::InvalidSchedule(format!(
+            "optimal scheduler is exponential; {} cores exceed the {}-core guard",
+            sys.cuts().len(),
+            max_cores
+        )));
+    }
+    Ok(())
+}
+
+/// Seed incumbent shared by the serial and parallel searches: the best of
+/// the greedy *and* smart heuristics (greedy wins ties, preserving the
+/// historical seed wherever the two agree). Starting from the better of
+/// the two means no search — and no parallel shard — ever opens with a
+/// worse bound than the cheap heuristics can provide.
+pub(crate) fn seed_schedule(sys: &SystemUnderTest) -> Result<Schedule, PlanError> {
+    let greedy = crate::sched::GreedyScheduler.schedule(sys)?;
+    let smart = crate::sched::SmartScheduler.schedule(sys)?;
+    Ok(if smart.makespan() < greedy.makespan() {
+        smart
+    } else {
+        greedy
+    })
+}
+
+/// The pure, state-free search ingredients: feasibility under the paper's
+/// rules, the admissible lower bound, and canonical candidate
+/// enumeration. Shared verbatim between the recursive serial search and
+/// the explicit-stack parallel shards so both explore the *same* tree in
+/// the *same* order.
+pub(crate) struct SearchCore<'a> {
+    pub(crate) sys: &'a SystemUnderTest,
     /// Minimal session duration per cut over all usable interfaces.
-    min_dur: Vec<u64>,
-    /// Nodes expanded so far vs. the (deterministic) budget.
-    expansions: u64,
-    max_expansions: u64,
-    /// Cooperative-cancellation token, polled every
-    /// [`CANCEL_POLL_PERIOD`] expansions.
-    cancel: Option<&'a CancelToken>,
-    /// Latched once the token fires, so the whole recursion unwinds.
-    cancelled: bool,
+    pub(crate) min_dur: Vec<u64>,
 }
 
-impl Search<'_> {
-    fn feasible_now(
+impl<'a> SearchCore<'a> {
+    pub(crate) fn new(sys: &'a SystemUnderTest) -> Self {
+        let min_dur: Vec<u64> = sys
+            .cuts()
+            .iter()
+            .map(|cut| {
+                sys.interface_ids()
+                    .filter(|iface| {
+                        sys.interface(*iface)
+                            .processor_index()
+                            .is_none_or(|idx| cut.kind != CutKind::Processor(idx))
+                    })
+                    .map(|iface| sys.session_cycles(iface, cut.id))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect();
+        SearchCore { sys, min_dur }
+    }
+
+    pub(crate) fn proc_count(&self) -> usize {
+        self.sys
+            .interfaces()
+            .iter()
+            .filter(|i| !i.is_external())
+            .count()
+    }
+
+    pub(crate) fn feasible_now(
         &self,
         active: &[Active],
         active_power: f64,
@@ -130,7 +184,7 @@ impl Search<'_> {
     }
 
     /// A makespan lower bound for the current partial schedule.
-    fn lower_bound(&self, now: u64, active: &[Active], remaining: &[CutId]) -> u64 {
+    pub(crate) fn lower_bound(&self, now: u64, active: &[Active], remaining: &[CutId]) -> u64 {
         let active_bound = active.iter().map(|a| a.end).max().unwrap_or(now);
         let longest_remaining = remaining
             .iter()
@@ -144,6 +198,54 @@ impl Search<'_> {
         active_bound.max(longest_remaining).max(spread)
     }
 
+    /// Canonical start candidates at this node: every feasible
+    /// (cut, interface) pair past `min_start`, in (cut, interface) order —
+    /// the one enumeration order both searches must share for
+    /// byte-identical results.
+    #[allow(clippy::too_many_arguments)] // mirrors the node state tuple
+    pub(crate) fn candidates(
+        &self,
+        active: &[Active],
+        active_power: f64,
+        proc_ready: &[Option<u64>],
+        now: u64,
+        remaining: &[CutId],
+        min_start: Option<(CutId, InterfaceId)>,
+    ) -> Vec<(CutId, InterfaceId)> {
+        remaining
+            .iter()
+            .flat_map(|&cut| {
+                self.sys
+                    .interface_ids()
+                    .map(move |iface| (cut, iface))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|&(cut, iface)| min_start.is_none_or(|m| (cut, iface) > m))
+            .filter(|&(cut, iface)| {
+                self.feasible_now(active, active_power, proc_ready, now, cut, iface)
+            })
+            .collect()
+    }
+}
+
+struct Search<'a> {
+    core: SearchCore<'a>,
+    best: u64,
+    best_entries: Vec<ScheduledTest>,
+    /// Nodes expanded so far vs. the (deterministic) budget.
+    expansions: u64,
+    max_expansions: u64,
+    /// Cooperative-cancellation token, polled every
+    /// [`CANCEL_POLL_PERIOD`] expansions.
+    cancel: Option<&'a CancelToken>,
+    /// Latched once the token fires, so the whole recursion unwinds.
+    cancelled: bool,
+    /// Latched when the expansion budget trips: the result is the
+    /// incumbent, not a proof of optimality.
+    cut: bool,
+}
+
+impl Search<'_> {
     #[allow(clippy::too_many_arguments)] // recursive search state
     fn dfs(
         &mut self,
@@ -163,10 +265,14 @@ impl Search<'_> {
             }
             return;
         }
+        if self.cancelled {
+            return;
+        }
         // Anytime cut: past the expansion budget, stop refining and keep
         // the incumbent (counted in nodes, not wall time, so the result
         // is reproducible on any machine).
-        if self.cancelled || self.expansions >= self.max_expansions {
+        if self.expansions >= self.max_expansions {
+            self.cut = true;
             return;
         }
         // Poll on the first expansion and every period after it, so even
@@ -178,38 +284,28 @@ impl Search<'_> {
             return;
         }
         self.expansions += 1;
-        if self.lower_bound(now, active, remaining) >= self.best {
+        if self.core.lower_bound(now, active, remaining) >= self.best {
             return;
         }
 
         // Branch 1: start a feasible session now (canonical order to avoid
         // exploring permutations of simultaneous starts twice).
-        let candidates: Vec<(CutId, InterfaceId)> = remaining
-            .iter()
-            .flat_map(|&cut| {
-                self.sys
-                    .interface_ids()
-                    .map(move |iface| (cut, iface))
-                    .collect::<Vec<_>>()
-            })
-            .filter(|&(cut, iface)| min_start.is_none_or(|m| (cut, iface) > m))
-            .filter(|&(cut, iface)| {
-                self.feasible_now(active, active_power, proc_ready, now, cut, iface)
-            })
-            .collect();
+        let candidates =
+            self.core
+                .candidates(active, active_power, proc_ready, now, remaining, min_start);
         for (cut, iface) in candidates {
-            let dur = self.sys.session_cycles(iface, cut);
+            let dur = self.core.sys.session_cycles(iface, cut);
             let end = now + dur;
             if end >= self.best {
                 continue;
             }
-            let power = self.sys.session_power(iface, cut);
+            let power = self.core.sys.session_power(iface, cut);
             active.push(Active {
                 cut,
                 interface: iface,
                 end,
                 power,
-                links: self.sys.path(iface, cut).links.clone(),
+                links: self.core.sys.path(iface, cut).links.clone(),
             });
             let pos = remaining.iter().position(|&c| c == cut).expect("waiting");
             remaining.remove(pos);
@@ -255,7 +351,7 @@ impl Search<'_> {
             let freed_power: f64 = finished.iter().map(|a| a.power).sum();
             let mut ready_updates = Vec::new();
             for a in &finished {
-                if let CutKind::Processor(idx) = self.sys.cut(a.cut).kind {
+                if let CutKind::Processor(idx) = self.core.sys.cut(a.cut).kind {
                     ready_updates.push((idx, proc_ready[idx]));
                     proc_ready[idx] = Some(a.end);
                 }
@@ -284,45 +380,34 @@ impl OptimalScheduler {
         sys: &SystemUnderTest,
         cancel: Option<&CancelToken>,
     ) -> Result<Schedule, PlanError> {
-        if sys.interfaces().is_empty() {
-            return Err(PlanError::NoInterfaces);
-        }
-        if sys.cuts().len() > self.max_cores {
-            return Err(PlanError::InvalidSchedule(format!(
-                "optimal scheduler is exponential; {} cores exceed the {}-core guard",
-                sys.cuts().len(),
-                self.max_cores
-            )));
-        }
-        // Seed the incumbent with the greedy solution: correct upper bound
-        // and strong pruning from the start.
-        let greedy = crate::sched::GreedyScheduler.schedule(sys)?;
-        let min_dur: Vec<u64> = sys
-            .cuts()
-            .iter()
-            .map(|cut| {
-                sys.interface_ids()
-                    .filter(|iface| {
-                        sys.interface(*iface)
-                            .processor_index()
-                            .is_none_or(|idx| cut.kind != CutKind::Processor(idx))
-                    })
-                    .map(|iface| sys.session_cycles(iface, cut.id))
-                    .min()
-                    .unwrap_or(u64::MAX)
-            })
-            .collect();
+        self.schedule_with_stats(sys, cancel).map(|(s, _)| s)
+    }
+
+    /// Runs the search and reports how it ended: how many nodes were
+    /// expanded and whether the budget cut it short. The stats let
+    /// callers (the portfolio racer, `search_bench`) distinguish a
+    /// *proved* optimum from a budget-limited incumbent.
+    pub fn schedule_with_stats(
+        &self,
+        sys: &SystemUnderTest,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Schedule, SearchStats), PlanError> {
+        check_guards(sys, self.max_cores)?;
+        // Seed the incumbent with the better heuristic: correct upper
+        // bound and strong pruning from the start.
+        let seed = seed_schedule(sys)?;
+        let core = SearchCore::new(sys);
+        let proc_count = core.proc_count();
         let mut search = Search {
-            sys,
-            best: greedy.makespan(),
-            best_entries: greedy.entries().to_vec(),
-            min_dur,
+            core,
+            best: seed.makespan(),
+            best_entries: seed.entries().to_vec(),
             expansions: 0,
             max_expansions: self.max_expansions.unwrap_or(u64::MAX),
             cancel,
             cancelled: false,
+            cut: false,
         };
-        let proc_count = sys.interfaces().iter().filter(|i| !i.is_external()).count();
         let mut remaining: Vec<CutId> = sys.cuts().iter().map(|c| c.id).collect();
         search.dfs(
             0,
@@ -340,7 +425,13 @@ impl OptimalScheduler {
             // a completed budgeted search.
             return Err(PlanError::Cancelled);
         }
-        Ok(Schedule::new(search.best_entries))
+        let stats = SearchStats {
+            expansions: search.expansions,
+            exhausted: search.cut,
+            threads: 1,
+            tasks: 0,
+        };
+        Ok((Schedule::new(search.best_entries), stats))
     }
 }
 
@@ -411,6 +502,26 @@ mod tests {
     }
 
     #[test]
+    fn seed_is_the_better_heuristic() {
+        // The incumbent can never open worse than *either* heuristic.
+        for (cores, procs) in [(3usize, 1usize), (5, 2), (6, 2)] {
+            let sys = small_system(cores, procs);
+            let seed = seed_schedule(&sys).unwrap();
+            let greedy = GreedyScheduler.schedule(&sys).unwrap();
+            let smart = SmartScheduler.schedule(&sys).unwrap();
+            assert_eq!(
+                seed.makespan(),
+                greedy.makespan().min(smart.makespan()),
+                "{cores} cores / {procs} procs"
+            );
+            // Ties keep the greedy entries (historical behaviour).
+            if greedy.makespan() <= smart.makespan() {
+                assert_eq!(seed.entries(), greedy.entries());
+            }
+        }
+    }
+
+    #[test]
     fn expansion_budget_is_anytime_and_deterministic() {
         let sys = small_system(5, 2);
         let exact = OptimalScheduler::new()
@@ -419,7 +530,7 @@ mod tests {
             .unwrap();
         let greedy = GreedyScheduler.schedule(&sys).unwrap();
         // A starved search still returns a valid schedule no worse than
-        // its greedy incumbent...
+        // its heuristic incumbent...
         let starved = OptimalScheduler::new().with_max_expansions(Some(1));
         let a = starved.schedule(&sys).unwrap();
         a.validate(&sys).unwrap();
@@ -432,6 +543,23 @@ mod tests {
         // systems to finish exactly.
         let defaulted = OptimalScheduler::new().schedule(&sys).unwrap();
         assert_eq!(defaulted.makespan(), exact.makespan());
+    }
+
+    #[test]
+    fn stats_report_exhaustion_and_proof() {
+        let sys = small_system(5, 2);
+        let (_, starved) = OptimalScheduler::new()
+            .with_max_expansions(Some(1))
+            .schedule_with_stats(&sys, None)
+            .unwrap();
+        assert!(starved.exhausted);
+        assert!(!starved.proved_optimal());
+        assert_eq!(starved.expansions, 1);
+        let (_, full) = OptimalScheduler::new()
+            .schedule_with_stats(&sys, None)
+            .unwrap();
+        assert!(full.proved_optimal());
+        assert!(full.expansions > 1);
     }
 
     #[test]

@@ -220,6 +220,7 @@ impl CorpusSpec {
                     scheduler: String::new(),
                     priority: PriorityPolicy::Distance,
                     timing: TimingSpec::default(),
+                    search: noctest_core::SearchTuning::default(),
                     validate: true,
                     fidelity: self
                         .fidelity_patterns_cap
@@ -653,7 +654,14 @@ mod tests {
         // Every default-registry scheduler participates.
         assert_eq!(
             spec.schedulers,
-            vec!["greedy", "optimal", "serial", "smart"]
+            vec![
+                "greedy",
+                "optimal",
+                "optimal-par",
+                "portfolio",
+                "serial",
+                "smart"
+            ]
         );
         // Small enough for optimal's exponential-search guard: cores
         // plus processors stay within 10 cuts.

@@ -36,7 +36,17 @@ fn json_request_runs_under_every_registered_scheduler() {
     assert_eq!(base.name, "acceptance");
 
     let names = campaign.registry().names();
-    assert_eq!(names, vec!["greedy", "optimal", "serial", "smart"]);
+    assert_eq!(
+        names,
+        vec![
+            "greedy",
+            "optimal",
+            "optimal-par",
+            "portfolio",
+            "serial",
+            "smart"
+        ]
+    );
 
     let sys = base.build_system().expect("system builds");
     for name in names {
@@ -64,10 +74,12 @@ fn json_request_runs_under_every_registered_scheduler() {
 fn fidelity_section_roundtrips_for_every_scheduler_on_d695() {
     let campaign = Campaign::new();
     for name in campaign.registry().names() {
-        // `optimal` enumerates exhaustively and guards against systems
-        // beyond 10 cores; d695 without processors (10 cores) is within
-        // the guard. The heuristics get the full processor-reuse system.
-        let request = if name == "optimal" {
+        // The exact searches enumerate exhaustively and guard against
+        // systems beyond 10 cores; d695 without processors (10 cores) is
+        // within the guard. The heuristics (and `portfolio`, whose exact
+        // entrant degrades to its heuristic field past the guard) get
+        // the full processor-reuse system.
+        let request = if name == "optimal" || name == "optimal-par" {
             PlanRequest::benchmark("d695", 4, 4)
         } else {
             PlanRequest::benchmark("d695", 4, 4).with_processors("leon", 6, 4)

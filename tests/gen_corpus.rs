@@ -6,12 +6,15 @@
 //! profile-cache counters prove characterisation is paid once per key.
 
 use noctest::core::plan::Campaign;
-use noctest::core::{BudgetSpec, OptimalScheduler, SchedulerRegistry};
+use noctest::core::{
+    BudgetSpec, OptimalScheduler, ParallelOptimalScheduler, PortfolioScheduler, SchedulerRegistry,
+};
 use noctest::gen::{CorpusSpec, ProcessorAxis, RecipeFamily, SocRecipe};
 
 /// ≥20 SoCs × every registered scheduler, kept debug-test friendly:
-/// small cores, one mesh, one budget, and `optimal` re-registered with a
-/// tight expansion budget (same registry names, bounded search).
+/// small cores, one mesh, one budget, and the exact searches (`optimal`,
+/// `optimal-par`, `portfolio`'s entrant) re-registered with tight
+/// expansion budgets (same registry names, bounded search).
 fn corpus_spec() -> CorpusSpec {
     CorpusSpec {
         seed: 0xC0FFEE,
@@ -35,6 +38,22 @@ fn corpus_campaign() -> Campaign {
         "optimal",
         std::sync::Arc::new(OptimalScheduler::new().with_max_expansions(Some(10_000))),
     );
+    registry.register(
+        "optimal-par",
+        std::sync::Arc::new(
+            ParallelOptimalScheduler::new()
+                .with_threads(2)
+                .with_max_expansions(Some(10_000)),
+        ),
+    );
+    registry.register(
+        "portfolio",
+        std::sync::Arc::new(
+            PortfolioScheduler::new()
+                .with_threads(2)
+                .with_max_expansions(Some(10_000)),
+        ),
+    );
     Campaign::with_registry(registry)
 }
 
@@ -44,7 +63,14 @@ fn every_scheduler_validates_over_twenty_generated_socs() {
     assert!(spec.soc_count() >= 20);
     assert_eq!(
         spec.schedulers,
-        vec!["greedy", "optimal", "serial", "smart"]
+        vec![
+            "greedy",
+            "optimal",
+            "optimal-par",
+            "portfolio",
+            "serial",
+            "smart"
+        ]
     );
 
     // Every request validates its schedule (`validate: true` is the
@@ -78,6 +104,10 @@ fn every_scheduler_validates_over_twenty_generated_socs() {
             .unwrap_or_else(|| panic!("{name} missing from report"))
     };
     assert!(by_name("optimal").makespan.mean <= by_name("greedy").makespan.mean);
+    // The parallel search and the portfolio are never worse than the
+    // heuristics either (both are seeded by them).
+    assert!(by_name("optimal-par").makespan.mean <= by_name("greedy").makespan.mean);
+    assert!(by_name("portfolio").makespan.mean <= by_name("smart").makespan.mean);
 
     // The profile cache pays plasma/BIST characterisation once for the
     // whole corpus: every scenario resolves a processor spec, and at most
