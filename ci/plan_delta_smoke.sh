@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI smoke gate for the re-planning benchmark: run `plan-delta --smoke`
+# twice and byte-check the deterministic section of `BENCH_delta.json`
+# (per-pair content hashes, warm-start donors and distances, expansion
+# counts, seed provenance and FNV-1a schedule digests). The binary
+# prints exactly that section on stdout, so the gate is a straight byte
+# comparison; timings (the `measured` section) are machine-dependent
+# and deliberately excluded. The binary's own exit status already gates
+# warm-vs-cold byte-identity on proved instances, cache-hit
+# byte-identity, and the >= 5x session expansion reduction.
+#
+# Usage: ci/plan_delta_smoke.sh [path-to-plan-delta]
+set -euo pipefail
+
+BIN="${1:-target/release/plan-delta}"
+if [ ! -x "$BIN" ]; then
+    echo "plan_delta_smoke: $BIN not found or not executable" >&2
+    exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN" --smoke --out "$WORK/first.json" >"$WORK/first.det"
+"$BIN" --smoke --out "$WORK/second.json" >"$WORK/second.det"
+
+if ! cmp -s "$WORK/first.det" "$WORK/second.det"; then
+    echo "plan_delta_smoke: deterministic sections differ between runs" >&2
+    diff "$WORK/first.det" "$WORK/second.det" >&2 || true
+    exit 1
+fi
+
+for run in first second; do
+    if [ ! -s "$WORK/$run.json" ]; then
+        echo "plan_delta_smoke: $run run wrote no report" >&2
+        exit 1
+    fi
+done
+
+echo "plan_delta_smoke: deterministic section reproduced byte-identically"

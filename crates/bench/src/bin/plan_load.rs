@@ -166,7 +166,10 @@ fn run(config: &Config) -> Result<Json, String> {
         let client = format!("client-{}", index % config.clients);
         let t0 = Instant::now();
         match tier.submit_for(request(config.seed, index), Some(&client), 0) {
-            SubmitOutcome::Admitted { job } | SubmitOutcome::Deduped { job } => {
+            SubmitOutcome::Admitted { job }
+            | SubmitOutcome::Deduped { job }
+            | SubmitOutcome::Cached { job, .. }
+            | SubmitOutcome::WarmStarted { job, .. } => {
                 submitted_at.insert(job.0, t0);
             }
             SubmitOutcome::Rejected { .. } => rejected += 1,

@@ -31,7 +31,7 @@
 //! ## Service flags
 //!
 //! With the defaults the wire behaviour is exactly the classic
-//! single-executor daemon, byte for byte. Three flags opt into the
+//! single-executor daemon, byte for byte. Four flags opt into the
 //! service tier (see `noctest_serve`):
 //!
 //! * `--shards N` — N executor shards; requests route by consistent
@@ -45,6 +45,14 @@
 //!   that were queued are replayed (same ids); resubmissions of
 //!   completed requests are served from the journal byte-identically
 //!   without replanning.
+//! * `--plan-cache N` — content-addressed plan cache holding up to N
+//!   outcomes (see `noctest_replan`). Exact content hits (same planning
+//!   inputs, any request name) are served without planning — the
+//!   lifecycle events stream as usual, followed by an in-band
+//!   `{"event":"cached",...}` line. Near misses warm-start the search
+//!   from the closest cached donor, reported by a
+//!   `{"event":"warm_start",...}` line; the planned outcome stays
+//!   byte-identical to a cold run (within search budget).
 //!
 //! ```text
 //! printf '%s\n' \
@@ -64,7 +72,8 @@ use noctest_serve::wire;
 use noctest_serve::{ServeTier, SubmitOutcome};
 
 const USAGE: &str =
-    "usage: plan-serve [--threads N] [--shards N] [--queue-depth D] [--journal PATH]\n\
+    "usage: plan-serve [--threads N] [--shards N] [--queue-depth D] [--journal PATH] \
+     [--plan-cache N]\n\
      reads NDJSON PlanRequests (or {\"cancel\": id|name}) on stdin,\n\
      emits NDJSON lifecycle events on stdout";
 
@@ -81,6 +90,7 @@ fn main() -> ExitCode {
     let mut shards: Option<usize> = None;
     let mut queue_depth: Option<usize> = None;
     let mut journal: Option<String> = None;
+    let mut plan_cache: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -116,6 +126,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--plan-cache" => match parse_count("--plan-cache", args.next()) {
+                Ok(value) if value >= 1 => plan_cache = Some(value),
+                Ok(_) => {
+                    eprintln!("plan-serve: --plan-cache must be at least 1");
+                    return ExitCode::from(2);
+                }
+                Err(message) => {
+                    eprintln!("plan-serve: {message}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -123,7 +144,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "plan-serve: unknown argument `{other}` (supported: --threads N, \
-                     --shards N, --queue-depth D, --journal PATH)"
+                     --shards N, --queue-depth D, --journal PATH, --plan-cache N)"
                 );
                 return ExitCode::from(2);
             }
@@ -149,6 +170,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &journal {
         builder = builder.journal(path);
+    }
+    if let Some(capacity) = plan_cache {
+        builder = builder.plan_cache(capacity);
     }
     let tier = match builder.build() {
         Ok(tier) => tier,
@@ -208,14 +232,29 @@ fn main() -> ExitCode {
             Ok(request) => {
                 let client = doc.get("client").and_then(Json::as_str);
                 let priority = doc.get("priority").and_then(Json::as_f64).unwrap_or(0.0) as i32;
-                if let SubmitOutcome::Rejected {
-                    request,
-                    client,
-                    shard,
-                    reason,
-                } = tier.submit_for(request, client, priority)
-                {
-                    sink.write_line(&wire::rejected_line(&request, &client, &shard, &reason));
+                let name = request.name.clone();
+                match tier.submit_for(request, client, priority) {
+                    SubmitOutcome::Rejected {
+                        request,
+                        client,
+                        shard,
+                        reason,
+                    } => {
+                        sink.write_line(&wire::rejected_line(&request, &client, &shard, &reason));
+                    }
+                    SubmitOutcome::Cached { job, content } => {
+                        // The synthetic queued/completed pair is already
+                        // on the wire; this line carries the provenance.
+                        sink.write_line(&wire::cached_line(job.0, &name, &content));
+                    }
+                    SubmitOutcome::WarmStarted {
+                        job,
+                        from,
+                        distance,
+                    } => {
+                        sink.write_line(&wire::warm_start_line(job.0, &name, &from, distance));
+                    }
+                    SubmitOutcome::Admitted { .. } | SubmitOutcome::Deduped { .. } => {}
                 }
             }
             Err(error) => sink.write_line(&wire::error_line(lineno, &error.to_string())),

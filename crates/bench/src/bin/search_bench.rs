@@ -30,11 +30,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use noctest_bench::schedule_digest;
 use noctest_core::json::Json;
 use noctest_core::plan::{PlanRequest, SocSource};
-use noctest_core::{
-    OptimalScheduler, ParallelOptimalScheduler, Schedule, SearchTuning, SystemUnderTest,
-};
+use noctest_core::{OptimalScheduler, ParallelOptimalScheduler, SearchTuning, SystemUnderTest};
 use noctest_gen::RecipeFamily;
 
 /// Thread count for the `deterministic` section: pinned so the section
@@ -95,21 +94,6 @@ fn instances(base_seed: u64, count: usize, cores: u32, budget: u64) -> Vec<Insta
         .collect()
 }
 
-/// FNV-1a over the canonical schedule encoding: a compact, stable
-/// fingerprint for byte-identity checks.
-fn schedule_digest(schedule: &Schedule) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for e in schedule.entries() {
-        for word in [u64::from(e.cut.0), e.interface.0 as u64, e.start, e.end] {
-            for byte in word.to_le_bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-    }
-    format!("{hash:016x}")
-}
-
 struct Run {
     makespan: u64,
     expansions: u64,
@@ -122,7 +106,7 @@ fn run_serial(instance: &Instance) -> Run {
     let started = Instant::now();
     let (schedule, stats) = OptimalScheduler::new()
         .with_max_expansions(Some(instance.budget))
-        .schedule_with_stats(&instance.sys, None)
+        .schedule_with_stats(&instance.sys, &SearchTuning::default(), None)
         .expect("serial search succeeds");
     Run {
         makespan: schedule.makespan(),

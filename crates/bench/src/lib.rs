@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use noctest_core::plan::exec::{Executor, JobResult, NdjsonSink};
 use noctest_core::plan::{Campaign, CampaignError, PlanOutcome, PlanRequest, RequestMatrix};
-use noctest_core::{BudgetSpec, SystemUnderTest};
+use noctest_core::{BudgetSpec, Schedule, SystemUnderTest};
 use noctest_cpu::ProcessorProfile;
 use noctest_itc02::{data, SocDesc};
 
@@ -186,6 +186,23 @@ fn reduction_percent<I: Iterator<Item = u64>>(first: Option<&Figure1Point>, seri
     let base = first.no_limit.max(1);
     let best = series.min().unwrap_or(base);
     100.0 * (1.0 - best as f64 / base as f64)
+}
+
+/// FNV-1a over the canonical schedule encoding: a compact, stable
+/// fingerprint for byte-identity gates (shared by the `search-bench`
+/// and `plan-delta` binaries and their CI smoke scripts).
+#[must_use]
+pub fn schedule_digest(schedule: &Schedule) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in schedule.entries() {
+        for word in [u64::from(e.cut.0), e.interface.0 as u64, e.start, e.end] {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    format!("{hash:016x}")
 }
 
 /// Parses the value following a `--threads` flag (shared by the

@@ -1,0 +1,195 @@
+//! Stable, dependency-free content hashing.
+//!
+//! One avalanche/hash implementation for the whole workspace: [`fnv1a`]
+//! (byte-serial, standard offset basis and prime) and [`spread`]
+//! (splitmix64's finalizing mixer). The serve tier's `RequestKey` and
+//! consistent-hash ring build on these; this crate adds [`ContentHash`],
+//! the *semantic* content key of a [`PlanRequest`].
+//!
+//! A [`ContentHash`] covers the canonical forms of the SoC model, the
+//! mesh and processor complement, the constraints (budget, priority,
+//! timing knobs), the scheduler id and the search tuning — everything
+//! that determines what gets planned — while ignoring the request `name`
+//! (a label on the outcome, not an input to planning). Two requests with
+//! equal content hashes plan the same system the same way; a plan cache
+//! keyed by [`ContentHash`] can therefore serve one request's outcome for
+//! the other, relabelled.
+//!
+//! Hashing goes through [`PlanRequest::to_json`], so any JSON spelling of
+//! a request — members reordered, whitespace, defaults made explicit —
+//! canonicalises to the same bytes before hashing. The hash is 64-bit:
+//! callers that cannot tolerate collisions must store the canonical text
+//! alongside and double-check exact equality, exactly as the serve
+//! journal does for `RequestKey`.
+
+use crate::json::Json;
+use crate::plan::PlanRequest;
+
+/// FNV-1a, 64-bit — the standard offset basis and prime. Deterministic
+/// across platforms and runs, cheap, and dependency-free; collision
+/// resistance is not required (see the module docs).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Finalizing mixer (splitmix64's avalanche). FNV-1a is byte-serial and
+/// clusters badly on short, similar inputs; one avalanche pass spreads
+/// hashes uniformly over the 64-bit space. It is a fixed bijection, so
+/// determinism is unaffected.
+#[must_use]
+pub fn spread(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The semantic content key of a [`PlanRequest`]: an avalanche-mixed
+/// FNV-1a hash over the request's canonical JSON with the `name` member
+/// removed.
+///
+/// ```
+/// use noctest_core::hashing::ContentHash;
+/// use noctest_core::plan::PlanRequest;
+///
+/// let a = PlanRequest::benchmark("d695", 4, 4).with_name("monday");
+/// let b = PlanRequest::benchmark("d695", 4, 4).with_name("tuesday");
+/// assert_eq!(ContentHash::of(&a), ContentHash::of(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u64);
+
+impl ContentHash {
+    /// The content hash of a request (hash of [`canonical_content`]).
+    #[must_use]
+    pub fn of(request: &PlanRequest) -> Self {
+        ContentHash(spread(fnv1a(canonical_content(request).as_bytes())))
+    }
+
+    /// The hash as a 16-digit lower-hex string (wire/journal form).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the 16-digit lower-hex wire form.
+    #[must_use]
+    pub fn from_hex(text: &str) -> Option<Self> {
+        if text.len() != 16 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(text, 16).ok().map(ContentHash)
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// The canonical *content* text a request is content-hashed by: its
+/// compact canonical JSON with the top-level `name` member removed. The
+/// name labels the outcome; it does not change what gets planned. (A
+/// `cores`-sourced SoC keeps its inner system name — that is model
+/// identity, not a label.)
+#[must_use]
+pub fn canonical_content(request: &PlanRequest) -> String {
+    let doc = request.to_json();
+    match doc {
+        Json::Obj(members) => Json::Obj(
+            members
+                .into_iter()
+                .filter(|(key, _)| key != "name")
+                .collect(),
+        )
+        .compact(),
+        other => other.compact(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BudgetSpec;
+
+    fn base() -> PlanRequest {
+        PlanRequest::benchmark("d695", 4, 4)
+            .with_processors("plasma", 2, 2)
+            .with_budget(BudgetSpec::Fraction(0.6))
+    }
+
+    #[test]
+    fn fnv1a_matches_the_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn spread_is_the_splitmix64_finalizer() {
+        // A bijection that moves every tested point and inverts nowhere
+        // trivially; pin a couple of values so the constant set cannot
+        // silently drift.
+        assert_eq!(spread(0), 0);
+        assert_eq!(spread(1), 0x5692_161d_100b_05e5);
+        for x in [1u64, 42, u64::MAX, 0xdead_beef] {
+            assert_ne!(spread(x), x);
+        }
+    }
+
+    #[test]
+    fn content_hash_ignores_the_request_name() {
+        let a = ContentHash::of(&base().with_name("a"));
+        assert_eq!(a, ContentHash::of(&base().with_name("b")));
+        assert_eq!(a, ContentHash::of(&base()));
+        // But any planning input changes the hash.
+        assert_ne!(a, ContentHash::of(&base().with_scheduler("smart")));
+        assert_ne!(
+            a,
+            ContentHash::of(&base().with_budget(BudgetSpec::Unlimited))
+        );
+        assert_ne!(a, ContentHash::of(&PlanRequest::benchmark("d695", 5, 5)));
+        assert_ne!(a, ContentHash::of(&base().with_search_threads(2)));
+    }
+
+    #[test]
+    fn content_hash_is_insensitive_to_json_member_order() {
+        let canonical = base().with_name("x");
+        let text = canonical.to_json().compact();
+        // Reparse a hand-scrambled spelling: members reversed, whitespace
+        // added. from_json canonicalises, so the hash must match.
+        let doc = Json::parse(&text).unwrap();
+        let mut members = doc.as_obj().unwrap().to_vec();
+        members.reverse();
+        let scrambled = Json::Obj(members).pretty();
+        let reparsed = PlanRequest::from_json_str(&scrambled).unwrap();
+        assert_eq!(reparsed, canonical);
+        assert_eq!(ContentHash::of(&reparsed), ContentHash::of(&canonical));
+    }
+
+    #[test]
+    fn canonical_content_drops_only_the_name() {
+        let with = base().with_name("label");
+        let text = canonical_content(&with);
+        assert!(!text.contains("label"));
+        assert_eq!(text, canonical_content(&base()));
+        // The content text is itself valid JSON.
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let h = ContentHash::of(&base());
+        assert_eq!(ContentHash::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(h.to_hex().len(), 16);
+        assert_eq!(ContentHash::from_hex("xyz"), None);
+        assert_eq!(ContentHash::from_hex("0123"), None);
+    }
+}

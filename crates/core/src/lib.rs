@@ -60,6 +60,7 @@
 
 pub mod cut;
 pub mod error;
+pub mod hashing;
 pub mod interface;
 pub mod json;
 pub mod path;
@@ -74,6 +75,7 @@ pub mod wrapper;
 
 pub use cut::{CoreUnderTest, CutId, CutKind};
 pub use error::PlanError;
+pub use hashing::ContentHash;
 pub use interface::{InterfaceId, TestInterface};
 pub use path::{LinkSet, TestPath};
 pub use plan::{

@@ -507,7 +507,10 @@ impl PlanRequest {
                     // request.
                     return Err(bad("`search.threads` must be at least 1"));
                 }
-                SearchTuning { threads }
+                SearchTuning {
+                    threads,
+                    warm: None,
+                }
             }
         };
 
@@ -664,7 +667,10 @@ impl PlanRequest {
             }
             members.push(("timing", Json::obj(t)));
         }
-        if !self.search.is_default() {
+        // Only the *serialisable* search knobs gate the member: a
+        // warm-start incumbent is runtime-only and must never change the
+        // canonical form (request keys, content hashes, journal replay).
+        if self.search.threads.is_some() {
             let mut t = Vec::new();
             if let Some(v) = self.search.threads {
                 t.push(("threads", Json::int(v as u64)));
@@ -703,7 +709,10 @@ mod tests {
         r.timing.flit_width_bits = Some(32);
         r.timing.generation = Some(GenerationModel::PaperFlat);
         r.fidelity = Some(FidelitySpec { patterns_cap: 12 });
-        r.search = SearchTuning { threads: Some(2) };
+        r.search = SearchTuning {
+            threads: Some(2),
+            ..SearchTuning::default()
+        };
         r
     }
 
@@ -735,7 +744,10 @@ mod tests {
         let with = |tail: &str| PlanRequest::from_json_str(&format!("{base}, {tail}}}"));
         assert_eq!(
             with(r#""search": {"threads": 3}"#).unwrap().search,
-            SearchTuning { threads: Some(3) }
+            SearchTuning {
+                threads: Some(3),
+                ..SearchTuning::default()
+            }
         );
         assert!(with(r#""search": null"#).unwrap().search.is_default());
         assert!(with(r#""search": {}"#).unwrap().search.is_default());

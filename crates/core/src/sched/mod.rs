@@ -9,7 +9,7 @@ pub mod smart;
 
 pub use greedy::GreedyScheduler;
 pub use optimal::OptimalScheduler;
-pub use parallel::{ParallelOptimalScheduler, PortfolioScheduler, SearchStats};
+pub use parallel::{ParallelOptimalScheduler, PortfolioScheduler, SearchStats, SeedKind};
 pub use serial::SerialScheduler;
 pub use smart::SmartScheduler;
 
@@ -335,12 +335,24 @@ pub trait Scheduler: Send + Sync + std::fmt::Debug {
 /// threaded through the pipeline to [`Scheduler::schedule_tuned`]. All
 /// fields are optional; `SearchTuning::default()` means "scheduler
 /// defaults" and is omitted from request JSON entirely.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SearchTuning {
     /// Worker-thread count for the parallel branch-and-bound: `None`
     /// keeps the scheduler's own setting, `Some(n)` forces `n` threads
     /// (`Some(0)` is rejected at request decode).
     pub threads: Option<usize>,
+    /// A warm-start incumbent for the branch-and-bound searches: a valid
+    /// schedule of the *same* system from a previous (near-duplicate)
+    /// plan. The search races it against its own greedy/smart seeds and
+    /// keeps whichever bound is tighter — it only prunes harder, never
+    /// changes the first-optimum-in-DFS-order result, so warm-started
+    /// outcomes stay byte-identical to cold ones (within budget).
+    ///
+    /// Runtime-only: never serialised to request JSON (the request's
+    /// canonical form, [`crate::hashing::ContentHash`] and the serve
+    /// journal are all unaffected by a warm incumbent). An *invalid*
+    /// schedule here is silently ignored by the searches.
+    pub warm: Option<Schedule>,
 }
 
 impl SearchTuning {
@@ -349,6 +361,13 @@ impl SearchTuning {
     #[must_use]
     pub fn is_default(&self) -> bool {
         *self == SearchTuning::default()
+    }
+
+    /// Installs a warm-start incumbent (builder style).
+    #[must_use]
+    pub fn warm_start(mut self, schedule: Schedule) -> Self {
+        self.warm = Some(schedule);
+        self
     }
 }
 

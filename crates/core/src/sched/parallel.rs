@@ -54,7 +54,9 @@ use std::time::Duration;
 use crate::cut::{CutId, CutKind};
 use crate::error::PlanError;
 use crate::interface::InterfaceId;
-use crate::sched::optimal::{check_guards, seed_schedule, Active, OptimalScheduler, SearchCore};
+use crate::sched::optimal::{
+    check_guards, opening_incumbent, Active, OptimalScheduler, SearchCore,
+};
 use crate::sched::{
     CancelToken, GreedyScheduler, Schedule, ScheduledTest, Scheduler, SearchTuning,
     SerialScheduler, SmartScheduler, CANCEL_POLL_PERIOD,
@@ -77,6 +79,32 @@ const MAX_SPLIT_DEPTH: usize = 32;
 /// fewer rounds lower synchronisation overhead.
 const BUDGET_ROUNDS: u64 = 8;
 
+/// Which incumbent opened a branch-and-bound search — reported in
+/// [`SearchStats`] so benches can attribute warm-start speedups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedKind {
+    /// The paper's first-available-interface heuristic won the seed race.
+    Greedy,
+    /// The lookahead heuristic won.
+    Smart,
+    /// A valid [`crate::sched::SearchTuning::warm`] schedule beat both
+    /// heuristics and opened the search.
+    Warm,
+}
+
+impl SeedKind {
+    /// The stable lowercase label (`greedy` / `smart` / `warm`) used in
+    /// bench reports and on the wire.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SeedKind::Greedy => "greedy",
+            SeedKind::Smart => "smart",
+            SeedKind::Warm => "warm",
+        }
+    }
+}
+
 /// How a branch-and-bound search ended — exposed so callers (the
 /// portfolio racer, `search_bench`) can tell a *proved* optimum from a
 /// budget-limited incumbent.
@@ -92,6 +120,8 @@ pub struct SearchStats {
     pub threads: usize,
     /// Frontier shards searched (0 when the serial path ran).
     pub tasks: usize,
+    /// Which incumbent opened the search (seed provenance).
+    pub seed: SeedKind,
 }
 
 impl SearchStats {
@@ -712,13 +742,16 @@ impl ParallelOptimalScheduler {
                 max_cores: self.max_cores,
                 max_expansions: self.max_expansions,
             };
-            return serial.schedule_with_stats(sys, cancel);
+            return serial.schedule_with_stats(sys, tuning, cancel);
         }
         if cancel.is_some_and(CancelToken::is_cancelled) {
             return Err(PlanError::Cancelled);
         }
-        let seed = seed_schedule(sys)?;
-        let seed_value = seed.makespan();
+        // The opening incumbent (heuristic seed, possibly tightened by a
+        // warm start) bounds the split phase and every shard alike; see
+        // `opening_incumbent` for why the tighter warm bound cannot
+        // change the within-budget result.
+        let (seed, seed_value, seed_kind) = opening_incumbent(sys, tuning)?;
         let core = SearchCore::new(sys);
         let target = (threads * TASKS_PER_THREAD).min(MAX_FRONTIER);
         let split_budget = self.max_expansions.map_or(u64::MAX, |b| b / 2);
@@ -825,6 +858,7 @@ impl ParallelOptimalScheduler {
                 exhausted,
                 threads,
                 tasks: task_count,
+                seed: seed_kind,
             },
         ))
     }
@@ -1040,6 +1074,7 @@ impl Scheduler for PortfolioScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::optimal::seed_schedule;
     use crate::system::SystemBuilder;
     use noctest_cpu::ProcessorProfile;
 
@@ -1098,7 +1133,7 @@ mod tests {
             .unwrap();
         assert_eq!(a.entries(), b.entries());
         // Never worse than the heuristic seed.
-        let seed = seed_schedule(&sys).unwrap();
+        let (seed, _) = seed_schedule(&sys).unwrap();
         assert!(a.makespan() <= seed.makespan());
     }
 
@@ -1107,10 +1142,29 @@ mod tests {
         let sys = small_system(4, 1);
         let sched = ParallelOptimalScheduler::new().with_threads(2);
         let forced = sched
-            .schedule_with_stats(&sys, &SearchTuning { threads: Some(3) }, None)
+            .schedule_with_stats(
+                &sys,
+                &SearchTuning {
+                    threads: Some(3),
+                    ..SearchTuning::default()
+                },
+                None,
+            )
             .unwrap()
             .1;
         assert_eq!(forced.threads, 3);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_across_thread_counts() {
+        let sys = small_system(5, 2);
+        let cold = OptimalScheduler::new().schedule(&sys).unwrap();
+        let tuning = SearchTuning::default().warm_start(cold.clone());
+        for threads in [1usize, 2, 3] {
+            let sched = ParallelOptimalScheduler::new().with_threads(threads);
+            let (warm, _) = sched.schedule_with_stats(&sys, &tuning, None).unwrap();
+            assert_eq!(warm.entries(), cold.entries(), "{threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! [`DeltaSpec`]: seeded streams of near-duplicate planning requests.
+//!
+//! Re-planning workloads are *edit streams*: plan an SoC, revise one
+//! core's patterns, plan again; nudge the power budget, plan again. This
+//! module generates such streams deterministically so the incremental
+//! machinery (`noctest-replan`'s cache and delta analyzer) can be
+//! benchmarked and differentially tested at scale: every
+//! `(spec, index)` pair collapses to the same base request and the same
+//! edited near-duplicate, forever.
+
+use noctest_core::plan::{CoreRequest, PlanRequest, SocSource};
+use noctest_core::BudgetSpec;
+use noctest_noc::rng::SplitMix64;
+
+/// The near-duplicate edit kinds, mirroring how planning sessions
+/// actually iterate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaEdit {
+    /// One core's pattern count changes (a re-characterised core).
+    ReviseCore,
+    /// The power-budget fraction moves one step.
+    NudgeBudget,
+    /// The mesh grows by one column (a floorplan revision).
+    ResizeMesh,
+}
+
+impl DeltaEdit {
+    /// All edit kinds, in declaration order.
+    pub const ALL: [DeltaEdit; 3] = [
+        DeltaEdit::ReviseCore,
+        DeltaEdit::NudgeBudget,
+        DeltaEdit::ResizeMesh,
+    ];
+
+    /// Stable lower-case slug (for labels and digests).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            DeltaEdit::ReviseCore => "revise-core",
+            DeltaEdit::NudgeBudget => "nudge-budget",
+            DeltaEdit::ResizeMesh => "resize-mesh",
+        }
+    }
+}
+
+/// One generated base-plus-edit pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaPair {
+    /// The base request.
+    pub base: PlanRequest,
+    /// The near-duplicate: `base` with exactly one [`DeltaEdit`] applied.
+    pub edited: PlanRequest,
+    /// Which edit was applied.
+    pub edit: DeltaEdit,
+}
+
+/// A deterministic distribution over [`DeltaPair`]s.
+///
+/// Systems are hand-specified cores (the natural source for
+/// revise-one-core edits) sized to stay inside the exact searches'
+/// exponential-size guard, planned with the serial `optimal` scheduler
+/// under a fractional power budget on a small mesh with two reused
+/// plasma processors. Edit kinds cycle through [`DeltaEdit::ALL`] by
+/// index, so any three consecutive indices cover every kind.
+///
+/// ```
+/// use noctest_gen::{DeltaEdit, DeltaSpec};
+///
+/// let spec = DeltaSpec::new(2005);
+/// let pair = spec.pair(0);
+/// assert_eq!(pair, spec.pair(0)); // same spec, same index: same pair
+/// assert_eq!(pair.edit, DeltaEdit::ReviseCore);
+/// assert_ne!(pair.base, pair.edited);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaSpec {
+    /// Master seed: every pair derives from `(seed, index)` alone.
+    pub seed: u64,
+    /// Inclusive core-count range per generated SoC (plus two processor
+    /// self-test cuts; keep `hi + 2` at or below the exact searches'
+    /// 10-cut guard).
+    pub cores: (u32, u32),
+    /// Scheduler name stamped on every request.
+    pub scheduler: String,
+}
+
+/// The budget-fraction ladder edits step along.
+const BUDGET_STEPS: [f64; 4] = [0.6, 0.7, 0.8, 0.9];
+
+impl DeltaSpec {
+    /// The default stream at a master seed: 4-6 cores, `optimal`
+    /// scheduler.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DeltaSpec {
+            seed,
+            cores: (4, 6),
+            scheduler: "optimal".to_owned(),
+        }
+    }
+
+    /// The `index`-th base/edited pair of the stream.
+    #[must_use]
+    pub fn pair(&self, index: u64) -> DeltaPair {
+        let mut rng = SplitMix64::new(self.seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
+        let n = rng.range_u32(self.cores.0, self.cores.1.max(self.cores.0));
+        let cores = (0..n)
+            .map(|i| CoreRequest {
+                name: format!("c{i}"),
+                bits_in: rng.range_u32(200, 1200),
+                bits_out: rng.range_u32(160, 1000),
+                patterns: rng.range_u32(8, 40),
+                power: f64::from(rng.range_u32(50, 150)),
+            })
+            .collect();
+        let budget_step = rng.below(BUDGET_STEPS.len() as u64) as usize;
+        let mut base = PlanRequest::benchmark(&format!("delta-{index}"), 3, 3)
+            .with_processors("plasma", 2, 2)
+            .with_budget(BudgetSpec::Fraction(BUDGET_STEPS[budget_step]))
+            .with_scheduler(&self.scheduler);
+        base.soc = SocSource::Cores {
+            name: format!("deltasoc-{index}"),
+            cores,
+        };
+
+        let edit = DeltaEdit::ALL[(index % DeltaEdit::ALL.len() as u64) as usize];
+        let mut edited = base.clone().with_name(format!("delta-{index}-edited"));
+        match edit {
+            DeltaEdit::ReviseCore => {
+                let SocSource::Cores { cores, .. } = &mut edited.soc else {
+                    unreachable!("delta bases are always cores-sourced");
+                };
+                let victim = rng.below(u64::from(n)) as usize;
+                cores[victim].patterns += rng.range_u32(1, 6);
+            }
+            DeltaEdit::NudgeBudget => {
+                // Step along the ladder; wrap at the top so the edit
+                // always lands on a *different* fraction.
+                let next = (budget_step + 1) % BUDGET_STEPS.len();
+                edited.budget = BudgetSpec::Fraction(BUDGET_STEPS[next]);
+            }
+            DeltaEdit::ResizeMesh => {
+                edited.mesh.width += 1;
+            }
+        }
+        DeltaPair { base, edited, edit }
+    }
+
+    /// The first `count` pairs of the stream.
+    #[must_use]
+    pub fn pairs(&self, count: u64) -> Vec<DeltaPair> {
+        (0..count).map(|i| self.pair(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_deterministic_and_edits_cycle() {
+        let spec = DeltaSpec::new(7);
+        let pairs = spec.pairs(9);
+        assert_eq!(pairs, spec.pairs(9));
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(p.edit, DeltaEdit::ALL[i % 3]);
+            assert_ne!(p.base, p.edited, "pair {i}: edit was a no-op");
+        }
+        // A different seed moves the population.
+        assert_ne!(DeltaSpec::new(8).pair(0), spec.pair(0));
+    }
+
+    #[test]
+    fn each_edit_changes_exactly_its_own_axis() {
+        let spec = DeltaSpec::new(2005);
+        for index in 0..6 {
+            let p = spec.pair(index);
+            let (SocSource::Cores { cores: base, .. }, SocSource::Cores { cores: edited, .. }) =
+                (&p.base.soc, &p.edited.soc)
+            else {
+                panic!("delta bases must be cores-sourced");
+            };
+            let core_edits = base.iter().zip(edited).filter(|(a, b)| a != b).count();
+            match p.edit {
+                DeltaEdit::ReviseCore => {
+                    assert_eq!(core_edits, 1);
+                    assert_eq!(p.base.budget, p.edited.budget);
+                    assert_eq!(p.base.mesh, p.edited.mesh);
+                }
+                DeltaEdit::NudgeBudget => {
+                    assert_eq!(core_edits, 0);
+                    assert_ne!(p.base.budget, p.edited.budget);
+                    assert_eq!(p.base.mesh, p.edited.mesh);
+                }
+                DeltaEdit::ResizeMesh => {
+                    assert_eq!(core_edits, 0);
+                    assert_eq!(p.base.budget, p.edited.budget);
+                    assert_ne!(p.base.mesh, p.edited.mesh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_systems_stay_inside_the_exact_search_guard() {
+        let spec = DeltaSpec::new(99);
+        for index in 0..12 {
+            let p = spec.pair(index);
+            for r in [&p.base, &p.edited] {
+                let sys = r.build_system().expect("generated system builds");
+                assert!(sys.cuts().len() <= 10, "index {index}: too many cuts");
+            }
+        }
+    }
+}

@@ -55,10 +55,12 @@
 #![warn(missing_debug_implementations)]
 
 mod corpus;
+mod delta;
 mod recipe;
 mod report;
 
 pub use corpus::{CorpusRun, CorpusSpec, ProcessorAxis, StreamOptions};
+pub use delta::{DeltaEdit, DeltaPair, DeltaSpec};
 pub use recipe::{CoreClass, RecipeFamily, SocRecipe};
 pub use report::{
     CorpusFailure, CorpusMeasurement, CorpusReport, DistributionSummary, SchedulerSummary,

@@ -1,0 +1,39 @@
+//! # noctest-replan — incremental re-planning
+//!
+//! Planning sessions are iterative: an engineer plans an SoC, revises one
+//! core's pattern count or nudges the power budget, and plans again. The
+//! baseline pipeline treats every such request as brand new and pays the
+//! full branch-and-bound cost each time. This crate closes that gap with
+//! two cooperating pieces, both keyed by the semantic
+//! [`ContentHash`](noctest_core::ContentHash) of a request:
+//!
+//! * [`PlanCache`] — a bounded, LRU-evicting, content-addressed cache of
+//!   finished [`PlanOutcome`](noctest_core::PlanOutcome)s. An exact
+//!   content hit returns the stored outcome byte-identically (only the
+//!   `request_name` label is rewritten to the incoming request's name),
+//!   skipping the scheduler entirely.
+//! * [`DeltaAnalyzer`] — on a miss, diffs the request against the cached
+//!   population. When a near-duplicate donor exists (same SoC family,
+//!   small edit distance over cores / budget / mesh), the donor's
+//!   schedule is *retimed* onto the new system and installed as a
+//!   warm-start incumbent via
+//!   [`SearchTuning::warm_start`](noctest_core::SearchTuning::warm_start).
+//!   The branch-and-bound searches race the incumbent against their own
+//!   heuristic seeds and keep whichever bound is tighter — warm starts
+//!   only prune harder, they never change the first-optimum-in-DFS-order
+//!   result, so warm-started outcomes stay byte-identical to cold ones
+//!   whenever the search completes within budget.
+//!
+//! Both pieces are deterministic: lookups, nearest-donor selection and
+//! retiming depend only on the request content and the cache population,
+//! never on wall-clock time or iteration order of a hash map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod delta;
+
+pub use cache::{CacheStats, CachedPlan, PlanCache};
+pub use delta::{edit_distance, retime, DeltaAnalyzer, WarmStart};

@@ -20,18 +20,10 @@
 use noctest_core::json::Json;
 use noctest_core::plan::PlanRequest;
 
-/// FNV-1a, 64-bit — the standard offset basis and prime. Deterministic
-/// across platforms and runs, cheap, and dependency-free; collision
-/// resistance is not required (see the module docs).
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// One hash implementation for the whole workspace: the byte hash (and the
+// avalanche mixer the shard ring uses) live in `noctest_core::hashing`;
+// serve re-exports it so existing callers keep their import path.
+pub use noctest_core::hashing::fnv1a;
 
 /// The canonical content key of one [`PlanRequest`]: FNV-1a over the
 /// request's compact canonical JSON ([`PlanRequest::to_json`] →

@@ -23,7 +23,7 @@
 //!   round-robin.
 //! - [`journal`] — the append-only NDJSON job journal and its recovery.
 //! - [`wire`] — the daemon's in-band control lines (`error`, `rejected`,
-//!   `done`), pinned to exact bytes.
+//!   `done`, `cached`, `warm_start`), pinned to exact bytes.
 //! - [`tier`] — [`ServeTier`], which composes the above.
 //!
 //! ```

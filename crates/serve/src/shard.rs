@@ -9,23 +9,18 @@
 //! resized for a bigger machine keeps most request streams on their old
 //! shards, preserving per-shard cache affinity.
 
+// `spread` (splitmix64's avalanche) fixes FNV-1a's clustering on short,
+// similar inputs like `"s0#17"`, which would starve shards on the ring.
+// It is a fixed bijection, so ring determinism and the consistent-growth
+// property are unaffected.
+use noctest_core::hashing::spread;
+
 use crate::key::fnv1a;
 
 /// Virtual points per shard. Enough to spread load within a few percent
 /// of even at small shard counts; small enough that ring construction
 /// and lookup stay trivially cheap.
 const VIRTUAL_POINTS: u32 = 64;
-
-/// Finalizing mixer (splitmix64's avalanche): FNV-1a is byte-serial and
-/// clusters badly on short, similar inputs like `"s0#17"`, which would
-/// starve shards on the ring. One avalanche pass spreads both the ring
-/// points and the looked-up keys uniformly. It is a fixed bijection, so
-/// ring determinism and the consistent-growth property are unaffected.
-fn spread(mut x: u64) -> u64 {
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
 
 /// A consistent-hash ring over `n` shards named `s0 … s{n-1}`.
 #[derive(Debug, Clone)]

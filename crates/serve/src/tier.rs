@@ -36,6 +36,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use noctest_core::plan::exec::{EventSink, Executor, JobHandle, JobId, PlanEvent, SubmitSpec};
 use noctest_core::plan::{Campaign, CampaignError, PlanOutcome, PlanRequest};
+use noctest_core::ContentHash;
+use noctest_replan::{DeltaAnalyzer, PlanCache};
 
 use crate::admission::{Room, WaitingJob};
 use crate::journal::{self, Journal, Recovery};
@@ -64,6 +66,30 @@ pub enum SubmitOutcome {
         /// The tier-allocated job id.
         job: JobId,
     },
+    /// The plan cache holds an outcome for this request's content (same
+    /// planning inputs, any name); the job went `queued` → `completed`
+    /// immediately, the cached outcome served byte-identically (only
+    /// relabelled), with no planning. The daemon reports this in-band as
+    /// a `cached` wire line.
+    Cached {
+        /// The tier-allocated job id.
+        job: JobId,
+        /// The request's content hash, 16-digit lower hex.
+        content: String,
+    },
+    /// The job was accepted, and its search was warm-started from the
+    /// retimed schedule of a cached near-duplicate. The daemon reports
+    /// the provenance in-band as a `warm_start` wire line; the planned
+    /// outcome itself is byte-identical to a cold run (within search
+    /// budget).
+    WarmStarted {
+        /// The tier-allocated job id.
+        job: JobId,
+        /// Content hash of the donor cache entry, 16-digit lower hex.
+        from: String,
+        /// Edit distance between the request and the donor.
+        distance: u32,
+    },
     /// Admission control refused the job — nothing was queued and no
     /// job id was spent. The daemon reports this in-band as a
     /// `rejected` wire line.
@@ -80,11 +106,15 @@ pub enum SubmitOutcome {
 }
 
 impl SubmitOutcome {
-    /// The job id, for accepted (admitted or deduplicated) submissions.
+    /// The job id, for accepted (admitted, warm-started, deduplicated or
+    /// cache-served) submissions.
     #[must_use]
     pub fn job(&self) -> Option<JobId> {
         match self {
-            SubmitOutcome::Admitted { job } | SubmitOutcome::Deduped { job } => Some(*job),
+            SubmitOutcome::Admitted { job }
+            | SubmitOutcome::Deduped { job }
+            | SubmitOutcome::Cached { job, .. }
+            | SubmitOutcome::WarmStarted { job, .. } => Some(*job),
             SubmitOutcome::Rejected { .. } => None,
         }
     }
@@ -132,6 +162,9 @@ struct JobRecord {
     /// Canonical request text — kept only when a journal is active (it
     /// feeds the dedupe map on completion).
     request_text: Option<String>,
+    /// The pristine request (no warm-start tuning) — kept only when a
+    /// plan cache is active (it feeds the cache on completion).
+    cache_request: Option<PlanRequest>,
     handle: Option<JobHandle>,
     cancel_requested: bool,
     /// Still parked in the admission room.
@@ -173,6 +206,10 @@ struct TierShared {
     emit_lock: Mutex<()>,
     submit_lock: Mutex<()>,
     journal: Option<Journal>,
+    /// The content-addressed plan cache (its own internal lock nests
+    /// under everything — cache calls take no tier lock).
+    plan_cache: Option<Arc<PlanCache>>,
+    analyzer: DeltaAnalyzer,
     dedupe: Mutex<HashMap<RequestKey, DedupeEntry>>,
     jobs: Mutex<Vec<JobRecord>>,
     counts: Mutex<Counts>,
@@ -211,7 +248,7 @@ impl TierShared {
     /// slot.
     fn finish_record(&self, event: &PlanEvent) {
         let id = event.job().0;
-        let (shard, dispatched, key, request_text) = {
+        let (shard, dispatched, key, request_text, cache_request) = {
             let mut jobs = lock(&self.jobs);
             let Some(record) = jobs.iter_mut().find(|r| r.id == id) else {
                 return;
@@ -225,8 +262,14 @@ impl TierShared {
                 record.dispatched,
                 record.key,
                 record.request_text.clone(),
+                record.cache_request.take(),
             )
         };
+        if let (Some(cache), Some(request), PlanEvent::Completed { outcome, .. }) =
+            (&self.plan_cache, &cache_request, event)
+        {
+            cache.insert(request, outcome);
+        }
         if let Some(journal) = &self.journal {
             match event {
                 PlanEvent::Completed { outcome, .. } => {
@@ -346,6 +389,7 @@ pub struct ServeTierBuilder {
     threads: Option<usize>,
     queue_depth: Option<usize>,
     journal_path: Option<PathBuf>,
+    plan_cache: Option<usize>,
     sinks: Vec<Arc<dyn EventSink>>,
 }
 
@@ -357,6 +401,7 @@ impl Default for ServeTierBuilder {
             threads: None,
             queue_depth: None,
             journal_path: None,
+            plan_cache: None,
             sinks: Vec::new(),
         }
     }
@@ -369,6 +414,7 @@ impl std::fmt::Debug for ServeTierBuilder {
             .field("threads", &self.threads)
             .field("queue_depth", &self.queue_depth)
             .field("journal", &self.journal_path)
+            .field("plan_cache", &self.plan_cache)
             .field("sinks", &self.sinks.len())
             .finish()
     }
@@ -422,6 +468,21 @@ impl ServeTierBuilder {
         self
     }
 
+    /// Enables the content-addressed plan cache, holding up to
+    /// `capacity` outcomes (default: off — the tier plans every request,
+    /// keeping the wire stream byte-identical to the bare executor).
+    ///
+    /// With the cache on, an exact content repeat (same planning inputs,
+    /// any request name) is served `queued` → `completed` without
+    /// planning, and a near-duplicate miss warm-starts the
+    /// branch-and-bound from the closest cached donor's retimed schedule
+    /// — see [`noctest_replan`] for both mechanisms.
+    #[must_use]
+    pub fn plan_cache(mut self, capacity: usize) -> Self {
+        self.plan_cache = Some(capacity);
+        self
+    }
+
     /// Registers an event sink; all shards' lifecycle events (and the
     /// tier's synthetic ones) are forwarded to every sink in
     /// registration order.
@@ -469,6 +530,10 @@ impl ServeTierBuilder {
             emit_lock: Mutex::new(()),
             submit_lock: Mutex::new(()),
             journal,
+            plan_cache: self
+                .plan_cache
+                .map(|capacity| Arc::new(PlanCache::new(capacity))),
+            analyzer: DeltaAnalyzer::default(),
             dedupe: Mutex::new(dedupe),
             jobs: Mutex::new(Vec::new()),
             counts: Mutex::new(Counts::default()),
@@ -575,6 +640,13 @@ impl ServeTier {
         self.shared.journal.as_ref().is_some_and(Journal::failed)
     }
 
+    /// Plan-cache hit/miss/eviction counters, when a plan cache is
+    /// configured ([`ServeTierBuilder::plan_cache`]).
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> Option<noctest_replan::CacheStats> {
+        self.shared.plan_cache.as_ref().map(|cache| cache.stats())
+    }
+
     /// Submits an anonymous, default-priority request.
     pub fn submit(&self, request: PlanRequest) -> SubmitOutcome {
         self.submit_for(request, None, 0)
@@ -584,7 +656,7 @@ impl ServeTier {
     /// module docs for the dedupe/admission/dispatch lifecycle.
     pub fn submit_for(
         &self,
-        request: PlanRequest,
+        mut request: PlanRequest,
         client: Option<&str>,
         priority: i32,
     ) -> SubmitOutcome {
@@ -613,6 +685,7 @@ impl ServeTier {
                     shard,
                     key,
                     Some(text),
+                    self.shared.plan_cache.as_ref().map(|_| request.clone()),
                     None,
                     TrackDisposition::Synthetic,
                 );
@@ -630,6 +703,53 @@ impl ServeTier {
             }
         }
 
+        // Content-addressed plan cache: an exact semantic hit (same
+        // planning inputs, any name) is served without planning; a near
+        // miss warm-starts the search from the closest cached donor.
+        let mut warm_info: Option<(String, u32)> = None;
+        let mut cache_request = None;
+        if let Some(cache) = &self.shared.plan_cache {
+            if let Some(outcome) = cache.lookup(&request) {
+                let content = ContentHash::of(&request).to_hex();
+                let id = self.track(
+                    &request,
+                    shard,
+                    key,
+                    self.text_if_journaled(&text),
+                    None,
+                    None,
+                    TrackDisposition::Synthetic,
+                );
+                self.journal_submit(id, key, priority, client, &doc);
+                self.shared.finish_synthetic(&PlanEvent::Queued {
+                    job: JobId(id),
+                    request: request.name.clone(),
+                });
+                self.shared.finish_synthetic(&PlanEvent::Completed {
+                    job: JobId(id),
+                    request: request.name.clone(),
+                    outcome: Box::new(outcome),
+                });
+                return SubmitOutcome::Cached {
+                    job: JobId(id),
+                    content,
+                };
+            }
+            cache_request = Some(request.clone());
+            if let Some(warm) = self.shared.analyzer.analyze(cache, &request) {
+                warm_info = Some((warm.from.to_hex(), warm.distance));
+                request.search = warm.tuning(&request);
+            }
+        }
+        let accepted = |job: JobId| match warm_info {
+            Some((from, distance)) => SubmitOutcome::WarmStarted {
+                job,
+                from,
+                distance,
+            },
+            None => SubmitOutcome::Admitted { job },
+        };
+
         // Bounded fair admission.
         if let Some(depth) = self.shared.queue_depth {
             let over = lock(&self.shared.rooms[shard].room).waiting_for(client_name) >= depth;
@@ -646,6 +766,7 @@ impl ServeTier {
                 shard,
                 key,
                 self.text_if_journaled(&text),
+                cache_request,
                 None,
                 TrackDisposition::Waiting,
             );
@@ -666,7 +787,7 @@ impl ServeTier {
                 room.enqueue(client_name, WaitingJob { id, spec });
             }
             self.shared.rooms[shard].cv.notify_all();
-            return SubmitOutcome::Admitted { job: JobId(id) };
+            return accepted(JobId(id));
         }
 
         // Direct dispatch.
@@ -675,6 +796,7 @@ impl ServeTier {
             shard,
             key,
             self.text_if_journaled(&text),
+            cache_request,
             None,
             TrackDisposition::Direct,
         );
@@ -687,7 +809,7 @@ impl ServeTier {
         }
         let handle = self.executors[shard].submit_spec(spec);
         self.store_handle(id, handle);
-        SubmitOutcome::Admitted { job: JobId(id) }
+        accepted(JobId(id))
     }
 
     /// Replays one journaled pending job with its original id, bypassing
@@ -698,6 +820,11 @@ impl ServeTier {
             .ring
             .shard_of(affinity_of_doc(&pending.request.to_json()));
         let name = pending.request.name.clone();
+        let cache_request = self
+            .shared
+            .plan_cache
+            .as_ref()
+            .map(|_| pending.request.clone());
         let mut spec = SubmitSpec::new(pending.request)
             .with_priority(pending.priority)
             .with_id(JobId(pending.job));
@@ -712,6 +839,7 @@ impl ServeTier {
                 shard,
                 key: pending.key,
                 request_text: Some(pending.request_text),
+                cache_request,
                 handle: None,
                 cancel_requested: false,
                 waiting: self.shared.queue_depth.is_some(),
@@ -762,12 +890,14 @@ impl ServeTier {
     }
 
     /// Allocates an id, registers the job record and counts it admitted.
+    #[allow(clippy::too_many_arguments)]
     fn track(
         &self,
         request: &PlanRequest,
         shard: usize,
         key: RequestKey,
         request_text: Option<String>,
+        cache_request: Option<PlanRequest>,
         handle: Option<JobHandle>,
         disposition: TrackDisposition,
     ) -> u64 {
@@ -780,6 +910,7 @@ impl ServeTier {
                 shard,
                 key,
                 request_text,
+                cache_request,
                 handle,
                 cancel_requested: false,
                 waiting: matches!(disposition, TrackDisposition::Waiting),

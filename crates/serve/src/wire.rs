@@ -2,13 +2,15 @@
 //! exact bytes are pinned by tests here and by the CI smoke scripts, so
 //! changing any of them is a wire-format break, not a refactor.
 //!
-//! Three daemon-level line kinds sit alongside the executor's event
+//! Five daemon-level line kinds sit alongside the executor's event
 //! stream (`queued` / `started` / `stage_finished` / `completed` /
 //! `failed` / `cancelled`):
 //!
 //! ```text
 //! {"event":"error","line":5,"error":"…"}
 //! {"event":"rejected","request":"r9","client":"greedy","shard":"s0","reason":"…"}
+//! {"event":"cached","job":3,"request":"r1","content":"00f1e2d3c4b5a697"}
+//! {"event":"warm_start","job":4,"request":"r2","from":"00f1e2d3c4b5a697","distance":1}
 //! {"event":"done","jobs":7}
 //! ```
 
@@ -48,6 +50,31 @@ pub fn rejection_reason(client: &str, depth: usize, shard: &str) -> String {
         format!("client `{client}`")
     };
     format!("queue full: {who} already holds {depth} waiting jobs on shard {shard}")
+}
+
+/// A plan-cache hit: `request` (job `job`) was served the cached outcome
+/// for content hash `content` without planning.
+#[must_use]
+pub fn cached_line(job: u64, request: &str, content: &str) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("cached")),
+        ("job", Json::int(job)),
+        ("request", Json::str(request)),
+        ("content", Json::str(content)),
+    ])
+}
+
+/// A warm-started admission: job `job` will search from the retimed
+/// schedule of the cached donor `from`, `distance` edits away.
+#[must_use]
+pub fn warm_start_line(job: u64, request: &str, from: &str, distance: u32) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("warm_start")),
+        ("job", Json::int(job)),
+        ("request", Json::str(request)),
+        ("from", Json::str(from)),
+        ("distance", Json::int(u64::from(distance))),
+    ])
 }
 
 /// The closing line once stdin is drained and every job is terminal.
@@ -96,6 +123,22 @@ mod tests {
         assert_eq!(
             rejection_reason("", 2, "s1"),
             "queue full: the anonymous client already holds 2 waiting jobs on shard s1"
+        );
+    }
+
+    #[test]
+    fn cached_line_bytes() {
+        assert_eq!(
+            cached_line(3, "r1", "00f1e2d3c4b5a697").compact(),
+            r#"{"event":"cached","job":3,"request":"r1","content":"00f1e2d3c4b5a697"}"#
+        );
+    }
+
+    #[test]
+    fn warm_start_line_bytes() {
+        assert_eq!(
+            warm_start_line(4, "r2", "00f1e2d3c4b5a697", 1).compact(),
+            r#"{"event":"warm_start","job":4,"request":"r2","from":"00f1e2d3c4b5a697","distance":1}"#
         );
     }
 

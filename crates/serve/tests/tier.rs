@@ -9,10 +9,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use noctest_core::plan::exec::{EventCollector, EventSink, JobId, PlanEvent};
-use noctest_core::plan::{Campaign, PlanRequest};
+use noctest_core::plan::{Campaign, CoreRequest, PlanRequest, SocSource};
 use noctest_core::sched::{Schedule, Scheduler, SerialScheduler};
 use noctest_core::system::SystemUnderTest;
-use noctest_core::PlanError;
+use noctest_core::{BudgetSpec, ContentHash, PlanError};
 use noctest_serve::journal::{self, Journal};
 use noctest_serve::{RequestKey, ServeTier, SubmitOutcome};
 
@@ -264,6 +264,135 @@ fn cancelling_a_waiting_job_never_starts_it() {
     tier.join();
     let events = collector.snapshot();
     assert_eq!(kinds_of(&events, doomed), vec!["queued", "cancelled"]);
+}
+
+/// A hand-specified 5-core request — cores-sourced so the delta analyzer
+/// can compare near-duplicates axis by axis.
+fn cores_request(name: &str) -> PlanRequest {
+    let cores = (0..5u32)
+        .map(|i| CoreRequest {
+            name: format!("c{i}"),
+            bits_in: 400 + 40 * i,
+            bits_out: 360 + 30 * i,
+            patterns: 10 + 3 * i,
+            power: 80.0 + 10.0 * f64::from(i),
+        })
+        .collect();
+    let mut request = PlanRequest::benchmark(name, 3, 3)
+        .with_processors("plasma", 2, 2)
+        .with_budget(BudgetSpec::Fraction(0.8))
+        .with_scheduler("optimal");
+    request.soc = SocSource::Cores {
+        name: "tiersoc".to_owned(),
+        cores,
+    };
+    request
+}
+
+fn completed_outcome(events: &[PlanEvent], job: JobId) -> noctest_core::plan::PlanOutcome {
+    events
+        .iter()
+        .find_map(|e| match e {
+            PlanEvent::Completed {
+                job: j, outcome, ..
+            } if *j == job => Some((**outcome).clone()),
+            _ => None,
+        })
+        .expect("completed outcome")
+}
+
+#[test]
+fn plan_cache_serves_content_hits_and_warm_starts_near_misses() {
+    let collector = Arc::new(EventCollector::new());
+    let tier = ServeTier::builder()
+        .plan_cache(8)
+        .sink(Arc::clone(&collector) as Arc<dyn EventSink>)
+        .build()
+        .unwrap();
+    let base = cores_request("base");
+
+    // Cold: the first submission plans for real and seeds the cache.
+    let cold = tier.submit(base.clone()).job().unwrap();
+    tier.join();
+    let cold_outcome = completed_outcome(&collector.snapshot(), cold);
+    let stats = tier.plan_cache_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (0, 1));
+
+    // Exact content hit under a *different name*: served without
+    // planning, relabelled, otherwise byte-identical (timings included).
+    let renamed = base.clone().with_name("renamed");
+    let SubmitOutcome::Cached { job, content } = tier.submit(renamed) else {
+        panic!("renamed duplicate must be cache-served");
+    };
+    assert_eq!(content, ContentHash::of(&base).to_hex());
+    tier.join();
+    let events = collector.snapshot();
+    assert_eq!(kinds_of(&events, job), vec!["queued", "completed"]);
+    let mut expected = cold_outcome.clone();
+    expected.request_name = "renamed".to_owned();
+    assert_eq!(
+        completed_outcome(&events, job).to_json().compact(),
+        expected.to_json().compact()
+    );
+
+    // Near miss (one core re-characterised): admitted with warm-start
+    // provenance pointing at the cached donor, then planned for real.
+    let mut edited = cores_request("edited");
+    let SocSource::Cores { cores, .. } = &mut edited.soc else {
+        unreachable!()
+    };
+    cores[2].patterns += 4;
+    let SubmitOutcome::WarmStarted {
+        job,
+        from,
+        distance,
+    } = tier.submit(edited.clone())
+    else {
+        panic!("near-duplicate must be warm-started");
+    };
+    assert_eq!(from, ContentHash::of(&base).to_hex());
+    assert_eq!(distance, 1);
+    tier.join();
+    let events = collector.snapshot();
+    assert!(
+        kinds_of(&events, job).contains(&"started"),
+        "really planned"
+    );
+    let warm_outcome = completed_outcome(&events, job);
+
+    // The warm-started plan is byte-identical to a cold plan of the same
+    // request on a cache-less tier, up to wall-clock timing.
+    let cold_collector = Arc::new(EventCollector::new());
+    let cold_tier = ServeTier::builder()
+        .sink(Arc::clone(&cold_collector) as Arc<dyn EventSink>)
+        .build()
+        .unwrap();
+    let cold_job = cold_tier.submit(edited).job().unwrap();
+    cold_tier.join();
+    let cold_edited = completed_outcome(&cold_collector.snapshot(), cold_job);
+    assert_eq!(warm_outcome.sessions, cold_edited.sessions);
+    assert_eq!(warm_outcome.makespan, cold_edited.makespan);
+
+    let stats = tier.plan_cache_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (1, 2));
+}
+
+#[test]
+fn a_cache_free_tier_reports_no_stats_and_never_caches() {
+    let tier = ServeTier::builder().build().unwrap();
+    assert!(tier.plan_cache_stats().is_none());
+    let base = cores_request("base");
+    assert!(matches!(
+        tier.submit(base.clone()),
+        SubmitOutcome::Admitted { .. }
+    ));
+    tier.join();
+    // Identical resubmission still plans for real: caching is opt-in.
+    assert!(matches!(
+        tier.submit(base.with_name("again")),
+        SubmitOutcome::Admitted { .. }
+    ));
+    tier.join();
 }
 
 #[test]

@@ -24,7 +24,11 @@
 //!   generator (five named recipe families) and a corpus engine that
 //!   crosses generated populations with mesh/processor/budget/scheduler
 //!   axes and aggregates win rates, distributions and throughput into a
-//!   JSON-round-trippable report.
+//!   JSON-round-trippable report;
+//! * [`replan`] (`noctest-replan`) — incremental re-planning: a
+//!   content-addressed [`replan::PlanCache`] serving exact repeats
+//!   byte-identically, and a [`replan::DeltaAnalyzer`] that warm-starts
+//!   the branch-and-bound from a near-duplicate's retimed schedule.
 //!
 //! ## Quickstart
 //!
@@ -80,6 +84,7 @@ pub use noctest_cpu as cpu;
 pub use noctest_gen as gen;
 pub use noctest_itc02 as itc02;
 pub use noctest_noc as noc;
+pub use noctest_replan as replan;
 pub use noctest_serve as serve;
 
 pub use noctest_core::plan::{

@@ -90,7 +90,7 @@ fn within_budget_parallel_is_byte_identical_to_serial_across_48_seeds() {
         let sys = system_for_seed(seed);
         let (serial_schedule, serial_stats) = OptimalScheduler::new()
             .with_max_expansions(BUDGET)
-            .schedule_with_stats(&sys, None)
+            .schedule_with_stats(&sys, &SearchTuning::default(), None)
             .unwrap();
         let serial_json = schedule_json(&serial_schedule);
         let mut all_exact = serial_stats.proved_optimal();

@@ -1,0 +1,175 @@
+//! Differential acceptance suite for the incremental re-planning
+//! subsystem (`noctest-replan`).
+//!
+//! 48 generated near-duplicate pairs (the seeded [`DeltaSpec`] stream:
+//! hand-specified cores plus two reused plasma processors, edit kinds
+//! cycling revise-core / nudge-budget / resize-mesh):
+//!
+//! * **cache-served** outcomes must be byte-identical to the cold plan
+//!   they were stored from — including wall-clock timing, with only the
+//!   request label relabelled;
+//! * **warm-started** searches must return byte-identical schedules to
+//!   cold searches whenever both complete within the expansion budget
+//!   (the warm incumbent only tightens the bound; it never changes the
+//!   first-optimum-in-DFS-order result), with a floor on how many
+//!   instances actually exercise that path so the assertion is not
+//!   vacuous;
+//! * warm-started **campaign outcomes** (the full `PlanOutcome`, timing
+//!   zeroed) must be byte-identical to cold planning on a subset
+//!   covering every edit kind.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+use noctest::core::plan::{Campaign, PlanOutcome, StageTiming};
+use noctest::core::{ContentHash, OptimalScheduler, Schedule};
+use noctest::gen::DeltaSpec;
+use noctest::replan::{DeltaAnalyzer, PlanCache};
+
+const PAIRS: u64 = 48;
+const BUDGET: Option<u64> = Some(150_000);
+
+/// The profile-cache counters are process-wide and plasma
+/// characterisation is shared with sibling tests; serialise so timings
+/// and counters stay attributable.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialised() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A canonical JSON encoding of a schedule, so "byte-identical" means
+/// exactly that.
+fn schedule_json(schedule: &Schedule) -> String {
+    let mut out = String::from("[");
+    for (i, e) in schedule.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            r#"{{"cut":{},"interface":{},"start":{},"end":{}}}"#,
+            e.cut.0, e.interface.0, e.start, e.end
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// The outcome's canonical bytes with the two legitimately run-varying
+/// members (label, wall-clock timing) normalised away. Everything else —
+/// sessions, makespan, power, reduction — must reproduce exactly.
+fn canonical_outcome(outcome: &PlanOutcome) -> String {
+    let mut normalised = outcome.clone();
+    normalised.request_name = "differential".to_owned();
+    normalised.timing = StageTiming::default();
+    normalised.to_json().compact()
+}
+
+#[test]
+fn cached_and_warm_started_replanning_is_byte_identical_to_cold() {
+    let _guard = serialised();
+    let spec = DeltaSpec::new(2005);
+    let campaign = Campaign::new();
+    let cache = PlanCache::new(PAIRS as usize);
+    let analyzer = DeltaAnalyzer::default();
+
+    let mut kinds: HashMap<&'static str, u32> = HashMap::new();
+    let mut exact_pairs = 0usize;
+    for index in 0..PAIRS {
+        let pair = spec.pair(index);
+        *kinds.entry(pair.edit.slug()).or_insert(0) += 1;
+
+        // Cold-plan the base and store it: the donor every later step
+        // (cache hit, warm start) derives from.
+        let cold_base = campaign.run(&pair.base).expect("base plans cold");
+        cache.insert(&pair.base, &cold_base);
+
+        // Cache-served: a resubmission under a fresh label must get the
+        // stored outcome back byte-for-byte — including the original
+        // run's wall-clock timing — with only the label rewritten.
+        let relabelled = pair.base.clone().with_name(format!("replay-{index}"));
+        let hit = cache
+            .lookup(&relabelled)
+            .expect("identical content is a cache hit");
+        let mut expected = cold_base.clone();
+        expected.request_name = format!("replay-{index}");
+        assert_eq!(
+            hit.to_json().compact(),
+            expected.to_json().compact(),
+            "pair {index}: cache hit must be byte-identical"
+        );
+
+        // The near-duplicate misses the cache but warm-starts off the
+        // base entry at distance 1 (each edit kind moves one axis).
+        assert!(cache.lookup(&pair.edited).is_none());
+        let warm = analyzer
+            .analyze(&cache, &pair.edited)
+            .expect("a one-edit near-duplicate warm-starts");
+        assert_eq!(warm.from, ContentHash::of(&pair.base), "pair {index}");
+        assert_eq!(warm.distance, 1, "pair {index} ({})", pair.edit.slug());
+
+        // Differential wall, search level: under one expansion budget,
+        // the warm-started search must return the cold search's bytes
+        // whenever both prove their optimum.
+        let sys = pair.edited.build_system().expect("edited system builds");
+        let (cold_schedule, cold_stats) = OptimalScheduler::new()
+            .with_max_expansions(BUDGET)
+            .schedule_with_stats(&sys, &pair.edited.search, None)
+            .expect("cold search runs");
+        let (warm_schedule, warm_stats) = OptimalScheduler::new()
+            .with_max_expansions(BUDGET)
+            .schedule_with_stats(&sys, &warm.tuning(&pair.edited), None)
+            .expect("warm search runs");
+        warm_schedule
+            .validate(&sys)
+            .expect("warm schedule is valid");
+        if cold_stats.proved_optimal() && warm_stats.proved_optimal() {
+            assert_eq!(
+                schedule_json(&warm_schedule),
+                schedule_json(&cold_schedule),
+                "pair {index} ({}): warm result differs from cold",
+                pair.edit.slug()
+            );
+            exact_pairs += 1;
+        } else {
+            // A budget-starved incumbent may differ, but a warm start
+            // must never lose to a proved cold optimum.
+            assert!(
+                !cold_stats.proved_optimal()
+                    || warm_schedule.makespan() >= cold_schedule.makespan(),
+                "pair {index}: warm incumbent beat the proved optimum"
+            );
+        }
+
+        // Differential wall, outcome level (every 4th pair, which still
+        // cycles through all three edit kinds): the full campaign
+        // outcome of a warm-started replan must be byte-identical to
+        // cold planning once the label and wall-clock are normalised.
+        if index % 4 == 0 {
+            let cold_edited = campaign.run(&pair.edited).expect("edited plans cold");
+            let mut warm_request = pair.edited.clone();
+            warm_request.search = warm.tuning(&pair.edited);
+            let warm_outcome = campaign.run(&warm_request).expect("edited plans warm");
+            assert_eq!(
+                canonical_outcome(&warm_outcome),
+                canonical_outcome(&cold_edited),
+                "pair {index} ({}): warm outcome differs from cold",
+                pair.edit.slug()
+            );
+        }
+    }
+
+    // Every edit kind was covered equally (the spec cycles them), and
+    // the byte-identity branch was exercised on a majority of pairs —
+    // not vacuously skipped by budget exhaustion.
+    assert_eq!(kinds.len(), 3, "all edit kinds covered: {kinds:?}");
+    for (slug, count) in &kinds {
+        assert_eq!(*count, (PAIRS / 3) as u32, "kind {slug}");
+    }
+    assert!(
+        exact_pairs >= 24,
+        "only {exact_pairs}/{PAIRS} pairs proved both cold and warm within budget"
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-edit `ProfileCache` reuse — the re-planning subsystem's
+//! characterisation contract.
+//!
+//! A 20-core model whose cores each carry their own deterministic
+//! pattern set is characterised per core: the decompression application
+//! is calibrated at each core's care density, one `ProfileCache` key per
+//! core. Revising ONE core's patterns and replanning must pay exactly
+//! one fresh ISS characterisation — the 19 untouched cores' profiles
+//! come back from the cache — and the plan-level profile (the shared
+//! BIST key) must not recharacterise at all.
+//!
+//! The cache counters are process-wide, which is why this suite lives in
+//! its own integration-test binary with a single `#[test]`: every count
+//! observed here is work this file triggered, so the assertions can be
+//! exact (`== 1` miss, `== 19` hits) instead of the lower bounds the
+//! in-crate unit tests settle for.
+
+use noctest::core::plan::{
+    profile_cache_stats, ApplicationSpec, Campaign, CoreRequest, PlanRequest, ProcessorSpec,
+    SocSource,
+};
+use noctest::cpu::ProcessorProfile;
+
+const CORES: usize = 20;
+const EDITED: usize = 7;
+
+/// The 20-core model: unique pattern counts (and powers) per core.
+fn cores() -> Vec<CoreRequest> {
+    (0..CORES)
+        .map(|i| CoreRequest {
+            name: format!("core-{i:02}"),
+            bits_in: 160 + 8 * i as u32,
+            bits_out: 144 + 8 * i as u32,
+            patterns: 100 + 16 * i as u32,
+            power: 60.0 + 5.0 * i as f64,
+        })
+        .collect()
+}
+
+/// Each core's stored patterns have a care density that is a pure
+/// function of the pattern count, so every core characterises under its
+/// own `ProfileCache` key — and an edit to one core's patterns moves
+/// only that core's key.
+fn care_density(patterns: u32) -> f64 {
+    f64::from(patterns) / 4096.0
+}
+
+/// Characterises one core's pattern source: plasma decompressing that
+/// core's deterministic patterns at the core's care density.
+fn characterise(core: &CoreRequest) -> ProcessorProfile {
+    let mut request = PlanRequest::benchmark("d695", 4, 4);
+    request.processors = Some(ProcessorSpec {
+        family: "plasma".to_owned(),
+        total: 1,
+        reused: 1,
+        calibrate: true,
+        application: ApplicationSpec::Decompression {
+            care_density: care_density(core.patterns),
+        },
+    });
+    request
+        .resolve_profile()
+        .expect("plasma decompression characterises")
+        .expect("a processor spec is present")
+}
+
+/// The plan request for the whole model: the 20 cores on a 5x5 mesh with
+/// two reused plasma processors (the shared BIST characterisation key).
+fn plan_request(cores: &[CoreRequest], name: &str) -> PlanRequest {
+    let mut request = PlanRequest::benchmark(name, 5, 5)
+        .with_name(name)
+        .with_scheduler("greedy")
+        .with_processors("plasma", 2, 2);
+    request.soc = SocSource::Cores {
+        name: "editsoc".to_owned(),
+        cores: cores.to_vec(),
+    };
+    request
+}
+
+#[test]
+fn revising_one_core_recharacterises_exactly_that_core() {
+    let campaign = Campaign::new();
+    let base = cores();
+
+    // Cold: every core's key is fresh — 20 characterisations, no hits.
+    let before = profile_cache_stats();
+    let profiles: Vec<ProcessorProfile> = base.iter().map(characterise).collect();
+    let cold = profile_cache_stats().since(before);
+    assert_eq!(cold.misses, CORES as u64, "cold characterisation: {cold:?}");
+    assert_eq!(cold.hits, 0, "cold characterisation: {cold:?}");
+
+    // Cold plan: the request's own (BIST) key characterises once more.
+    let before = profile_cache_stats();
+    let outcome = campaign
+        .run(&plan_request(&base, "cold"))
+        .expect("the 20-core model plans");
+    assert!(outcome.makespan > 0);
+    assert_eq!(profile_cache_stats().since(before).misses, 1);
+
+    // Revise one core's patterns: only its care density (and so its
+    // cache key) moves; replan characterisation is 1 miss + 19 hits.
+    let mut edited = base.clone();
+    edited[EDITED].patterns += 8;
+    let before = profile_cache_stats();
+    let replanned: Vec<ProcessorProfile> = edited.iter().map(characterise).collect();
+    let replan = profile_cache_stats().since(before);
+    assert_eq!(replan.misses, 1, "replan characterisation: {replan:?}");
+    assert_eq!(
+        replan.hits,
+        CORES as u64 - 1,
+        "replan characterisation: {replan:?}"
+    );
+
+    // The 19 untouched cores get byte-identical profiles back; the
+    // edited core's profile genuinely changed.
+    for (i, (old, new)) in profiles.iter().zip(&replanned).enumerate() {
+        if i == EDITED {
+            assert_ne!(old, new, "core {i} was edited");
+        } else {
+            assert_eq!(old, new, "core {i} was untouched");
+        }
+    }
+
+    // Replanning the edited model reuses the shared BIST profile too:
+    // no further characterisation anywhere in the plan path.
+    let before = profile_cache_stats();
+    let replanned_outcome = campaign
+        .run(&plan_request(&edited, "replan"))
+        .expect("the edited model replans");
+    assert!(replanned_outcome.makespan > 0);
+    assert_eq!(
+        replanned_outcome.sessions.len(),
+        outcome.sessions.len(),
+        "same model shape, same session count"
+    );
+    let replan_plan = profile_cache_stats().since(before);
+    assert_eq!(replan_plan.misses, 0, "replan pays no new characterisation");
+}
