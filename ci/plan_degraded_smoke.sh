@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI smoke gate for degraded-mesh planning: run `plan-degraded --smoke`
+# twice and byte-check the deterministic section of BENCH_degraded.json
+# (per-scheduler makespan inflation vs fault rate, win rates, and every
+# typed failure on the severed mesh). The binary prints exactly that
+# section on stdout, so the gate is a straight byte comparison; timings
+# (the `measured` section) are machine-dependent and deliberately
+# excluded. The binary's own exit status already gates the fault axis
+# internally: at least one unreachable-core instance, the column cut
+# rejecting every scheduler with a typed error (never a panic), a
+# non-negative mean serial inflation, a clean healthy baseline, and
+# in-process byte-identity between two corpus runs.
+#
+# Usage: ci/plan_degraded_smoke.sh [path-to-plan-degraded]
+set -euo pipefail
+
+BIN="${1:-target/release/plan-degraded}"
+if [ ! -x "$BIN" ]; then
+    echo "plan_degraded_smoke: $BIN not found or not executable" >&2
+    exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN" --smoke --out "$WORK/first.json" >"$WORK/first.det"
+"$BIN" --smoke --out "$WORK/second.json" >"$WORK/second.det"
+
+if ! cmp -s "$WORK/first.det" "$WORK/second.det"; then
+    echo "plan_degraded_smoke: deterministic sections differ between runs" >&2
+    diff "$WORK/first.det" "$WORK/second.det" >&2 || true
+    exit 1
+fi
+
+for run in first second; do
+    if [ ! -s "$WORK/$run.json" ]; then
+        echo "plan_degraded_smoke: $run run wrote no report" >&2
+        exit 1
+    fi
+done
+
+echo "plan_degraded_smoke: deterministic section reproduced byte-identically"

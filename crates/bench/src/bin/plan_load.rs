@@ -29,8 +29,9 @@ use std::time::Instant;
 use noctest_core::json::Json;
 use noctest_core::plan::exec::{EventSink, PlanEvent};
 use noctest_core::plan::{MeshSpec, PlanRequest, SocSource};
+use noctest_faults::FaultRecipe;
 use noctest_gen::RecipeFamily;
-use noctest_noc::RoutingKind;
+use noctest_noc::{Mesh, RoutingKind};
 use noctest_serve::{ServeTier, SubmitOutcome};
 
 /// Captures the terminal instant and kind of every job.
@@ -50,6 +51,24 @@ impl EventSink for LatencySink {
     }
 }
 
+/// Which request stream to generate: the `standard` healthy mix, or the
+/// `degraded` mix where two of three requests plan around seeded uniform
+/// link failures (byte-deterministic like the rest of the stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Standard,
+    Degraded,
+}
+
+impl Mix {
+    fn label(self) -> &'static str {
+        match self {
+            Mix::Standard => "standard",
+            Mix::Degraded => "degraded",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Config {
     jobs: usize,
@@ -58,6 +77,7 @@ struct Config {
     queue_depth: usize,
     clients: usize,
     seed: u64,
+    mix: Mix,
     out: String,
     smoke: bool,
 }
@@ -71,6 +91,7 @@ impl Default for Config {
             queue_depth: 4,
             clients: 3,
             seed: 1,
+            mix: Mix::Standard,
             out: "BENCH_serve.json".to_owned(),
             smoke: false,
         }
@@ -95,6 +116,17 @@ fn parse_args() -> Result<Option<Config>, String> {
             "--queue-depth" => config.queue_depth = parse_flag("--queue-depth", args.next())?,
             "--clients" => config.clients = parse_flag::<usize>("--clients", args.next())?.max(1),
             "--seed" => config.seed = parse_flag("--seed", args.next())?,
+            "--mix" => {
+                config.mix = match args.next().as_deref() {
+                    Some("standard") => Mix::Standard,
+                    Some("degraded") => Mix::Degraded,
+                    other => {
+                        return Err(format!(
+                            "--mix must be `standard` or `degraded`, got {other:?}"
+                        ))
+                    }
+                };
+            }
             "--out" => config.out = parse_flag("--out", args.next())?,
             "--smoke" => {
                 config.smoke = true;
@@ -107,9 +139,11 @@ fn parse_args() -> Result<Option<Config>, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: plan-load [--jobs N] [--shards N] [--threads N] [--queue-depth D]\n\
-                     \u{20}                [--clients N] [--seed S] [--out PATH] [--smoke]\n\
+                     \u{20}                [--clients N] [--seed S] [--mix standard|degraded]\n\
+                     \u{20}                [--out PATH] [--smoke]\n\
                      drives the service tier with seeded synthetic traffic and writes\n\
-                     latency/throughput/rejection metrics to the report (BENCH_serve.json)"
+                     latency/throughput/rejection metrics to the report (BENCH_serve.json);\n\
+                     the degraded mix plans two of three jobs around seeded link failures"
                 );
                 return Ok(None);
             }
@@ -122,7 +156,7 @@ fn parse_args() -> Result<Option<Config>, String> {
 /// The deterministic request stream: small synthetic SoCs cycling over
 /// the recipe families, mesh sizes and schedulers. Each job's bytes are
 /// a pure function of `(seed, index)`.
-fn request(seed: u64, index: usize) -> PlanRequest {
+fn request(seed: u64, index: usize, mix: Mix) -> PlanRequest {
     let family = RecipeFamily::ALL[index % RecipeFamily::ALL.len()];
     let cores = 6 + (index % 3) as u32 * 2;
     let soc_text = family.recipe(cores).generate_text(seed ^ index as u64);
@@ -137,6 +171,17 @@ fn request(seed: u64, index: usize) -> PlanRequest {
         height,
         routing: RoutingKind::Xy,
     };
+    // The degraded mix keeps every third job healthy (a baseline inside
+    // the same run) and reroutes the rest around seeded link failures.
+    // Link recipes keep every core reachable, so the stream still
+    // completes; the work per job grows with the detours.
+    if mix == Mix::Degraded && !index.is_multiple_of(3) {
+        let recipe = FaultRecipe::UniformLinks {
+            percent: if index % 3 == 1 { 5 } else { 10 },
+        };
+        let mesh = Mesh::new(width, height).expect("load meshes are valid");
+        request = request.with_faults(recipe.generate(&mesh, seed ^ index as u64));
+    }
     request
 }
 
@@ -165,7 +210,7 @@ fn run(config: &Config) -> Result<Json, String> {
     for index in 0..config.jobs {
         let client = format!("client-{}", index % config.clients);
         let t0 = Instant::now();
-        match tier.submit_for(request(config.seed, index), Some(&client), 0) {
+        match tier.submit_for(request(config.seed, index, config.mix), Some(&client), 0) {
             SubmitOutcome::Admitted { job }
             | SubmitOutcome::Deduped { job }
             | SubmitOutcome::Cached { job, .. }
@@ -211,6 +256,7 @@ fn run(config: &Config) -> Result<Json, String> {
                 ("queue_depth", Json::int(config.queue_depth as u64)),
                 ("clients", Json::int(config.clients as u64)),
                 ("seed", Json::int(config.seed)),
+                ("mix", Json::str(config.mix.label())),
             ]),
         ),
         (

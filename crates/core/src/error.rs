@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::cut::CutId;
+use crate::interface::InterfaceId;
 
 /// Errors produced while building a system under test or planning its test.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,25 @@ pub enum PlanError {
     },
     /// The system has no test interface at all.
     NoInterfaces,
+    /// The fault set names a router or link outside the mesh.
+    FaultOutsideMesh {
+        /// Index of the out-of-mesh router (for links, the driving end).
+        node: u32,
+    },
+    /// No test interface has a surviving route to the core: the fault set
+    /// severed it from every stimulus source.
+    CutUnreachable {
+        /// The severed core.
+        cut: CutId,
+    },
+    /// The selected interface has no surviving route to the core (other
+    /// interfaces may still reach it).
+    InterfaceUnreachable {
+        /// The interface with no surviving route.
+        interface: InterfaceId,
+        /// The core it cannot reach.
+        cut: CutId,
+    },
     /// Scheduling made no progress (internal invariant violation).
     Stalled {
         /// Simulation time at the stall.
@@ -73,6 +93,17 @@ impl fmt::Display for PlanError {
                 write!(f, "core {cut} has no TAM-delivered test set")
             }
             PlanError::NoInterfaces => write!(f, "system has no test interfaces"),
+            PlanError::FaultOutsideMesh { node } => {
+                write!(f, "fault set names router n{node} outside the mesh")
+            }
+            PlanError::CutUnreachable { cut } => write!(
+                f,
+                "core {cut} is unreachable from every test interface under the fault set"
+            ),
+            PlanError::InterfaceUnreachable { interface, cut } => write!(
+                f,
+                "interface {interface} has no surviving route to core {cut}"
+            ),
             PlanError::Stalled { at, waiting } => {
                 write!(
                     f,
@@ -106,6 +137,12 @@ mod tests {
             },
             PlanError::NoTamTest { cut: CutId(2) },
             PlanError::NoInterfaces,
+            PlanError::FaultOutsideMesh { node: 20 },
+            PlanError::CutUnreachable { cut: CutId(4) },
+            PlanError::InterfaceUnreachable {
+                interface: InterfaceId(1),
+                cut: CutId(4),
+            },
             PlanError::Stalled { at: 10, waiting: 2 },
             PlanError::InvalidSchedule("overlap".into()),
         ];

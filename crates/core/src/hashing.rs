@@ -42,11 +42,13 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// clusters badly on short, similar inputs; one avalanche pass spreads
 /// hashes uniformly over the 64-bit space. It is a fixed bijection, so
 /// determinism is unaffected.
+///
+/// Delegates to [`noctest_noc::rng::avalanche`] — the single avalanche
+/// implementation in the workspace (the PRNG, this hash path and the
+/// serve tier's consistent-hash ring all share it).
 #[must_use]
-pub fn spread(mut x: u64) -> u64 {
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
+pub fn spread(x: u64) -> u64 {
+    noctest_noc::rng::avalanche(x)
 }
 
 /// The semantic content key of a [`PlanRequest`]: an avalanche-mixed

@@ -77,6 +77,7 @@ pub use cut::{CoreUnderTest, CutId, CutKind};
 pub use error::PlanError;
 pub use hashing::ContentHash;
 pub use interface::{InterfaceId, TestInterface};
+pub use noctest_faults::{DetourOracle, FaultRecipe, FaultSet};
 pub use path::{LinkSet, TestPath};
 pub use plan::{
     Campaign, CampaignError, PlanOutcome, PlanRequest, RequestMatrix, SchedulerRegistry,

@@ -14,7 +14,8 @@
 
 use std::collections::BTreeSet;
 
-use noctest_noc::{LinkId, Mesh, NodeId, RoutingKind};
+use noctest_faults::DetourOracle;
+use noctest_noc::{Direction, LinkId, Mesh, NodeId, RoutingKind};
 
 use crate::cut::CoreUnderTest;
 use crate::interface::TestInterface;
@@ -132,6 +133,52 @@ impl TestPath {
             links,
         }
     }
+
+    /// Computes the footprint of testing `cut` from `iface` over the
+    /// minimal detour routes of `oracle` (a degraded mesh). Returns `None`
+    /// when the fault set severs either the stimulus or the response leg.
+    #[must_use]
+    pub fn compute_detoured(
+        mesh: &Mesh,
+        oracle: &DetourOracle,
+        iface: &TestInterface,
+        cut: &CoreUnderTest,
+    ) -> Option<Self> {
+        let src = iface.source_node();
+        let snk = iface.sink_node();
+        let route_in = oracle.route(src, cut.node)?;
+        let route_out = oracle.route(cut.node, snk)?;
+        let mut links = LinkSet::new();
+
+        links.insert(LinkId::injection(src));
+        for l in route_links(mesh, &route_in) {
+            links.insert(l);
+        }
+        links.insert(LinkId::ejection(cut.node));
+
+        links.insert(LinkId::injection(cut.node));
+        for l in route_links(mesh, &route_out) {
+            links.insert(l);
+        }
+        links.insert(LinkId::ejection(snk));
+
+        Some(TestPath {
+            hops_in: route_in.len() as u32 - 1,
+            hops_out: route_out.len() as u32 - 1,
+            links,
+        })
+    }
+}
+
+/// The directed cardinal links along a route given as adjacent routers.
+fn route_links<'a>(mesh: &'a Mesh, route: &'a [NodeId]) -> impl Iterator<Item = LinkId> + 'a {
+    route.windows(2).map(|pair| {
+        let dir = Direction::CARDINAL
+            .into_iter()
+            .find(|&d| mesh.neighbor(pair[0], d) == Some(pair[1]))
+            .expect("detour routes step between adjacent routers");
+        LinkId::cardinal(pair[0], dir)
+    })
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! [`PlanRequest`]: the serialisable description of one planning run.
 
 use noctest_cpu::ProcessorProfile;
+use noctest_faults::FaultSet;
 use noctest_itc02::{data, parse_soc, SocDesc};
-use noctest_noc::RoutingKind;
+use noctest_noc::{Direction, LinkId, Mesh, NodeId, RoutingKind};
 
 use crate::json::{field, field_opt, field_or, Json, JsonError};
 
@@ -182,6 +183,10 @@ pub struct PlanRequest {
     pub scheduler: String,
     /// Test priority policy.
     pub priority: PriorityPolicy,
+    /// Failed routers and links the plan must detour around. The empty
+    /// set is omitted from JSON, keeping fault-free requests byte-identical
+    /// to every earlier release (request keys, content hashes, journals).
+    pub faults: FaultSet,
     /// Timing-model overrides.
     pub timing: TimingSpec,
     /// Search tuning forwarded to schedulers with tunable machinery
@@ -212,6 +217,7 @@ impl PlanRequest {
             budget: BudgetSpec::Unlimited,
             scheduler: "greedy".to_owned(),
             priority: PriorityPolicy::Distance,
+            faults: FaultSet::none(),
             timing: TimingSpec::default(),
             search: SearchTuning::default(),
             validate: true,
@@ -250,6 +256,14 @@ impl PlanRequest {
     #[must_use]
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Plans on a degraded mesh (builder style). The empty set restores
+    /// fault-free planning, byte-identically.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSet) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -336,6 +350,7 @@ impl PlanRequest {
             .routing(self.mesh.routing)
             .budget(self.budget)
             .priority(self.priority)
+            .faults(self.faults.clone())
             .timing(self.timing.resolve());
         if let (Some(spec), Some(profile)) = (&self.processors, self.resolve_profile()?) {
             builder = builder.processors(&profile, spec.total, spec.reused);
@@ -478,6 +493,85 @@ impl PlanRequest {
             other => return Err(bad(&format!("unknown priority `{other}`"))),
         };
 
+        let faults = match doc.get("faults") {
+            None | Some(Json::Null) => FaultSet::none(),
+            Some(f) => {
+                let Some(entries) = f.as_obj() else {
+                    return Err(bad("`faults` must be null or an object"));
+                };
+                // Decoding needs real mesh geometry: coordinates are
+                // validated here, so a degraded request is rejected at the
+                // wire instead of deep inside planning.
+                let geometry = Mesh::new(mesh.width, mesh.height)
+                    .map_err(|_| bad("`faults` requires a valid mesh"))?;
+                let node_of = |v: &Json, what: &str| -> Result<NodeId, JsonError> {
+                    let pair = v
+                        .as_arr()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| bad(&format!("{what} must be an `[x, y]` pair")))?;
+                    let x = pair[0]
+                        .as_u64()
+                        .and_then(|n| u16::try_from(n).ok())
+                        .ok_or_else(|| bad(&format!("{what} x is not an integer fitting u16")))?;
+                    let y = pair[1]
+                        .as_u64()
+                        .and_then(|n| u16::try_from(n).ok())
+                        .ok_or_else(|| bad(&format!("{what} y is not an integer fitting u16")))?;
+                    geometry
+                        .node_at(x, y)
+                        .ok_or_else(|| bad(&format!("{what} [{x}, {y}] is outside the mesh")))
+                };
+                let mut set = FaultSet::none();
+                for (key, value) in entries {
+                    match key.as_str() {
+                        "routers" => {
+                            let items = value
+                                .as_arr()
+                                .ok_or_else(|| bad("`faults.routers` is not an array"))?;
+                            for item in items {
+                                set.add_router(node_of(item, "`faults.routers` entry")?);
+                            }
+                        }
+                        "links" => {
+                            let items = value
+                                .as_arr()
+                                .ok_or_else(|| bad("`faults.links` is not an array"))?;
+                            for item in items {
+                                let pair =
+                                    item.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                                        bad("`faults.links` entry must be `[[x, y], dir]`")
+                                    })?;
+                                let from = node_of(&pair[0], "`faults.links` entry")?;
+                                let dir = match pair[1].as_str() {
+                                    Some("E") => Direction::East,
+                                    Some("W") => Direction::West,
+                                    Some("N") => Direction::North,
+                                    Some("S") => Direction::South,
+                                    _ => {
+                                        return Err(bad(
+                                            "`faults.links` direction must be \"E\", \"W\", \"N\" or \"S\"",
+                                        ))
+                                    }
+                                };
+                                if geometry.neighbor(from, dir).is_none() {
+                                    return Err(bad(&format!(
+                                        "`faults.links` entry [{}, {}] {dir} leaves the mesh",
+                                        geometry.position(from).x,
+                                        geometry.position(from).y,
+                                    )));
+                                }
+                                set.add_link(LinkId::cardinal(from, dir));
+                            }
+                        }
+                        other => {
+                            return Err(bad(&format!("`faults` has unknown member `{other}`")))
+                        }
+                    }
+                }
+                set
+            }
+        };
+
         let timing = match doc.get("timing") {
             None | Some(Json::Null) => TimingSpec::default(),
             Some(t) => TimingSpec {
@@ -551,6 +645,7 @@ impl PlanRequest {
                 v.as_str().map(str::to_owned)
             })?,
             priority,
+            faults,
             timing,
             search,
             validate: field_or(doc, "validate", "a boolean", true, Json::as_bool)?,
@@ -642,6 +737,51 @@ impl PlanRequest {
                 PriorityPolicy::Index => "index",
             }),
         ));
+        // The empty fault set is omitted entirely: fault-free requests must
+        // stay byte-identical to releases that predate the member.
+        if !self.faults.is_empty() {
+            let geometry = Mesh::new(self.mesh.width, self.mesh.height)
+                .expect("a request carrying faults has a valid mesh");
+            let coords = |node: NodeId| {
+                let pos = geometry.position(node);
+                Json::Arr(vec![
+                    Json::int(u64::from(pos.x)),
+                    Json::int(u64::from(pos.y)),
+                ])
+            };
+            let mut f = Vec::new();
+            if self.faults.router_count() > 0 {
+                f.push((
+                    "routers",
+                    Json::Arr(self.faults.routers().map(coords).collect()),
+                ));
+            }
+            if self.faults.link_count() > 0 {
+                f.push((
+                    "links",
+                    Json::Arr(
+                        self.faults
+                            .links()
+                            .map(|link| {
+                                Json::Arr(vec![
+                                    coords(link.from),
+                                    Json::str(match link.dir {
+                                        Direction::East => "E",
+                                        Direction::West => "W",
+                                        Direction::North => "N",
+                                        Direction::South => "S",
+                                        Direction::Local => {
+                                            unreachable!("fault sets reject local links")
+                                        }
+                                    }),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            members.push(("faults", Json::obj(f)));
+        }
         if !self.timing.is_default() {
             let mut t = Vec::new();
             if let Some(v) = self.timing.flit_width_bits {
@@ -794,6 +934,68 @@ mod tests {
             "{base}, \"fidelity\": {{\"patterns_cap\": 0}}}}"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn faults_member_roundtrips() {
+        use noctest_noc::{Direction, LinkId, Mesh, NodeId};
+        let mesh = Mesh::new(4, 4).unwrap();
+        let faults = FaultSet::none()
+            .with_router(mesh.node_at(2, 1).unwrap())
+            .with_link(LinkId::cardinal(NodeId::new(0), Direction::East));
+        let r = full_request().with_faults(faults);
+        let text = r.to_json_string();
+        assert!(text.contains("\"faults\""), "{text}");
+        let back = PlanRequest::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_faults_are_omitted_byte_identically() {
+        // The compatibility wall: a request without faults must encode to
+        // exactly the bytes every earlier release produced, so request
+        // keys, content hashes and journals are unchanged.
+        let r = full_request();
+        let with_empty = r.clone().with_faults(FaultSet::none());
+        assert_eq!(r.to_json_string(), with_empty.to_json_string());
+        assert!(!r.to_json_string().contains("faults"));
+        // And explicit nulls decode to the same request as absence.
+        let base = r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}"#;
+        let absent = PlanRequest::from_json_str(&format!("{base}}}")).unwrap();
+        let null = PlanRequest::from_json_str(&format!("{base}, \"faults\": null}}")).unwrap();
+        assert_eq!(absent, null);
+        assert!(null.faults.is_empty());
+    }
+
+    #[test]
+    fn faults_decode_errors_are_exact() {
+        let base = r#"{"soc": {"benchmark": "d695"}, "mesh": {"width": 4, "height": 4}"#;
+        let err = |tail: &str| {
+            PlanRequest::from_json(&Json::parse(&format!("{base}, {tail}}}")).unwrap())
+                .unwrap_err()
+                .message
+        };
+        assert_eq!(
+            err(r#""faults": {"typo": []}"#),
+            "`faults` has unknown member `typo`"
+        );
+        assert_eq!(
+            err(r#""faults": {"links": [[[0, 0], "Q"]]}"#),
+            "`faults.links` direction must be \"E\", \"W\", \"N\" or \"S\""
+        );
+        assert_eq!(
+            err(r#""faults": {"links": [[0, 0, "E"]]}"#),
+            "`faults.links` entry must be `[[x, y], dir]`"
+        );
+        assert_eq!(
+            err(r#""faults": {"routers": [[4, 0]]}"#),
+            "`faults.routers` entry [4, 0] is outside the mesh"
+        );
+        assert_eq!(
+            err(r#""faults": {"links": [[[3, 0], "E"]]}"#),
+            "`faults.links` entry [3, 0] E leaves the mesh"
+        );
+        assert_eq!(err(r#""faults": 7"#), "`faults` must be null or an object");
     }
 
     #[test]

@@ -34,6 +34,27 @@ use crate::interface::InterfaceId;
 use crate::sched::Schedule;
 use crate::system::SystemUnderTest;
 
+/// Applies the system's fault set (and its detour route table) to a fresh
+/// network, so the replay degrades exactly as the planner assumed. A
+/// pristine system touches nothing — the simulator stays byte-identical
+/// to the fault-free replay.
+fn apply_faults(sys: &SystemUnderTest, net: &mut Network) -> Result<(), NocError> {
+    let faults = sys.faults();
+    if faults.is_empty() {
+        return Ok(());
+    }
+    for router in faults.routers() {
+        net.kill_router(router)?;
+    }
+    for link in faults.links() {
+        net.kill_link(link)?;
+    }
+    if let Some(oracle) = sys.detour() {
+        net.set_route_table(oracle.route_table())?;
+    }
+    Ok(())
+}
+
 /// Outcome of replaying one session's stimulus stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamReplay {
@@ -95,6 +116,7 @@ pub fn replay_stimulus_stream(
         .routing(sys.routing())
         .build()?;
     let mut net = Network::new(config)?;
+    apply_faults(sys, &mut net)?;
 
     let core = sys.cut(cut);
     let interface = sys.interface(iface);
@@ -115,7 +137,8 @@ pub fn replay_stimulus_stream(
         .map(|d| d.tail_delivered_at)
         .max()
         .unwrap_or(0);
-    let hops = mesh.distance(src, dst);
+    // Detoured hops under faults; plain Manhattan distance otherwise.
+    let hops = sys.path(iface, cut).hops_in;
     Ok(StreamReplay {
         packets,
         flits_per_packet: flits_total,
@@ -182,6 +205,7 @@ pub fn replay_concurrent_streams(
     let run = |pairs: &[(noctest_noc::NodeId, noctest_noc::NodeId, u32, u32, u64)]|
      -> Result<Vec<u64>, NocError> {
         let mut net = Network::new(config.clone())?;
+        apply_faults(sys, &mut net)?;
         for &(src, dst, n, payload, tag) in pairs {
             for i in 0..n {
                 net.inject(
@@ -303,6 +327,7 @@ pub fn replay_schedule(
         .routing(sys.routing())
         .build()?;
     let mut net = Network::new(config)?;
+    apply_faults(sys, &mut net)?;
     let patterns_cap = patterns_cap.max(1);
 
     // Session index → tag block; comfortably above any real pattern count.
@@ -327,7 +352,7 @@ pub fn replay_schedule(
             )?;
         }
         total_flits += u64::from(packets) * u64::from(flits_total);
-        let hops = mesh.distance(src, dst);
+        let hops = sys.path(entry.interface, entry.cut).hops_in;
         sessions.push(SessionReplay {
             cut: entry.cut.0,
             interface: iface.label(),

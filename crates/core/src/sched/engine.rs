@@ -41,6 +41,9 @@ impl EngineState<'_> {
     /// processor self-tested (and not testing itself), links disjoint from
     /// every running session, and power within budget.
     pub fn feasible_now(&self, iface: InterfaceId, cut: CutId) -> bool {
+        if !self.sys.reachable(iface, cut) {
+            return false; // the fault set severed this pairing
+        }
         if self.active.iter().any(|a| a.interface == iface) {
             return false;
         }

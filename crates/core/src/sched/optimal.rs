@@ -166,6 +166,7 @@ impl<'a> SearchCore<'a> {
             .iter()
             .map(|cut| {
                 sys.interface_ids()
+                    .filter(|&iface| sys.reachable(iface, cut.id))
                     .filter(|iface| {
                         sys.interface(*iface)
                             .processor_index()
@@ -196,6 +197,9 @@ impl<'a> SearchCore<'a> {
         cut: CutId,
         iface: InterfaceId,
     ) -> bool {
+        if !self.sys.reachable(iface, cut) {
+            return false; // the fault set severed this pairing
+        }
         if active.iter().any(|a| a.interface == iface) {
             return false;
         }

@@ -34,6 +34,14 @@ impl Scheduler for SerialScheduler {
         let mut t = 0u64;
         let mut entries = Vec::with_capacity(sys.cuts().len());
         for cut in sys.priority_order() {
+            if !sys.reachable(ext, cut) {
+                // Serial refuses to reroute through processors: the whole
+                // point of the baseline is the external tester alone.
+                return Err(PlanError::InterfaceUnreachable {
+                    interface: ext,
+                    cut,
+                });
+            }
             let draw = sys.session_power(ext, cut);
             if !sys.budget().allows(draw) {
                 return Err(PlanError::InfeasiblePower {

@@ -57,6 +57,11 @@ impl InterfacePolicy for MinCompletion {
                 // running session's links: the wait was for the tester, and
                 // the tester arrived. Release it to the other cores.
                 *claim = None;
+            } else if !state.sys.reachable(ext, holder) {
+                // A claim can only be placed on a reachable tester, so
+                // this is defensive; release rather than estimate a
+                // severed route.
+                *claim = None;
             } else {
                 // Abandon the claim if waiting no longer pays: some free
                 // interface now completes the holder sooner than the
@@ -98,7 +103,7 @@ impl InterfacePolicy for MinCompletion {
             // Hold out only when waiting is a clear win: the external
             // completion estimate beats the processor's and the wait is
             // short relative to the session being scheduled.
-            if claim.is_none() && now_iface != ext {
+            if claim.is_none() && now_iface != ext && state.sys.reachable(ext, cut) {
                 let ext_busy_until = state.iface_busy_until[ext.0];
                 if ext_busy_until > state.now {
                     let wait = ext_busy_until - state.now;

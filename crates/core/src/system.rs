@@ -15,6 +15,7 @@
 //!   local port, as the paper's core counts imply).
 
 use noctest_cpu::ProcessorProfile;
+use noctest_faults::{DetourOracle, FaultSet};
 use noctest_itc02::SocDesc;
 use noctest_noc::{Mesh, NodeId, RoutingKind};
 
@@ -83,6 +84,7 @@ pub struct SystemBuilder {
     processors_reused: usize,
     ext_in: (u16, u16),
     ext_out: (u16, u16),
+    faults: FaultSet,
 }
 
 impl SystemBuilder {
@@ -104,6 +106,7 @@ impl SystemBuilder {
             processors_reused: 0,
             ext_in: (0, 0),
             ext_out: (width.saturating_sub(1), height.saturating_sub(1)),
+            faults: FaultSet::none(),
         }
     }
 
@@ -223,6 +226,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Plans on a degraded mesh: paths detour around `faults`, unreachable
+    /// (interface, core) pairings are excluded, and the fault set rides
+    /// into the built system for fault-injected replay. The empty set is
+    /// byte-identical to not calling this at all.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSet) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates and builds the system.
     ///
     /// # Errors
@@ -245,6 +258,11 @@ impl SystemBuilder {
         }
         if self.core_specs.is_empty() && self.processors_total == 0 {
             return Err(PlanError::MeshTooSmall { nodes, required: 0 });
+        }
+        if let Err(node) = self.faults.validate(&mesh) {
+            return Err(PlanError::FaultOutsideMesh {
+                node: u32::from(node),
+            });
         }
 
         let ext_in = mesh
@@ -337,14 +355,27 @@ impl SystemBuilder {
         };
 
         // --- Path table ----------------------------------------------------
-        let paths: Vec<Vec<TestPath>> = interfaces
+        // On a pristine mesh the paths come from the configured routing
+        // algorithm, byte-identical to the fault-free planner. Under
+        // faults they come from the detour oracle instead; a `None` entry
+        // records that the fault set severed that (interface, core) pair.
+        let detour = (!self.faults.is_empty()).then(|| DetourOracle::new(&mesh, &self.faults));
+        let paths: Vec<Vec<Option<TestPath>>> = interfaces
             .iter()
             .map(|iface| {
                 cuts.iter()
-                    .map(|cut| TestPath::compute(&mesh, self.routing, iface, cut))
+                    .map(|cut| match &detour {
+                        None => Some(TestPath::compute(&mesh, self.routing, iface, cut)),
+                        Some(oracle) => TestPath::compute_detoured(&mesh, oracle, iface, cut),
+                    })
                     .collect()
             })
             .collect();
+        for cut in &cuts {
+            if paths.iter().all(|row| row[cut.id.0 as usize].is_none()) {
+                return Err(PlanError::CutUnreachable { cut: cut.id });
+            }
+        }
 
         let system = SystemUnderTest {
             name: self.name,
@@ -357,6 +388,8 @@ impl SystemBuilder {
             cuts,
             interfaces,
             paths,
+            faults: self.faults,
+            detour,
             total_core_power: total_power,
         };
 
@@ -365,9 +398,11 @@ impl SystemBuilder {
         // universal fallback — a core that only fits the budget via a
         // processor interface could deadlock the plan (the processor's own
         // self-test might transitively depend on that core), so such
-        // systems are rejected up front.
+        // systems are rejected up front. Under faults the check falls back
+        // to the lowest-indexed interface that still reaches the core.
         for cut in system.cuts() {
-            let draw = system.session_power(InterfaceId(0), cut.id);
+            let iface = system.fallback_interface(cut.id);
+            let draw = system.session_power(iface, cut.id);
             if !system.budget.allows(draw) {
                 return Err(PlanError::InfeasiblePower {
                     cut: cut.id,
@@ -418,7 +453,9 @@ pub struct SystemUnderTest {
     priority: PriorityPolicy,
     cuts: Vec<CoreUnderTest>,
     interfaces: Vec<TestInterface>,
-    paths: Vec<Vec<TestPath>>,
+    paths: Vec<Vec<Option<TestPath>>>,
+    faults: FaultSet,
+    detour: Option<DetourOracle>,
     total_core_power: f64,
 }
 
@@ -496,10 +533,53 @@ impl SystemUnderTest {
         (0..self.interfaces.len()).map(InterfaceId)
     }
 
+    /// The fault set the system was planned against (empty = pristine).
+    #[must_use]
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The detour oracle, present only when the fault set is non-empty.
+    #[must_use]
+    pub fn detour(&self) -> Option<&DetourOracle> {
+        self.detour.as_ref()
+    }
+
+    /// `true` when `iface` has surviving routes both to and from `cut`
+    /// (always `true` on a pristine mesh).
+    #[must_use]
+    pub fn reachable(&self, iface: InterfaceId, cut: CutId) -> bool {
+        self.paths[iface.0][cut.0 as usize].is_some()
+    }
+
+    /// The precomputed path for testing `cut` from `iface`, or `None` when
+    /// the fault set severed the pair.
+    #[must_use]
+    pub fn try_path(&self, iface: InterfaceId, cut: CutId) -> Option<&TestPath> {
+        self.paths[iface.0][cut.0 as usize].as_ref()
+    }
+
     /// The precomputed path for testing `cut` from `iface`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault set severed the pair; schedulers check
+    /// [`SystemUnderTest::reachable`] before costing a pairing.
     #[must_use]
     pub fn path(&self, iface: InterfaceId, cut: CutId) -> &TestPath {
-        &self.paths[iface.0][cut.0 as usize]
+        self.paths[iface.0][cut.0 as usize]
+            .as_ref()
+            .expect("no surviving route between interface and core")
+    }
+
+    /// The lowest-indexed interface with a surviving route to `cut` — the
+    /// external tester on a pristine mesh. Build-time checks guarantee one
+    /// exists for every core of a successfully built system.
+    #[must_use]
+    pub(crate) fn fallback_interface(&self, cut: CutId) -> InterfaceId {
+        self.interface_ids()
+            .find(|&iface| self.reachable(iface, cut))
+            .expect("every core of a built system is reachable somewhere")
     }
 
     /// Session duration in cycles for `cut` driven by `iface`.
@@ -543,7 +623,7 @@ impl SystemUnderTest {
                 let dist = self
                     .interfaces
                     .iter()
-                    .map(|i| self.mesh.distance(i.source_node(), cut.node))
+                    .map(|i| self.route_hops(i.source_node(), cut.node))
                     .min()
                     .unwrap_or(0);
                 (u32::from(!cut.is_processor()), dist, id.0)
@@ -563,13 +643,25 @@ impl SystemUnderTest {
         order
     }
 
-    /// Serialized lower bound: every core tested one at a time on its best
-    /// interface (not achievable when paths conflict; used for reporting).
+    /// Routing-aware hop count between two routers: detoured hops on a
+    /// degraded mesh (`u32::MAX` when severed), Manhattan distance
+    /// otherwise.
+    fn route_hops(&self, from: NodeId, to: NodeId) -> u32 {
+        match &self.detour {
+            Some(oracle) => oracle.hops(from, to).unwrap_or(u32::MAX),
+            None => self.mesh.distance(from, to),
+        }
+    }
+
+    /// Serialized lower bound: every core tested one at a time on the
+    /// external tester (not achievable when paths conflict; used for
+    /// reporting). On a degraded mesh, cores the external tester cannot
+    /// reach are costed on their lowest-indexed surviving interface.
     #[must_use]
     pub fn serial_external_cycles(&self) -> u64 {
         self.cuts
             .iter()
-            .map(|c| self.session_cycles(InterfaceId(0), c.id))
+            .map(|c| self.session_cycles(self.fallback_interface(c.id), c.id))
             .sum()
     }
 }
@@ -578,6 +670,7 @@ impl SystemUnderTest {
 mod tests {
     use super::*;
     use noctest_itc02::data;
+    use noctest_noc::{Direction, LinkId};
 
     fn d695_system(reused: usize) -> SystemUnderTest {
         SystemBuilder::from_benchmark(&data::d695(), 4, 4)
@@ -727,5 +820,84 @@ mod tests {
             .map(|c| sys.session_cycles(InterfaceId(0), c.id))
             .sum();
         assert_eq!(sys.serial_external_cycles(), sum);
+    }
+
+    #[test]
+    fn empty_fault_set_builds_the_identical_system() {
+        let pristine = d695_system(2);
+        let faulted = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+            .processors(&ProcessorProfile::leon(), 6, 2)
+            .faults(FaultSet::none())
+            .build()
+            .unwrap();
+        assert!(faulted.detour().is_none(), "empty set never builds oracle");
+        for cut in pristine.cuts() {
+            for iface in pristine.interface_ids() {
+                assert_eq!(
+                    pristine.session_cycles(iface, cut.id),
+                    faulted.session_cycles(iface, cut.id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detours_lengthen_sessions_never_shorten_them() {
+        let pristine = d695_system(2);
+        // Kill three of the four eastbound links out of column x=1: east
+        // crossings must climb to row y=3 and back down, but every pair
+        // stays reachable (the westbound twins survive).
+        let faults = FaultSet::none()
+            .with_link(LinkId::cardinal(NodeId::new(1), Direction::East))
+            .with_link(LinkId::cardinal(NodeId::new(5), Direction::East))
+            .with_link(LinkId::cardinal(NodeId::new(9), Direction::East));
+        let sys = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+            .processors(&ProcessorProfile::leon(), 6, 2)
+            .faults(faults)
+            .build()
+            .unwrap();
+        let mut inflated = 0usize;
+        for cut in sys.cuts() {
+            for iface in sys.interface_ids() {
+                if !sys.reachable(iface, cut.id) {
+                    continue;
+                }
+                let healthy = pristine.session_cycles(iface, cut.id);
+                let degraded = sys.session_cycles(iface, cut.id);
+                assert!(degraded >= healthy, "detour shortened a session");
+                if degraded > healthy {
+                    inflated += 1;
+                }
+            }
+        }
+        assert!(inflated > 0, "a dead centre router must inflate something");
+    }
+
+    #[test]
+    fn severed_core_is_a_typed_error_not_a_panic() {
+        // A 1-wide mesh is a chain; killing the middle router cuts the
+        // northern cores off from the corner interfaces entirely.
+        let err = SystemBuilder::new("chain", 1, 5)
+            .core("a", 10, 10, 4, 10.0)
+            .core("b", 10, 10, 4, 10.0)
+            .core("c", 10, 10, 4, 10.0)
+            .core("d", 10, 10, 4, 10.0)
+            .core("e", 10, 10, 4, 10.0)
+            .faults(FaultSet::none().with_router(NodeId::new(2)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::CutUnreachable { .. }), "{err}");
+    }
+
+    #[test]
+    fn fault_outside_mesh_is_rejected_at_build() {
+        let err = SystemBuilder::from_benchmark(&data::d695(), 4, 4)
+            .faults(FaultSet::none().with_router(NodeId::new(16)))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, PlanError::FaultOutsideMesh { node: 16 }),
+            "{err}"
+        );
     }
 }

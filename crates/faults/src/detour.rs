@@ -1,0 +1,273 @@
+//! [`DetourOracle`]: deterministic minimal-detour routing around faults.
+//!
+//! For every destination the oracle runs a breadth-first search over the
+//! *surviving* topology (dead routers and dead directed links removed,
+//! links touching a dead router implicitly dead) and records each node's
+//! hop distance to that destination. A route then chases, from the
+//! source, the first direction in the fixed cardinal order (East, West,
+//! North, South) whose link survives and whose neighbour is one hop
+//! closer — a deterministic, minimal, acyclic path. Because the next hop
+//! is a pure function of `(here, dest)`, the same chase can be installed
+//! on the cycle-level simulator as a [`RouteTable`], guaranteeing the
+//! planner's paths and the simulator's paths are the *same* paths.
+//!
+//! On a pristine mesh the oracle's hop counts equal Manhattan distances
+//! (its routes are minimal), but its link choices may differ from XY
+//! routing — which is why `noctest-core` only engages the oracle when the
+//! fault set is non-empty, keeping fault-free planning byte-identical.
+
+use noctest_noc::table::RouteTable;
+use noctest_noc::topology::{LinkId, Mesh, NodeId};
+use noctest_noc::Direction;
+
+use crate::model::FaultSet;
+
+const UNREACHED: u32 = u32::MAX;
+
+/// Precomputed all-pairs detour routing over one mesh and fault set.
+#[derive(Debug, Clone)]
+pub struct DetourOracle {
+    mesh: Mesh,
+    faults: FaultSet,
+    /// `dist[dest.index() * nodes + node.index()]` = hops from `node` to
+    /// `dest` over the surviving topology ([`UNREACHED`] if cut off).
+    dist: Vec<u32>,
+    /// Dead-router mask by node index.
+    dead: Vec<bool>,
+}
+
+impl DetourOracle {
+    /// Builds the oracle for `faults` on `mesh`. Cost is one BFS per
+    /// destination — O(nodes²) on the small meshes the planner uses.
+    #[must_use]
+    pub fn new(mesh: &Mesh, faults: &FaultSet) -> Self {
+        let nodes = mesh.len();
+        let mut dead = vec![false; nodes];
+        for router in faults.routers() {
+            if router.index() < nodes {
+                dead[router.index()] = true;
+            }
+        }
+        let mut dist = vec![UNREACHED; nodes * nodes];
+        let mut queue = std::collections::VecDeque::new();
+        for dest in mesh.nodes() {
+            if dead[dest.index()] {
+                continue;
+            }
+            let base = dest.index() * nodes;
+            dist[base + dest.index()] = 0;
+            queue.clear();
+            queue.push_back(dest);
+            // Reverse BFS: relax every surviving link *into* the popped
+            // node, so `dist` measures hops toward `dest`.
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[base + v.index()];
+                for dir in Direction::CARDINAL {
+                    let Some(u) = mesh.neighbor(v, dir) else {
+                        continue;
+                    };
+                    if dead[u.index()] || dist[base + u.index()] != UNREACHED {
+                        continue;
+                    }
+                    // The link from u into v leaves u through the
+                    // opposite port.
+                    if faults.link_dead(mesh, LinkId::cardinal(u, dir.opposite())) {
+                        continue;
+                    }
+                    dist[base + u.index()] = dv + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        DetourOracle {
+            mesh: mesh.clone(),
+            faults: faults.clone(),
+            dist,
+            dead,
+        }
+    }
+
+    /// The mesh the oracle covers.
+    #[must_use]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// `true` if a packet can travel `src → dst` on the surviving mesh
+    /// (both routers alive, a surviving path exists).
+    #[must_use]
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.hops(src, dst).is_some()
+    }
+
+    /// Hops of the minimal surviving route `src → dst`, or `None` when
+    /// the pair is cut off (dead endpoint or severed mesh).
+    #[must_use]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        let nodes = self.mesh.len();
+        if src.index() >= nodes || dst.index() >= nodes {
+            return None;
+        }
+        if self.dead[src.index()] || self.dead[dst.index()] {
+            return None;
+        }
+        let d = self.dist[dst.index() * nodes + src.index()];
+        (d != UNREACHED).then_some(d)
+    }
+
+    /// The output direction a packet at `here` destined to `dst` takes
+    /// next: the first cardinal direction whose surviving link leads one
+    /// hop closer, or [`Direction::Local`] at the destination.
+    #[must_use]
+    pub fn next_hop(&self, here: NodeId, dst: NodeId) -> Option<Direction> {
+        let d = self.dist[dst.index() * self.mesh.len() + here.index()];
+        if d == UNREACHED || self.dead[here.index()] {
+            return None;
+        }
+        if here == dst {
+            return Some(Direction::Local);
+        }
+        for dir in Direction::CARDINAL {
+            let Some(n) = self.mesh.neighbor(here, dir) else {
+                continue;
+            };
+            if self.dead[n.index()] {
+                continue;
+            }
+            if self.dist[dst.index() * self.mesh.len() + n.index()] != d - 1 {
+                continue;
+            }
+            // A closer neighbour is not enough: it may owe its distance
+            // to a different incoming link while the direct one is dead.
+            if self
+                .faults
+                .link_dead(&self.mesh, LinkId::cardinal(here, dir))
+            {
+                continue;
+            }
+            return Some(dir);
+        }
+        None
+    }
+
+    /// The ordered routers of the minimal detour route, inclusive of both
+    /// endpoints, or `None` when the pair is cut off.
+    #[must_use]
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.hops(src, dst)?;
+        let mut nodes = vec![src];
+        let mut here = src;
+        while here != dst {
+            let dir = self.next_hop(here, dst)?;
+            here = self.mesh.neighbor(here, dir)?;
+            nodes.push(here);
+        }
+        Some(nodes)
+    }
+
+    /// The oracle as a simulator [`RouteTable`]: every reachable pair
+    /// gets its chased next hop, unreachable pairs stay uncovered.
+    #[must_use]
+    pub fn route_table(&self) -> RouteTable {
+        RouteTable::from_fn(&self.mesh, |here, dest| self.next_hop(here, dest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::FaultRecipe;
+
+    #[test]
+    fn pristine_oracle_matches_manhattan() {
+        let mesh = Mesh::new(4, 3).unwrap();
+        let oracle = DetourOracle::new(&mesh, &FaultSet::none());
+        for a in mesh.nodes() {
+            for b in mesh.nodes() {
+                assert_eq!(oracle.hops(a, b), Some(mesh.distance(a, b)));
+                let route = oracle.route(a, b).unwrap();
+                assert_eq!(route.len() as u32, mesh.distance(a, b) + 1);
+                assert_eq!((route[0], *route.last().unwrap()), (a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_router_forces_a_detour() {
+        // 3x2, middle-bottom router dead: 0,0 -> 2,0 detours over the top.
+        let mesh = Mesh::new(3, 2).unwrap();
+        let faults = FaultSet::none().with_router(mesh.node_at(1, 0).unwrap());
+        let oracle = DetourOracle::new(&mesh, &faults);
+        let src = mesh.node_at(0, 0).unwrap();
+        let dst = mesh.node_at(2, 0).unwrap();
+        assert_eq!(oracle.hops(src, dst), Some(4));
+        let route = oracle.route(src, dst).unwrap();
+        assert!(!route.contains(&mesh.node_at(1, 0).unwrap()));
+        assert_eq!(route.len(), 5);
+    }
+
+    #[test]
+    fn dead_directed_link_detours_one_way_only() {
+        // Kill only 0->1 on a 3x1 row: eastbound severed (no other path),
+        // westbound untouched.
+        let mesh = Mesh::new(3, 1).unwrap();
+        let faults = FaultSet::none().with_link(LinkId::cardinal(NodeId::new(0), Direction::East));
+        let oracle = DetourOracle::new(&mesh, &faults);
+        assert_eq!(oracle.hops(NodeId::new(0), NodeId::new(2)), None);
+        assert_eq!(oracle.hops(NodeId::new(2), NodeId::new(0)), Some(2));
+    }
+
+    #[test]
+    fn dead_endpoints_are_unreachable() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let dead = mesh.node_at(1, 1).unwrap();
+        let oracle = DetourOracle::new(&mesh, &FaultSet::none().with_router(dead));
+        assert!(!oracle.reachable(dead, NodeId::new(0)));
+        assert!(!oracle.reachable(NodeId::new(0), dead));
+        assert_eq!(oracle.hops(dead, dead), None);
+        // Every alive pair still routes on a 3x3 with one interior hole.
+        for a in mesh.nodes().filter(|&n| n != dead) {
+            for b in mesh.nodes().filter(|&n| n != dead) {
+                assert!(oracle.reachable(a, b), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_cut_severs_the_mesh() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let faults = FaultRecipe::ColumnCut.generate(&mesh, 1);
+        let oracle = DetourOracle::new(&mesh, &faults);
+        let west = mesh.node_at(0, 0).unwrap();
+        let east = mesh.node_at(2, 0).unwrap();
+        assert!(!oracle.reachable(west, east));
+        assert!(!oracle.reachable(east, west));
+        // Within one side everything still routes.
+        assert!(oracle.reachable(west, mesh.node_at(0, 2).unwrap()));
+    }
+
+    #[test]
+    fn routes_are_deterministic_and_chaseable() {
+        let mesh = Mesh::new(5, 5).unwrap();
+        let faults = FaultRecipe::UniformLinks { percent: 15 }.generate(&mesh, 9);
+        let a = DetourOracle::new(&mesh, &faults);
+        let b = DetourOracle::new(&mesh, &faults);
+        let table = a.route_table();
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                assert_eq!(a.hops(src, dst), b.hops(src, dst));
+                assert_eq!(a.route(src, dst), b.route(src, dst));
+                // The route table is exactly the chased next hop.
+                assert_eq!(table.next_hop(src, dst), a.next_hop(src, dst));
+                if let Some(route) = a.route(src, dst) {
+                    assert_eq!(route.len() as u32 - 1, a.hops(src, dst).unwrap());
+                    // No router repeats: minimal routes are acyclic.
+                    let mut dedup = route.clone();
+                    dedup.sort_unstable();
+                    dedup.dedup();
+                    assert_eq!(dedup.len(), route.len());
+                }
+            }
+        }
+    }
+}

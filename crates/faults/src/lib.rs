@@ -1,0 +1,43 @@
+//! # noctest-faults — degraded-mesh fault models and detour routing
+//!
+//! The planner in `noctest-core` assumes a pristine mesh; this crate opens
+//! the *degraded-mesh* axis: plan and replay test schedules around failed
+//! routers and links, with reroute-aware timing. Three layers:
+//!
+//! * [`FaultSet`] — the fault model: a canonical set of failed routers and
+//!   failed directed links, bound to one mesh geometry. Plan requests
+//!   carry one on the wire (`noctest-core` owns the JSON spelling); an
+//!   empty set is byte-identical to today's fault-free behaviour.
+//! * [`FaultRecipe`] — seeded fault distributions (uniform link drops,
+//!   router clusters, column cuts) producing **byte-identical** fault sets
+//!   per `(recipe, seed, mesh)` — the corpus engine's fault axis.
+//! * [`DetourOracle`] — deterministic minimal-detour routing around a
+//!   fault set: per-pair hop counts (which inflate analytic session
+//!   costs), full routes (which become wormhole link footprints), and
+//!   `None`/unreachable verdicts the schedulers exclude from packing. Its
+//!   [`DetourOracle::route_table`] drives the cycle-level simulator so the
+//!   planned and replayed worlds degrade identically.
+//!
+//! ## Deadlock freedom
+//!
+//! Detoured routes are minimal over the surviving topology and chosen by a
+//! fixed direction-priority order (East, West, North, South — an
+//! escape-channel-style total order), so every route is acyclic and
+//! deterministic. Cross-session deadlock is excluded one layer up, by the
+//! planner's standing invariant that concurrently scheduled sessions have
+//! **link-disjoint** wormhole footprints — two circuits that share no
+//! directed link cannot wait on each other, faulty mesh or not. The same
+//! argument the fault-free planner relies on therefore carries over
+//! unchanged to detoured paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod detour;
+pub mod model;
+pub mod recipe;
+
+pub use detour::DetourOracle;
+pub use model::FaultSet;
+pub use recipe::FaultRecipe;

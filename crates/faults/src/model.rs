@@ -1,0 +1,210 @@
+//! [`FaultSet`]: the canonical record of failed routers and links.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use noctest_noc::topology::{LinkId, Mesh, NodeId};
+use noctest_noc::Direction;
+
+/// A set of failed routers and failed *directed* links on one mesh.
+///
+/// The set is canonical (ordered, deduplicated) so two fault sets with the
+/// same members compare and encode identically. A failed router implies
+/// every link touching it is unusable; those links do not need to be (and
+/// by convention are not) listed separately. The empty set means a
+/// pristine mesh and is the wire default — everything downstream treats
+/// `FaultSet::none()` byte-identically to "no faults specified".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    routers: BTreeSet<NodeId>,
+    links: BTreeSet<LinkId>,
+}
+
+impl FaultSet {
+    /// The empty fault set (a pristine mesh).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultSet::default()
+    }
+
+    /// `true` when no router or link is marked failed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty() && self.links.is_empty()
+    }
+
+    /// Marks a router as failed.
+    pub fn add_router(&mut self, node: NodeId) {
+        self.routers.insert(node);
+    }
+
+    /// Marks a directed cardinal link as failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a local (injection/ejection) link: core-port faults are
+    /// modelled as failed routers, not failed links.
+    pub fn add_link(&mut self, link: LinkId) {
+        assert!(
+            link.dir != Direction::Local,
+            "local links cannot fail independently; kill the router instead"
+        );
+        self.links.insert(link);
+    }
+
+    /// Builder form of [`FaultSet::add_router`].
+    #[must_use]
+    pub fn with_router(mut self, node: NodeId) -> Self {
+        self.add_router(node);
+        self
+    }
+
+    /// Builder form of [`FaultSet::add_link`].
+    #[must_use]
+    pub fn with_link(mut self, link: LinkId) -> Self {
+        self.add_link(link);
+        self
+    }
+
+    /// Failed routers, in canonical (ascending id) order.
+    pub fn routers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.routers.iter().copied()
+    }
+
+    /// Failed directed links, in canonical order.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// Failed routers count.
+    #[must_use]
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Failed links count.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` if `node`'s router is failed.
+    #[must_use]
+    pub fn router_dead(&self, node: NodeId) -> bool {
+        self.routers.contains(&node)
+    }
+
+    /// `true` if the directed link is failed, either directly or because
+    /// one of its endpoint routers is.
+    #[must_use]
+    pub fn link_dead(&self, mesh: &Mesh, link: LinkId) -> bool {
+        if self.links.contains(&link) || self.routers.contains(&link.from) {
+            return true;
+        }
+        link.dir != Direction::Local
+            && mesh
+                .neighbor(link.from, link.dir)
+                .is_some_and(|to| self.routers.contains(&to))
+    }
+
+    /// Checks every member names a router or link inside `mesh`; returns
+    /// the first offender (`Err(node)` — for links, the driving router).
+    ///
+    /// # Errors
+    ///
+    /// The first out-of-mesh router id.
+    pub fn validate(&self, mesh: &Mesh) -> Result<(), NodeId> {
+        for node in &self.routers {
+            if node.index() >= mesh.len() {
+                return Err(*node);
+            }
+        }
+        for link in &self.links {
+            if link.from.index() >= mesh.len() {
+                return Err(link.from);
+            }
+            if mesh.neighbor(link.from, link.dir).is_none() {
+                return Err(link.from);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} failed routers, {} failed links",
+            self.routers.len(),
+            self.links.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_the_default() {
+        assert_eq!(FaultSet::none(), FaultSet::default());
+        assert!(FaultSet::none().is_empty());
+        assert_eq!(
+            FaultSet::none().to_string(),
+            "0 failed routers, 0 failed links"
+        );
+    }
+
+    #[test]
+    fn members_are_canonical_and_deduplicated() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let a = FaultSet::none()
+            .with_router(NodeId::new(4))
+            .with_router(NodeId::new(1))
+            .with_router(NodeId::new(4))
+            .with_link(LinkId::cardinal(NodeId::new(0), Direction::East));
+        let b = FaultSet::none()
+            .with_link(LinkId::cardinal(NodeId::new(0), Direction::East))
+            .with_router(NodeId::new(1))
+            .with_router(NodeId::new(4));
+        assert_eq!(a, b);
+        assert_eq!(a.router_count(), 2);
+        assert_eq!(a.link_count(), 1);
+        assert_eq!(
+            a.routers().collect::<Vec<_>>(),
+            vec![NodeId::new(1), NodeId::new(4)]
+        );
+        assert!(a.validate(&mesh).is_ok());
+    }
+
+    #[test]
+    fn dead_router_implies_dead_links() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let dead = mesh.node_at(1, 1).unwrap();
+        let set = FaultSet::none().with_router(dead);
+        assert!(set.router_dead(dead));
+        // Every link into or out of the dead router is dead.
+        assert!(set.link_dead(&mesh, LinkId::cardinal(dead, Direction::East)));
+        let west_neighbor = mesh.node_at(0, 1).unwrap();
+        assert!(set.link_dead(&mesh, LinkId::cardinal(west_neighbor, Direction::East)));
+        // An unrelated link is alive.
+        assert!(!set.link_dead(&mesh, LinkId::cardinal(NodeId::new(0), Direction::North)));
+    }
+
+    #[test]
+    fn validate_catches_out_of_mesh_members() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let bad = FaultSet::none().with_router(NodeId::new(9));
+        assert_eq!(bad.validate(&mesh), Err(NodeId::new(9)));
+        // A link pointing off the mesh edge is invalid too.
+        let edge = FaultSet::none().with_link(LinkId::cardinal(NodeId::new(1), Direction::East));
+        assert_eq!(edge.validate(&mesh), Err(NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "local links cannot fail")]
+    fn local_links_are_rejected() {
+        let _ = FaultSet::none().with_link(LinkId::ejection(NodeId::new(0)));
+    }
+}

@@ -21,12 +21,14 @@ use noctest_core::plan::{
     PlanOutcome, PlanRequest, ProcessorSpec, RequestMatrix, SocSource, TimingSpec,
 };
 use noctest_core::{BudgetSpec, PriorityPolicy};
+use noctest_faults::{FaultRecipe, FaultSet};
 use noctest_noc::rng::SplitMix64;
-use noctest_noc::RoutingKind;
+use noctest_noc::{Mesh, RoutingKind};
 
 use crate::recipe::{RecipeFamily, SocRecipe};
 use crate::report::{
-    CorpusFailure, CorpusMeasurement, CorpusReport, DistributionSummary, SchedulerSummary,
+    CorpusFailure, CorpusMeasurement, CorpusReport, DistributionSummary, FaultAxisSummary,
+    FaultSchedulerSummary, SchedulerSummary,
 };
 
 /// A processor complement axis value.
@@ -71,6 +73,19 @@ impl std::fmt::Debug for ProcAxisTag {
     }
 }
 
+/// A fault-axis wrapper so `None` tags as `flt=none`.
+#[derive(Clone, PartialEq, Eq)]
+struct FaultAxisTag(Option<FaultRecipe>);
+
+impl std::fmt::Debug for FaultAxisTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "flt=none"),
+            Some(recipe) => write!(f, "flt={}", recipe.label()),
+        }
+    }
+}
+
 /// The full description of a corpus run: which SoC population to
 /// generate and which planning axes to cross it with.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +101,13 @@ pub struct CorpusSpec {
     /// Processor complement axis (`None` plans with the external tester
     /// only).
     pub processors: Vec<Option<ProcessorAxis>>,
+    /// Degraded-mesh fault axis, crossed into groups like every other
+    /// axis (`None` plans on the healthy mesh). **Empty means "no fault
+    /// axis"**: the expansion — request names included — is then
+    /// byte-identical to releases that predate faults. Fault sets derive
+    /// deterministically from the recipe, the scenario's mesh and the
+    /// corpus master seed.
+    pub faults: Vec<Option<FaultRecipe>>,
     /// Power budget axis.
     pub budgets: Vec<BudgetSpec>,
     /// Scheduler axis (registry names); the innermost axis, so scenarios
@@ -113,8 +135,41 @@ impl CorpusSpec {
                 total: 2,
                 reused: 2,
             })],
+            faults: Vec::new(),
             budgets: vec![BudgetSpec::Unlimited, BudgetSpec::Fraction(0.8)],
             schedulers: Campaign::new().registry().names(),
+            fidelity_patterns_cap: Some(2),
+        }
+    }
+
+    /// The degraded-mesh CI smoke: 10 small SoCs on a 3x3 mesh crossed
+    /// with a five-point fault axis — healthy, two uniform link-failure
+    /// rates, a dead-router cluster, and the column cut that severs the
+    /// mesh outright (every scenario there must fail with a *typed*
+    /// unreachable-core error, never a panic). 150 scenarios, with the
+    /// per-scheduler makespan-inflation-vs-fault-rate section in the
+    /// report's deterministic (byte-checked) half.
+    #[must_use]
+    pub fn degraded_smoke(seed: u64) -> Self {
+        CorpusSpec {
+            seed,
+            recipes: RecipeFamily::ALL.iter().map(|f| f.recipe(8)).collect(),
+            socs_per_recipe: 2,
+            meshes: vec![(3, 3)],
+            processors: vec![Some(ProcessorAxis {
+                family: "plasma".to_owned(),
+                total: 2,
+                reused: 2,
+            })],
+            faults: vec![
+                None,
+                Some(FaultRecipe::UniformLinks { percent: 5 }),
+                Some(FaultRecipe::UniformLinks { percent: 10 }),
+                Some(FaultRecipe::RouterCluster { routers: 2 }),
+                Some(FaultRecipe::ColumnCut),
+            ],
+            budgets: vec![BudgetSpec::Unlimited],
+            schedulers: vec!["serial".to_owned(), "greedy".to_owned(), "smart".to_owned()],
             fidelity_patterns_cap: Some(2),
         }
     }
@@ -143,6 +198,7 @@ impl CorpusSpec {
                     reused: 4,
                 }),
             ],
+            faults: Vec::new(),
             budgets: vec![
                 BudgetSpec::Unlimited,
                 BudgetSpec::Fraction(0.5),
@@ -168,7 +224,11 @@ impl CorpusSpec {
     /// Scenario groups (scenarios sharing everything but the scheduler).
     #[must_use]
     pub fn group_count(&self) -> usize {
-        self.soc_count() * self.meshes.len() * self.processors.len() * self.budgets.len()
+        self.soc_count()
+            * self.meshes.len()
+            * self.processors.len()
+            * self.faults.len().max(1)
+            * self.budgets.len()
     }
 
     /// Expands the corpus to its full request batch: every generated SoC
@@ -195,6 +255,7 @@ impl CorpusSpec {
             .iter()
             .map(|p| ProcAxisTag(p.clone()))
             .collect();
+        let fault_axes: Vec<FaultAxisTag> = self.faults.iter().map(|f| FaultAxisTag(*f)).collect();
         let scheduler_names: Vec<&str> = self.schedulers.iter().map(String::as_str).collect();
 
         // Per-SoC seeds come from one deterministic side stream, so
@@ -219,6 +280,7 @@ impl CorpusSpec {
                     budget: BudgetSpec::Unlimited,
                     scheduler: String::new(),
                     priority: PriorityPolicy::Distance,
+                    faults: FaultSet::none(),
                     timing: TimingSpec::default(),
                     search: noctest_core::SearchTuning::default(),
                     validate: true,
@@ -226,21 +288,35 @@ impl CorpusSpec {
                         .fidelity_patterns_cap
                         .map(|patterns_cap| FidelitySpec { patterns_cap }),
                 };
+                let mut matrix = RequestMatrix::new(base)
+                    .vary_with(&mesh_axes, |r, &MeshAxis(w, h)| {
+                        r.mesh.width = w;
+                        r.mesh.height = h;
+                    })
+                    .vary_with(&proc_axes, |r, tag| {
+                        r.processors = tag.0.as_ref().map(|p| ProcessorSpec {
+                            family: p.family.clone(),
+                            total: p.total,
+                            reused: p.reused,
+                            calibrate: true,
+                            application: ApplicationSpec::Bist,
+                        });
+                    });
+                // An empty fault axis is skipped entirely (not varied over
+                // a singleton) so fault-free corpora expand to exactly the
+                // request names of releases that predate faults.
+                if !fault_axes.is_empty() {
+                    let fault_seed = self.seed;
+                    matrix = matrix.vary_with(&fault_axes, move |r, tag| {
+                        r.faults = tag.0.as_ref().map_or_else(FaultSet::none, |recipe| {
+                            let mesh = Mesh::new(r.mesh.width, r.mesh.height)
+                                .expect("corpus mesh axes are valid meshes");
+                            recipe.generate(&mesh, fault_seed)
+                        });
+                    });
+                }
                 all.extend(
-                    RequestMatrix::new(base)
-                        .vary_with(&mesh_axes, |r, &MeshAxis(w, h)| {
-                            r.mesh.width = w;
-                            r.mesh.height = h;
-                        })
-                        .vary_with(&proc_axes, |r, tag| {
-                            r.processors = tag.0.as_ref().map(|p| ProcessorSpec {
-                                family: p.family.clone(),
-                                total: p.total,
-                                reused: p.reused,
-                                calibrate: true,
-                                application: ApplicationSpec::Bist,
-                            });
-                        })
+                    matrix
                         .vary_budget(&self.budgets)
                         .vary_scheduler(&scheduler_names)
                         .build(),
@@ -253,6 +329,84 @@ impl CorpusSpec {
         RequestMatrix::from_requests(all)
             .ensure_unique_names()
             .build()
+    }
+
+    /// Splits results along the fault axis and pairs every degraded
+    /// scenario with its healthy twin (same SoC, mesh, processors and
+    /// budget under the **first** axis value) to measure how much each
+    /// scheduler's makespan inflates as the mesh degrades.
+    fn fault_axis_summaries(
+        &self,
+        results: &[Option<Result<PlanOutcome, CampaignError>>],
+    ) -> Vec<FaultAxisSummary> {
+        if self.faults.is_empty() {
+            return Vec::new();
+        }
+        let scheds = self.schedulers.len();
+        let budgets = self.budgets.len();
+        let faults_len = self.faults.len();
+        let makespan = |scenario: usize| -> Option<u64> {
+            results[scenario]
+                .as_ref()
+                .and_then(|r| r.as_ref().ok())
+                .map(|o| o.makespan)
+        };
+        self.faults
+            .iter()
+            .enumerate()
+            .map(|(fi, fault)| FaultAxisSummary {
+                label: fault
+                    .as_ref()
+                    .map_or_else(|| "none".to_owned(), FaultRecipe::label),
+                schedulers: (0..scheds)
+                    .map(|j| {
+                        let mut failures = 0usize;
+                        let mut runs = 0usize;
+                        let mut makespans = Vec::new();
+                        let mut inflation_sum = 0.0f64;
+                        let mut paired = 0usize;
+                        for group in 0..results.len() / scheds {
+                            if (group / budgets) % faults_len != fi {
+                                continue;
+                            }
+                            let scenario = group * scheds + j;
+                            match &results[scenario] {
+                                Some(Ok(outcome)) => {
+                                    runs += 1;
+                                    makespans.push(outcome.makespan);
+                                    // The healthy twin sits `fi` fault-axis
+                                    // steps earlier at the same budget slot.
+                                    let baseline = (group - fi * budgets) * scheds + j;
+                                    if let Some(healthy) = makespan(baseline) {
+                                        inflation_sum += (outcome.makespan as f64 / healthy as f64
+                                            - 1.0)
+                                            * 100.0;
+                                        paired += 1;
+                                    }
+                                }
+                                Some(Err(_)) => {
+                                    runs += 1;
+                                    failures += 1;
+                                }
+                                None => {}
+                            }
+                        }
+                        FaultSchedulerSummary {
+                            name: self.schedulers[j].clone(),
+                            runs,
+                            failures,
+                            makespan: DistributionSummary::of(&makespans),
+                            mean_inflation_percent: if paired == 0 {
+                                0.0
+                            } else {
+                                inflation_sum / paired as f64
+                            },
+                            paired,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
     }
 
     /// Runs the corpus through `campaign` and aggregates the report.
@@ -385,6 +539,7 @@ impl CorpusSpec {
                 .into_iter()
                 .map(|acc| acc.finish(group_count))
                 .collect(),
+            fault_axis: self.fault_axis_summaries(results),
             failures,
             measured: CorpusMeasurement {
                 elapsed_micros,
@@ -515,6 +670,7 @@ mod tests {
             socs_per_recipe: 2,
             meshes: vec![(3, 3)],
             processors: vec![None],
+            faults: Vec::new(),
             budgets: vec![BudgetSpec::Unlimited],
             schedulers: vec!["serial".to_owned(), "greedy".to_owned()],
             fidelity_patterns_cap: None,
@@ -644,6 +800,85 @@ mod tests {
         assert_eq!((sleepy.runs, sleepy.failures), (1, 0));
         // Cancelled scenarios stay out of the accumulators entirely.
         assert_eq!(sleepy.makespan.count, 1);
+    }
+
+    #[test]
+    fn fault_axis_crosses_into_groups_and_reports_inflation() {
+        let mut spec = tiny_spec();
+        spec.schedulers = vec!["greedy".to_owned()];
+        spec.faults = vec![None, Some(FaultRecipe::UniformLinks { percent: 10 })];
+        assert_eq!(spec.group_count(), 8);
+        let requests = spec.requests();
+        assert_eq!(requests.len(), 8);
+        // Fault axis outside budget/scheduler: healthy and degraded twins
+        // are adjacent, and only the degraded one carries a fault set.
+        assert!(requests[0].name.contains("flt=none"));
+        assert!(requests[0].faults.is_empty());
+        assert!(requests[1].name.contains("flt=links10"));
+        assert!(!requests[1].faults.is_empty());
+
+        let report = spec.run(&Campaign::new());
+        assert_eq!(report.fault_axis.len(), 2);
+        let healthy = &report.fault_axis[0];
+        let degraded = &report.fault_axis[1];
+        assert_eq!(
+            (healthy.label.as_str(), degraded.label.as_str()),
+            ("none", "links10")
+        );
+        // The baseline pairs with itself: zero inflation by construction.
+        assert_eq!(healthy.schedulers[0].mean_inflation_percent, 0.0);
+        assert_eq!(healthy.schedulers[0].paired, healthy.schedulers[0].runs);
+        // Detours never shorten paths, so inflation is non-negative; with
+        // a 10% link kill on a 3x3 external-only plan it must show up.
+        let s = &degraded.schedulers[0];
+        assert!(s.runs == 4, "{s:?}");
+        assert!(s.mean_inflation_percent >= 0.0, "{s:?}");
+        // The whole section is deterministic (CI byte-checks it).
+        let again = spec.run(&Campaign::new());
+        assert_eq!(report.deterministic_json(), again.deterministic_json());
+    }
+
+    #[test]
+    fn fault_free_specs_expand_byte_identically_to_before_the_axis() {
+        let spec = tiny_spec();
+        for request in spec.requests() {
+            assert!(request.faults.is_empty());
+            assert!(!request.name.contains("flt="), "{}", request.name);
+            assert!(!request.to_json_string().contains("faults"));
+        }
+    }
+
+    #[test]
+    fn degraded_smoke_exercises_the_severed_mesh_gracefully() {
+        let spec = CorpusSpec::degraded_smoke(3);
+        assert_eq!(spec.scenario_count(), 150);
+        let report = spec.run(&Campaign::new());
+        assert_eq!(report.fault_axis.len(), 5);
+        // The column cut severs the 3x3 mesh: every scenario under it must
+        // fail with the *typed* unreachable-core error — reaching the
+        // report at all proves nothing panicked.
+        let colcut = report
+            .fault_axis
+            .iter()
+            .find(|f| f.label == "colcut")
+            .unwrap();
+        for s in &colcut.schedulers {
+            assert_eq!(s.failures, s.runs, "{s:?}");
+        }
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.error.contains("unreachable")),
+            "severed meshes surface as typed unreachable errors"
+        );
+        // The healthy baseline plans everything.
+        let none = report
+            .fault_axis
+            .iter()
+            .find(|f| f.label == "none")
+            .unwrap();
+        assert!(none.schedulers.iter().all(|s| s.failures == 0));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //!     socs_per_recipe: 3,
 //!     meshes: vec![(3, 3)],
 //!     processors: vec![None],
+//!     faults: Vec::new(),
 //!     budgets: vec![BudgetSpec::Unlimited],
 //!     schedulers: vec!["serial".into(), "greedy".into()],
 //!     fidelity_patterns_cap: None,
@@ -63,5 +64,6 @@ pub use corpus::{CorpusRun, CorpusSpec, ProcessorAxis, StreamOptions};
 pub use delta::{DeltaEdit, DeltaPair, DeltaSpec};
 pub use recipe::{CoreClass, RecipeFamily, SocRecipe};
 pub use report::{
-    CorpusFailure, CorpusMeasurement, CorpusReport, DistributionSummary, SchedulerSummary,
+    CorpusFailure, CorpusMeasurement, CorpusReport, DistributionSummary, FaultAxisSummary,
+    FaultSchedulerSummary, SchedulerSummary,
 };

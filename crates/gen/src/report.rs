@@ -129,6 +129,98 @@ impl SchedulerSummary {
     }
 }
 
+/// One scheduler's aggregates under one fault-axis value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedulerSummary {
+    /// Registry name.
+    pub name: String,
+    /// Scenarios attempted under this fault-axis value.
+    pub runs: usize,
+    /// Scenarios that errored — on degraded meshes this includes the
+    /// *typed* unreachable-core rejections, never panics.
+    pub failures: usize,
+    /// Makespan distribution over successful scenarios.
+    pub makespan: DistributionSummary,
+    /// Mean makespan inflation vs. the paired scenario under the first
+    /// (baseline) fault-axis value, in percent, over pairs where both
+    /// scenarios succeeded. Zero for the baseline itself.
+    pub mean_inflation_percent: f64,
+    /// Pairs contributing to the inflation mean.
+    pub paired: usize,
+}
+
+impl FaultSchedulerSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("runs", Json::int(self.runs as u64)),
+            ("failures", Json::int(self.failures as u64)),
+            ("makespan", self.makespan.to_json()),
+            (
+                "mean_inflation_percent",
+                Json::Num(self.mean_inflation_percent),
+            ),
+            ("paired", Json::int(self.paired as u64)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        Ok(FaultSchedulerSummary {
+            name: field(doc, "name", "a string", |v| v.as_str().map(str::to_owned))?,
+            runs: field(doc, "runs", "an integer", Json::as_u64)? as usize,
+            failures: field(doc, "failures", "an integer", Json::as_u64)? as usize,
+            makespan: DistributionSummary::from_json(field(doc, "makespan", "an object", |v| {
+                v.as_obj().map(|_| v)
+            })?)?,
+            mean_inflation_percent: field(doc, "mean_inflation_percent", "a number", Json::as_f64)?,
+            paired: field(doc, "paired", "an integer", Json::as_u64)? as usize,
+        })
+    }
+}
+
+/// One fault-axis value's aggregates: how every scheduler's makespan
+/// inflates (and how often planning fails outright) as the mesh degrades.
+/// Fault-free corpora omit the whole section, byte-identically to reports
+/// that predate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultAxisSummary {
+    /// The fault recipe's stable label (`"none"`, `"links10"`,
+    /// `"cluster2"`, `"colcut"`, ...).
+    pub label: String,
+    /// Per-scheduler aggregates under this fault-axis value, in spec
+    /// order.
+    pub schedulers: Vec<FaultSchedulerSummary>,
+}
+
+impl FaultAxisSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::str(&self.label)),
+            (
+                "schedulers",
+                Json::Arr(
+                    self.schedulers
+                        .iter()
+                        .map(FaultSchedulerSummary::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        let schedulers_doc = field(doc, "schedulers", "an array", Json::as_arr)?;
+        let mut schedulers = Vec::with_capacity(schedulers_doc.len());
+        for s in schedulers_doc {
+            schedulers.push(FaultSchedulerSummary::from_json(s)?);
+        }
+        Ok(FaultAxisSummary {
+            label: field(doc, "label", "a string", |v| v.as_str().map(str::to_owned))?,
+            schedulers,
+        })
+    }
+}
+
 /// One failed scenario: the request's (unique) name and the error text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorpusFailure {
@@ -164,6 +256,9 @@ pub struct CorpusReport {
     pub group_count: usize,
     /// Per-scheduler aggregates, in spec order.
     pub schedulers: Vec<SchedulerSummary>,
+    /// Per-fault-axis-value aggregates (degraded-mesh corpora only;
+    /// empty — and omitted from JSON — when the spec has no fault axis).
+    pub fault_axis: Vec<FaultAxisSummary>,
     /// Failed scenarios, in request order.
     pub failures: Vec<CorpusFailure>,
     /// Wall-clock throughput and cache observability.
@@ -211,7 +306,7 @@ impl CorpusReport {
     }
 
     fn deterministic_members(&self) -> Vec<(&'static str, Json)> {
-        vec![
+        let mut members = vec![
             // As a string: JSON numbers are f64s, and a u64 seed above
             // 2^53 would silently round (and then fail to decode).
             ("seed", Json::str(self.seed.to_string())),
@@ -241,7 +336,21 @@ impl CorpusReport {
                         .collect(),
                 ),
             ),
-        ]
+        ];
+        // Omitted entirely without a fault axis: fault-free reports stay
+        // byte-identical to every earlier release (CI compares the bytes).
+        if !self.fault_axis.is_empty() {
+            members.push((
+                "fault_axis",
+                Json::Arr(
+                    self.fault_axis
+                        .iter()
+                        .map(FaultAxisSummary::to_json)
+                        .collect(),
+                ),
+            ));
+        }
+        members
     }
 
     /// Decodes a report from JSON text (inverse of
@@ -266,6 +375,22 @@ impl CorpusReport {
         for s in schedulers_doc {
             schedulers.push(SchedulerSummary::from_json(s)?);
         }
+        let fault_axis = match doc.get("fault_axis") {
+            // Lenient: reports from before the fault axis (and fault-free
+            // reports, which omit the member) decode as "no axis".
+            None | Some(Json::Null) => Vec::new(),
+            Some(fa) => {
+                let entries = fa.as_arr().ok_or_else(|| JsonError {
+                    at: 0,
+                    message: "`fault_axis` is not an array".to_owned(),
+                })?;
+                let mut parsed = Vec::with_capacity(entries.len());
+                for entry in entries {
+                    parsed.push(FaultAxisSummary::from_json(entry)?);
+                }
+                parsed
+            }
+        };
         let failures_doc = field(doc, "failures", "an array", Json::as_arr)?;
         let mut failures = Vec::with_capacity(failures_doc.len());
         for f in failures_doc {
@@ -296,6 +421,7 @@ impl CorpusReport {
             scenario_count: field(doc, "scenario_count", "an integer", Json::as_u64)? as usize,
             group_count: field(doc, "group_count", "an integer", Json::as_u64)? as usize,
             schedulers,
+            fault_axis,
             failures,
             measured,
         })
@@ -339,6 +465,18 @@ impl CorpusReport {
                 s.mean_reduction_percent
             );
         }
+        if !self.fault_axis.is_empty() {
+            let _ = writeln!(out, "fault axis (makespan inflation vs healthy):");
+            for fa in &self.fault_axis {
+                for s in &fa.schedulers {
+                    let _ = writeln!(
+                        out,
+                        "  {:<10} {:<10} {:>4} runs {:>4} fail {:>+8.1}% over {} pairs",
+                        fa.label, s.name, s.runs, s.failures, s.mean_inflation_percent, s.paired
+                    );
+                }
+            }
+        }
         let _ = writeln!(
             out,
             "throughput {:.1} scenarios/s, profile cache {} hits / {} misses",
@@ -378,6 +516,7 @@ mod tests {
                 mean_reduction_percent: 31.25,
                 worst_fidelity_error: Some(0.04),
             }],
+            fault_axis: Vec::new(),
             failures: vec![CorpusFailure {
                 request: "gen-x mesh=3x3 greedy".into(),
                 error: "planning failed".into(),
@@ -462,5 +601,32 @@ mod tests {
     #[test]
     fn missing_members_are_reported() {
         assert!(CorpusReport::from_json_str("{}").is_err());
+    }
+
+    #[test]
+    fn fault_axis_roundtrips_and_empty_axis_is_omitted() {
+        let healthy = sample();
+        assert!(
+            !healthy.to_json_string().contains("fault_axis"),
+            "fault-free reports must stay byte-identical to old releases"
+        );
+        let mut degraded = sample();
+        degraded.fault_axis = vec![FaultAxisSummary {
+            label: "links10".into(),
+            schedulers: vec![FaultSchedulerSummary {
+                name: "greedy".into(),
+                runs: 10,
+                failures: 2,
+                makespan: DistributionSummary::of(&[120, 340]),
+                mean_inflation_percent: 8.5,
+                paired: 8,
+            }],
+        }];
+        let text = degraded.to_json_string();
+        assert!(text.contains("\"fault_axis\""));
+        assert!(degraded.deterministic_json().contains("\"fault_axis\""));
+        let back = CorpusReport::from_json_str(&text).unwrap();
+        assert_eq!(back, degraded);
+        assert!(degraded.table().contains("links10"));
     }
 }

@@ -42,6 +42,12 @@ pub enum NocError {
         /// Node whose queue is full.
         node: NodeId,
     },
+    /// A packet endpoint is a router marked faulty via
+    /// [`crate::Network::kill_router`].
+    DeadEndpoint {
+        /// The faulty router.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -61,6 +67,12 @@ impl fmt::Display for NocError {
             ),
             NocError::InjectionQueueFull { node } => {
                 write!(f, "injection queue at node {node} is full")
+            }
+            NocError::DeadEndpoint { node } => {
+                write!(
+                    f,
+                    "node {node} is marked faulty and cannot source or sink packets"
+                )
             }
         }
     }

@@ -64,6 +64,7 @@ pub mod rng;
 pub mod router;
 pub mod routing;
 pub mod stats;
+pub mod table;
 pub mod topology;
 pub mod traffic;
 
@@ -77,5 +78,6 @@ pub use power::{EnergyLedger, PowerParams};
 pub use reference::ReferenceNetwork;
 pub use routing::RoutingKind;
 pub use stats::{LatencyStats, NetworkStats};
+pub use table::RouteTable;
 pub use topology::{LinkId, Mesh, NodeId};
 pub use traffic::{TrafficPattern, TrafficSpec};

@@ -58,6 +58,7 @@ use crate::geometry::Direction;
 use crate::power::EnergyLedger;
 use crate::router::RouterState;
 use crate::stats::NetworkStats;
+use crate::table::RouteTable;
 use crate::topology::{LinkId, Mesh, NodeId};
 
 /// Record of one packet that completed its journey.
@@ -174,6 +175,17 @@ pub struct Network {
     scratch: Vec<usize>,
     /// Snapshot of `feeding` taken each cycle, reused across cycles.
     feed_scratch: Vec<usize>,
+    /// Routers marked faulty ([`Network::kill_router`]): they reject
+    /// injection/ejection and, with a detour [`RouteTable`] installed,
+    /// never receive a flit — so they never enter `active` and cost
+    /// exactly zero work in the event core.
+    dead_routers: BTreeSet<usize>,
+    /// Directed links marked faulty ([`Network::kill_link`]); switch
+    /// traversal refuses to stage a flit onto them.
+    dead_links: BTreeSet<LinkId>,
+    /// Per-pair routing override ([`Network::set_route_table`]); `None`
+    /// falls back to the configured algorithmic routing.
+    route_table: Option<RouteTable>,
     now: u64,
     next_packet: u64,
     total_in_flight: usize,
@@ -223,6 +235,9 @@ impl Network {
             feeding: BTreeSet::new(),
             scratch: Vec::new(),
             feed_scratch: Vec::new(),
+            dead_routers: BTreeSet::new(),
+            dead_links: BTreeSet::new(),
+            route_table: None,
             now: 0,
             next_packet: 0,
             total_in_flight: 0,
@@ -307,16 +322,91 @@ impl Network {
             .map(|(&link, _)| (link, self.link_utilization(link)))
     }
 
+    /// Marks `node`'s router as faulty: packets can no longer be sourced
+    /// at or addressed to it, and it is expected never to carry through
+    /// traffic (install a detour [`RouteTable`] that routes around it).
+    /// A dead router never buffers a flit, so it never enters the active
+    /// worklist and costs zero per-cycle work — faults are free for the
+    /// event core. Must be applied before any traffic is injected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for a node outside the mesh
+    /// and [`NocError::InvalidParameter`] if traffic was already injected.
+    pub fn kill_router(&mut self, node: NodeId) -> Result<(), NocError> {
+        self.config.mesh().check(node)?;
+        self.check_pristine()?;
+        self.dead_routers.insert(node.index());
+        Ok(())
+    }
+
+    /// Marks a directed link as faulty: switch traversal will never stage
+    /// a flit onto it. As with [`Network::kill_router`], the routing must
+    /// be overridden to detour around the link. Must be applied before
+    /// any traffic is injected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for a link leaving a router
+    /// outside the mesh and [`NocError::InvalidParameter`] if traffic was
+    /// already injected.
+    pub fn kill_link(&mut self, link: LinkId) -> Result<(), NocError> {
+        self.config.mesh().check(link.from)?;
+        self.check_pristine()?;
+        self.dead_links.insert(link);
+        Ok(())
+    }
+
+    /// Installs a per-pair routing table, overriding the configured
+    /// algorithmic routing for every header flit routed from now on.
+    /// Must be applied before any traffic is injected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidParameter`] if the table does not cover
+    /// this mesh or traffic was already injected.
+    pub fn set_route_table(&mut self, table: RouteTable) -> Result<(), NocError> {
+        table.check_len(self.config.mesh().len())?;
+        self.check_pristine()?;
+        self.route_table = Some(table);
+        Ok(())
+    }
+
+    /// Fault marks and route overrides change path semantics; applying
+    /// them mid-flight would corrupt wormhole state, so they are only
+    /// legal before the first injection.
+    fn check_pristine(&self) -> Result<(), NocError> {
+        if self.next_packet > 0 {
+            return Err(NocError::InvalidParameter {
+                name: "faults",
+                reason: "faults and route tables must be applied before traffic is injected",
+            });
+        }
+        Ok(())
+    }
+
+    /// Rejects packets whose endpoints are dead routers.
+    fn check_endpoints_alive(&self, packet: &Packet) -> Result<(), NocError> {
+        for node in [packet.src(), packet.dest()] {
+            if self.dead_routers.contains(&node.index()) {
+                return Err(NocError::DeadEndpoint { node });
+            }
+        }
+        Ok(())
+    }
+
     /// Queues `packet` for immediate injection at its source node.
     ///
     /// # Errors
     ///
     /// Returns [`NocError::NodeOutOfRange`] if the packet's endpoints are
-    /// not in the mesh, and [`NocError::InjectionQueueFull`] if the per-node
+    /// not in the mesh, [`NocError::DeadEndpoint`] if either endpoint is a
+    /// faulty router, and [`NocError::InjectionQueueFull`] if the per-node
     /// queue limit is reached.
     pub fn inject(&mut self, packet: Packet) -> Result<PacketId, NocError> {
         self.config.mesh().check(packet.src())?;
         self.config.mesh().check(packet.dest())?;
+        self.check_endpoints_alive(&packet)?;
         let node = packet.src();
         if self.injection_queued[node.index()].len() >= self.config.injection_queue_capacity() {
             return Err(NocError::InjectionQueueFull { node });
@@ -342,10 +432,12 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`NocError::NodeOutOfRange`] if the packet's endpoints are
-    /// not in the mesh.
+    /// not in the mesh and [`NocError::DeadEndpoint`] if either endpoint
+    /// is a faulty router.
     pub fn inject_at(&mut self, packet: Packet, cycle: u64) -> Result<PacketId, NocError> {
         self.config.mesh().check(packet.src())?;
         self.config.mesh().check(packet.dest())?;
+        self.check_endpoints_alive(&packet)?;
         let at = cycle.max(self.now);
         let node = packet.src().index();
         let id = self.track(&packet, at);
@@ -553,7 +645,12 @@ impl Network {
                     .head()
                     .expect("ready port has a head flit")
                     .dest;
-                let dir = routing.next_hop(here, mesh.position(dest));
+                let dir = match &self.route_table {
+                    Some(table) => table
+                        .next_hop(NodeId::new(router_idx as u32), dest)
+                        .expect("route table has no route for an injected pair"),
+                    None => routing.next_hop(here, mesh.position(dest)),
+                };
                 self.routers[router_idx]
                     .input_at_mut(port)
                     .set_routed_output(dir.index());
@@ -573,6 +670,15 @@ impl Network {
             let router_idx = self.scratch[i];
             let node = NodeId::new(router_idx as u32);
             for out_dir in Direction::ALL {
+                // Faulty links carry nothing. A correct detour table never
+                // routes a header onto one, so with no faults marked this
+                // check is a single `is_empty` load.
+                if !self.dead_links.is_empty()
+                    && out_dir != Direction::Local
+                    && self.dead_links.contains(&LinkId::cardinal(node, out_dir))
+                {
+                    continue;
+                }
                 let out = *self.routers[router_idx].output(out_dir);
                 if !out.is_ready(self.now) {
                     continue;
@@ -701,6 +807,28 @@ impl Network {
         }
     }
 
+    /// Router-to-router hops a packet travelled: the Manhattan distance
+    /// under algorithmic (minimal) routing, or the length of the next-hop
+    /// chain when a detour table is installed.
+    fn routed_hops(&self, src: NodeId, dest: NodeId) -> u32 {
+        let Some(table) = &self.route_table else {
+            return self.config.mesh().distance(src, dest);
+        };
+        let mesh = self.config.mesh();
+        let mut here = src;
+        let mut hops = 0;
+        while here != dest {
+            let dir = table
+                .next_hop(here, dest)
+                .expect("delivered packet had a route");
+            debug_assert_ne!(dir, Direction::Local);
+            here = mesh.neighbor(here, dir).expect("route left the mesh");
+            hops += 1;
+            debug_assert!(hops <= mesh.len() as u32, "route table cycles");
+        }
+        hops
+    }
+
     fn record_ejection(&mut self, flit: Flit) {
         let idx = flit.packet.value() as usize;
         let entry = self.in_flight[idx]
@@ -723,7 +851,7 @@ impl Network {
                 injected_at: record.injected_at,
                 head_delivered_at: head_at,
                 tail_delivered_at: self.now,
-                hops: self.config.mesh().distance(record.src, record.dest),
+                hops: self.routed_hops(record.src, record.dest),
                 flits: record.flits,
             };
             self.stats.delivered += 1;
@@ -1068,6 +1196,88 @@ mod tests {
         net.step();
         assert_eq!(net.now(), 6);
         assert!(net.in_flight() > 0);
+    }
+
+    #[test]
+    fn dead_endpoints_reject_injection() {
+        let mut net = net(3, 3);
+        let dead = net.topology().node_at(1, 1).unwrap();
+        net.kill_router(dead).unwrap();
+        let err = net
+            .inject(Packet::new(dead, NodeId::new(0), 1))
+            .unwrap_err();
+        assert_eq!(err, NocError::DeadEndpoint { node: dead });
+        let err = net
+            .inject_at(Packet::new(NodeId::new(0), dead, 1), 50)
+            .unwrap_err();
+        assert_eq!(err, NocError::DeadEndpoint { node: dead });
+    }
+
+    #[test]
+    fn faults_must_precede_traffic() {
+        let mut net = net(2, 2);
+        net.inject(Packet::new(NodeId::new(0), NodeId::new(3), 1))
+            .unwrap();
+        assert!(net.kill_router(NodeId::new(1)).is_err());
+        assert!(net
+            .kill_link(LinkId::cardinal(NodeId::new(0), Direction::East))
+            .is_err());
+    }
+
+    #[test]
+    fn route_table_detours_around_a_dead_router() {
+        use crate::table::RouteTable;
+        // 3x1 row with the middle router dead cannot route 0 -> 2 at all;
+        // use a 3x2 mesh and a hand-built detour over the top row.
+        let cfg = NocConfig::builder(3, 2).build().unwrap();
+        let mut net = Network::new(cfg).unwrap();
+        let mesh = net.topology().clone();
+        let dead = mesh.node_at(1, 0).unwrap();
+        let src = mesh.node_at(0, 0).unwrap();
+        let dst = mesh.node_at(2, 0).unwrap();
+        // Detour: 0,0 -> 0,1 -> 1,1 -> 2,1 -> 2,0 (4 hops instead of 2).
+        let table = RouteTable::from_fn(&mesh, |here, d| {
+            if here == d {
+                return Some(Direction::Local);
+            }
+            if d != dst {
+                // Only the src->dst pair is exercised; route the rest XY.
+                return Some(RoutingKind::Xy.next_hop(mesh.position(here), mesh.position(d)));
+            }
+            let p = mesh.position(here);
+            Some(match (p.x, p.y) {
+                (0, 0) => Direction::North,
+                (_, 1) if p.x < 2 => Direction::East,
+                (2, 1) => Direction::South,
+                _ => Direction::East,
+            })
+        });
+        net.kill_router(dead).unwrap();
+        net.set_route_table(table).unwrap();
+        net.inject(Packet::new(src, dst, 3)).unwrap();
+        let delivered = net.run_until_idle(10_000).unwrap();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].hops, 4, "detour length is reported");
+        // The dead router carried nothing.
+        for link in net.link_flits().keys() {
+            assert_ne!(link.from, dead, "dead router forwarded a flit");
+        }
+    }
+
+    #[test]
+    fn dead_link_blocks_staging_even_without_a_table() {
+        // Kill the only XY link out of the source toward the destination:
+        // the packet can never advance and times out rather than crossing
+        // the dead link.
+        let mut net = net(3, 1);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(2);
+        net.kill_link(LinkId::cardinal(src, Direction::East))
+            .unwrap();
+        net.inject(Packet::new(src, dst, 1)).unwrap();
+        let err = net.run_until_idle(5_000).unwrap_err();
+        assert!(matches!(err, NocError::Timeout { .. }));
+        assert!(net.link_flits().is_empty(), "no flit crossed any link");
     }
 
     #[test]

@@ -5,6 +5,18 @@
 //! crate. Streams are fully determined by their seed, which is what the
 //! characterisation and regression workflows rely on.
 
+/// SplitMix64's finalizing mixer: a fixed 64-bit bijection with full
+/// avalanche. This is the **one** avalanche implementation for the whole
+/// workspace — `noctest-core::hashing::spread` and the serve tier's
+/// consistent-hash ring delegate here, so the constants cannot drift
+/// between the PRNG and the hashing paths.
+#[must_use]
+pub const fn avalanche(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// SplitMix64: a 64-bit state PRNG with excellent statistical quality for
 /// simulation workloads (not cryptographically secure).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,10 +34,7 @@ impl SplitMix64 {
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        avalanche(self.state)
     }
 
     /// A uniform value in `[0, n)`.
@@ -52,6 +61,17 @@ impl SplitMix64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn avalanche_matches_pinned_vectors() {
+        // The same vectors `noctest-core::hashing` pins; the delegation
+        // there plus these keep the mixer byte-identical forever.
+        assert_eq!(avalanche(0), 0);
+        assert_eq!(avalanche(1), 0x5692_161d_100b_05e5);
+        for x in [1u64, 42, u64::MAX, 0xdead_beef] {
+            assert_ne!(avalanche(x), x);
+        }
+    }
 
     #[test]
     fn streams_are_deterministic() {

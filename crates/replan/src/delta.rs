@@ -96,6 +96,11 @@ pub fn retime(sys: &SystemUnderTest, sessions: &[SessionOutcome]) -> Option<Sche
             return None;
         }
         let iface = *labels.get(&s.interface)?;
+        if !sys.reachable(iface, cut) {
+            // The edited system's fault set severed the donor's pairing;
+            // fall back to cold planning rather than retiming a dead route.
+            return None;
+        }
         let duration = sys.session_cycles(iface, cut);
         // A processor interface only drives sessions after its own
         // self-test — which must therefore already be placed.

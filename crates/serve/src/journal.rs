@@ -223,8 +223,22 @@ pub fn recover(path: &Path) -> std::io::Result<Recovery> {
         ..Recovery::default()
     };
 
-    for line in BufReader::new(file).lines() {
-        let line = line?;
+    // Raw byte lines, not `.lines()`: a crash can truncate the tail
+    // record in the middle of a multi-byte UTF-8 sequence, and the
+    // line-by-line UTF-8 validation would turn that one damaged line into
+    // an error aborting the whole recovery. Invalid UTF-8 is just another
+    // unparsable line: skip it, count it, keep every record before it.
+    let mut reader = BufReader::new(file);
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            recovery.skipped_lines += 1;
+            continue;
+        };
         let text = line.trim();
         if text.is_empty() {
             continue;
@@ -387,6 +401,36 @@ mod tests {
         assert_eq!(hit.request_text, r.to_json().compact());
         assert_eq!(recovery.next_job_id, 8);
         assert_eq!(recovery.skipped_lines, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_inside_a_multibyte_character_is_skipped_not_fatal() {
+        let path = temp_path("utf8-tail");
+        let journal = Journal::open_append(&path).unwrap();
+        let r = request("survivor");
+        let key = RequestKey::of(&r);
+        journal.append(&submit_record(3, key, 0, Some("客户"), &r.to_json()));
+        drop(journal);
+        // Simulate a kill mid-write that splits a multi-byte UTF-8
+        // sequence: the client name "café" truncated after the first byte
+        // of the two-byte 'é' (0xC3). `.lines()` would return an
+        // InvalidData error here and abort the whole recovery.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"record\":\"submit\",\"job\":9,\"client\":\"caf\xC3")
+                .unwrap();
+        }
+
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery.pending.len(), 1, "the intact record survives");
+        assert_eq!(recovery.pending[0].job, 3);
+        assert_eq!(recovery.pending[0].client.as_deref(), Some("客户"));
+        assert_eq!(recovery.skipped_lines, 1);
+        // The damaged tail never carried a parsable job id: ids resume
+        // after the highest *recovered* record.
+        assert_eq!(recovery.next_job_id, 4);
         std::fs::remove_file(&path).ok();
     }
 

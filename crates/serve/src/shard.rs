@@ -131,6 +131,22 @@ mod tests {
     }
 
     #[test]
+    fn ring_placement_is_pinned_byte_identically() {
+        // Journals and rejection lines carry shard names, so placement is
+        // wire format: any drift in `fnv1a`, `spread`, the virtual-point
+        // count or the tie-break re-routes recovered request streams.
+        // These values are frozen; a change here is a compatibility break.
+        let ring = ShardRing::new(3);
+        let placed: Vec<usize> = (0..8u64)
+            .map(|i| ring.shard_of(fnv1a(&i.to_le_bytes())))
+            .collect();
+        assert_eq!(placed, vec![2, 0, 1, 1, 2, 1, 2, 0]);
+        // The lowest ring point and its owner, pinned directly.
+        let &(first_point, first_shard) = ring.points.first().expect("ring has points");
+        assert_eq!((first_point, first_shard), (1_627_416_194_419_655, 1));
+    }
+
+    #[test]
     fn shard_names_are_stable() {
         assert_eq!(shard_name(0), "s0");
         assert_eq!(shard_name(11), "s11");

@@ -45,6 +45,7 @@ fn main() {
             total: 2,
             reused: 2,
         })],
+        faults: Vec::new(),
         budgets: vec![BudgetSpec::Unlimited, BudgetSpec::Fraction(0.6)],
         schedulers: vec!["serial".to_owned(), "greedy".to_owned(), "smart".to_owned()],
         fidelity_patterns_cap: None,

@@ -25,6 +25,11 @@
 //!   crosses generated populations with mesh/processor/budget/scheduler
 //!   axes and aggregates win rates, distributions and throughput into a
 //!   JSON-round-trippable report;
+//! * [`faults`] (`noctest-faults`) — degraded-mesh fault models: seeded
+//!   [`faults::FaultRecipe`] distributions producing deterministic
+//!   [`faults::FaultSet`]s of failed routers/links, plus the
+//!   [`faults::DetourOracle`] computing minimal-detour routes around them
+//!   that the planner, simulator and replay all share;
 //! * [`replan`] (`noctest-replan`) — incremental re-planning: a
 //!   content-addressed [`replan::PlanCache`] serving exact repeats
 //!   byte-identically, and a [`replan::DeltaAnalyzer`] that warm-starts
@@ -81,6 +86,7 @@
 
 pub use noctest_core as core;
 pub use noctest_cpu as cpu;
+pub use noctest_faults as faults;
 pub use noctest_gen as gen;
 pub use noctest_itc02 as itc02;
 pub use noctest_noc as noc;

@@ -1,0 +1,124 @@
+//! The 48-seed differential suite for degraded-mesh planning.
+//!
+//! Two walls, checked seed by seed across generated SoCs, schedulers and
+//! fault draws:
+//!
+//! * **Compatibility** — a request carrying `FaultSet::none()` must plan
+//!   *and replay* byte-identically to the same request with no fault set
+//!   at all. The fault subsystem may cost nothing when unused: not a
+//!   different detour table, not a different link choice, not a digit of
+//!   JSON.
+//! * **Determinism** — for a fixed (instance, fault set, seed) triple,
+//!   planning and replaying on the degraded mesh twice must agree byte
+//!   for byte, and infeasible instances must fail with the same typed
+//!   error twice. Fault-set generation itself is pinned elsewhere
+//!   (`noctest-faults` recipe tests); here we re-draw each set once to
+//!   catch accidental global state.
+
+use noctest::core::plan::{SocSource, StageTiming};
+use noctest::core::{Campaign, PlanOutcome, PlanRequest};
+use noctest::faults::{FaultRecipe, FaultSet};
+use noctest::gen::SocRecipe;
+use noctest::noc::Mesh;
+
+const SEEDS: u64 = 48;
+
+/// One request per seed, cycling the SoC family and scheduler so the 48
+/// draws cover serial, greedy and smart on three recipe shapes. Fidelity
+/// is on (capped) so every plan carries a simulator replay.
+fn request_for(seed: u64) -> PlanRequest {
+    let recipe = match seed % 3 {
+        0 => SocRecipe::d695_like(8),
+        1 => SocRecipe::power_dominated(8),
+        _ => SocRecipe::wide_shallow(8),
+    };
+    let scheduler = ["serial", "greedy", "smart"][(seed / 3 % 3) as usize];
+    let mut request = PlanRequest::benchmark("diff", 4, 4)
+        .with_name(format!("diff-{seed}"))
+        .with_scheduler(scheduler)
+        .with_processors("plasma", 2, 2)
+        .with_fidelity(2);
+    request.soc = SocSource::SocText(recipe.generate_text(seed));
+    request
+}
+
+/// The outcome with wall-clock timing zeroed: everything that remains is
+/// a pure function of the request, so byte equality is the right test.
+fn deterministic_json(mut outcome: PlanOutcome) -> String {
+    outcome.timing = StageTiming::default();
+    outcome.to_json_string()
+}
+
+#[test]
+fn empty_fault_sets_plan_and_replay_byte_identically_across_48_seeds() {
+    let campaign = Campaign::new();
+    for seed in 0..SEEDS {
+        let bare = request_for(seed);
+        let explicit = bare.clone().with_faults(FaultSet::none());
+        // The wire forms agree before planning even starts.
+        assert_eq!(
+            bare.to_json_string(),
+            explicit.to_json_string(),
+            "seed {seed}: FaultSet::none() leaked onto the wire"
+        );
+        let a = campaign.run(&bare).expect("healthy plan succeeds");
+        let b = campaign
+            .run(&explicit)
+            .expect("explicit-empty plan succeeds");
+        assert!(
+            a.fidelity.is_some(),
+            "seed {seed}: fidelity replay did not run"
+        );
+        assert_eq!(
+            deterministic_json(a),
+            deterministic_json(b),
+            "seed {seed}: empty fault set changed the plan or its replay"
+        );
+    }
+}
+
+#[test]
+fn degraded_planning_and_replay_are_deterministic_across_48_seeds() {
+    let campaign = Campaign::new();
+    let mesh = Mesh::new(4, 4).expect("4x4 mesh is valid");
+    let mut planned = 0u32;
+    let mut rejected = 0u32;
+    for seed in 0..SEEDS {
+        let recipe = FaultRecipe::UniformLinks { percent: 10 };
+        let faults = recipe.generate(&mesh, seed);
+        // Re-drawing the same (recipe, mesh, seed) is byte-stable even
+        // interleaved with planning — no hidden global state.
+        assert_eq!(faults, recipe.generate(&mesh, seed), "seed {seed}");
+
+        let request = request_for(seed).with_faults(faults);
+        match (campaign.run(&request), campaign.run(&request)) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    a.fidelity.is_some(),
+                    "seed {seed}: degraded fidelity replay did not run"
+                );
+                assert_eq!(
+                    deterministic_json(a),
+                    deterministic_json(b),
+                    "seed {seed}: degraded plan or replay is nondeterministic"
+                );
+                planned += 1;
+            }
+            (Err(a), Err(b)) => {
+                // Infeasible stays infeasible, with the identical typed
+                // error — never a panic (reaching here rules that out).
+                assert_eq!(a.to_string(), b.to_string(), "seed {seed}");
+                rejected += 1;
+            }
+            (a, b) => panic!(
+                "seed {seed}: the same degraded request both planned and failed: {a:?} vs {b:?}"
+            ),
+        }
+    }
+    // 10% link failures rarely sever a 4x4 mesh; the suite must exercise
+    // the planned path, and any rejections it does hit are covered above.
+    assert!(
+        planned >= SEEDS as u32 / 2,
+        "only {planned} of {SEEDS} degraded instances planned ({rejected} rejected)"
+    );
+}

@@ -83,6 +83,7 @@ fn run_all_matches_sequential_run_on_a_generated_40_soc_corpus() {
         socs_per_recipe: 8,
         meshes: vec![(3, 3)],
         processors: vec![None],
+        faults: Vec::new(),
         budgets: vec![BudgetSpec::Unlimited],
         schedulers: vec!["serial".to_owned(), "greedy".to_owned()],
         fidelity_patterns_cap: None,

@@ -26,6 +26,7 @@ fn corpus_spec() -> CorpusSpec {
             total: 2,
             reused: 2,
         })],
+        faults: Vec::new(),
         budgets: vec![BudgetSpec::Fraction(0.8)],
         schedulers: Campaign::new().registry().names(),
         fidelity_patterns_cap: None,
