@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI smoke gate for batch-parallel fidelity replay: run
+# `replay-bench --smoke` twice and byte-check the deterministic section
+# of BENCH_replay.json (per-scenario replay digests over the smoke
+# corpora plus the combined digest). The binary prints exactly that
+# section on stdout, so the gate is a straight byte comparison; timings
+# (the `measured` section) are machine-dependent and deliberately
+# excluded — the 4x throughput gate fires only in full (non-smoke)
+# mode, where the committed artefact is produced. The binary's own exit
+# status already gates the identity walls internally: every batched
+# replay byte-identical to its sequential baseline twin, and two
+# in-process batched runs reproducing every digest.
+#
+# Usage: ci/replay_bench_smoke.sh [path-to-replay-bench]
+set -euo pipefail
+
+BIN="${1:-target/release/replay-bench}"
+if [ ! -x "$BIN" ]; then
+    echo "replay_bench_smoke: $BIN not found or not executable" >&2
+    exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN" --smoke --out "$WORK/first.json" >"$WORK/first.det"
+"$BIN" --smoke --out "$WORK/second.json" >"$WORK/second.det"
+
+if ! cmp -s "$WORK/first.det" "$WORK/second.det"; then
+    echo "replay_bench_smoke: deterministic sections differ between runs" >&2
+    diff "$WORK/first.det" "$WORK/second.det" >&2 || true
+    exit 1
+fi
+
+for run in first second; do
+    if [ ! -s "$WORK/$run.json" ]; then
+        echo "replay_bench_smoke: $run run wrote no report" >&2
+        exit 1
+    fi
+done
+
+echo "replay_bench_smoke: deterministic section reproduced byte-identically"

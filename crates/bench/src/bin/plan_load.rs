@@ -51,13 +51,16 @@ impl EventSink for LatencySink {
     }
 }
 
-/// Which request stream to generate: the `standard` healthy mix, or the
+/// Which request stream to generate: the `standard` healthy mix, the
 /// `degraded` mix where two of three requests plan around seeded uniform
-/// link failures (byte-deterministic like the rest of the stream).
+/// link failures, or the `fidelity` mix where every request also replays
+/// its schedule cycle-accurately through the batch engine (all
+/// byte-deterministic like the rest of the stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mix {
     Standard,
     Degraded,
+    Fidelity,
 }
 
 impl Mix {
@@ -65,6 +68,7 @@ impl Mix {
         match self {
             Mix::Standard => "standard",
             Mix::Degraded => "degraded",
+            Mix::Fidelity => "fidelity",
         }
     }
 }
@@ -120,9 +124,10 @@ fn parse_args() -> Result<Option<Config>, String> {
                 config.mix = match args.next().as_deref() {
                     Some("standard") => Mix::Standard,
                     Some("degraded") => Mix::Degraded,
+                    Some("fidelity") => Mix::Fidelity,
                     other => {
                         return Err(format!(
-                            "--mix must be `standard` or `degraded`, got {other:?}"
+                            "--mix must be `standard`, `degraded` or `fidelity`, got {other:?}"
                         ))
                     }
                 };
@@ -139,11 +144,13 @@ fn parse_args() -> Result<Option<Config>, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: plan-load [--jobs N] [--shards N] [--threads N] [--queue-depth D]\n\
-                     \u{20}                [--clients N] [--seed S] [--mix standard|degraded]\n\
+                     \u{20}                [--clients N] [--seed S]\n\
+                     \u{20}                [--mix standard|degraded|fidelity]\n\
                      \u{20}                [--out PATH] [--smoke]\n\
                      drives the service tier with seeded synthetic traffic and writes\n\
                      latency/throughput/rejection metrics to the report (BENCH_serve.json);\n\
-                     the degraded mix plans two of three jobs around seeded link failures"
+                     the degraded mix plans two of three jobs around seeded link failures,\n\
+                     the fidelity mix replays every planned schedule cycle-accurately"
                 );
                 return Ok(None);
             }
@@ -181,6 +188,12 @@ fn request(seed: u64, index: usize, mix: Mix) -> PlanRequest {
         };
         let mesh = Mesh::new(width, height).expect("load meshes are valid");
         request = request.with_faults(recipe.generate(&mesh, seed ^ index as u64));
+    }
+    // The fidelity mix makes every job replay-heavy: each planned
+    // schedule is re-simulated cycle-accurately (capped patterns), so the
+    // tier's latency percentiles cover the batch-replay path too.
+    if mix == Mix::Fidelity {
+        request = request.with_fidelity(2);
     }
     request
 }

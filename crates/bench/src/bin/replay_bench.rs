@@ -1,0 +1,400 @@
+//! `replay-bench` — the batched-vs-sequential fidelity replay benchmark.
+//!
+//! Plans a corpus fidelity sweep — the full generated corpus plus the
+//! degraded-mesh smoke corpus, or trimmed smoke variants of both under
+//! `--smoke` — with replay work *deferred*, then drains the collected
+//! (system, schedule) pairs twice:
+//!
+//! * **sequential** — one schedule at a time through
+//!   [`noctest_core::replay_schedule_baseline`], i.e. the **frozen**
+//!   pre-batch engine (`noctest_noc::BaselineNetwork`). The baseline is
+//!   pinned to the seed engine so the measured speedup reflects the
+//!   whole refactor — struct-of-arrays lanes, the shared event arena and
+//!   busy-cycle skipping — not a handicapped rewrite of the staging code.
+//! * **batched** — all schedules lane-parallel through one
+//!   [`ReplayBatch`] (grouped by mesh and fault class, one
+//!   `BatchNetwork` per chunk).
+//!
+//! `BENCH_replay.json` carries two sections:
+//!
+//! * `deterministic` — per-scenario FNV-1a digests of every replay
+//!   result plus a combined digest, a pure function of the seed. The
+//!   binary batches **twice** and gates on digest equality, and
+//!   `ci/replay_bench_smoke.sh` repeats the byte-check across
+//!   processes. The section is printed alone on stdout.
+//! * `measured` — wall-clock sequential and batched replay times (the
+//!   faster of two passes each, discarding host scheduling stalls) and
+//!   the speedup, machine-dependent.
+//!
+//! Internal gates (exit 1): any batched result differing from its
+//! sequential twin (the byte-identity wall), nondeterminism between the
+//! two batched runs, and — in full mode only, where the committed
+//! artefact is produced — a batched-vs-sequential speedup below 4x.
+//! Usage errors exit 2.
+//!
+//! ```text
+//! cargo run --release -p noctest-bench --bin replay-bench -- --smoke
+//! cargo run --release -p noctest-bench --bin replay-bench            # full + 4x gate
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use noctest_core::json::Json;
+use noctest_core::plan::exec::{Executor, JobResult};
+use noctest_core::plan::DeferredFidelity;
+use noctest_core::{replay_schedule_baseline, ReplayBatch, ScheduleReplay};
+use noctest_gen::CorpusSpec;
+use noctest_noc::NocError;
+
+#[derive(Debug, Clone)]
+struct Config {
+    smoke: bool,
+    seed: u64,
+    lanes: usize,
+    out: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            smoke: false,
+            seed: 2005,
+            lanes: 32,
+            out: "BENCH_replay.json".to_owned(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Option<Config>, String> {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config.smoke = true,
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an unsigned integer")?;
+            }
+            "--lanes" => {
+                config.lanes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--lanes needs a positive integer")?;
+            }
+            "--out" => {
+                config.out = args.next().ok_or("--out needs a path")?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: replay-bench [--smoke] [--seed S] [--lanes N] [--out PATH]\n\
+                     replays the corpus fidelity sweep sequentially (frozen baseline engine)\n\
+                     and lane-parallel (BatchNetwork), byte-checks the two, and writes\n\
+                     BENCH_replay.json (per-scenario digests + measured speedup, 4x gate)"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(config))
+}
+
+/// The two corpora whose fidelity sweeps are replayed, trimmed in smoke
+/// mode so the CI gate stays in seconds.
+fn specs(config: &Config) -> Vec<(&'static str, CorpusSpec)> {
+    if config.smoke {
+        let mut smoke = CorpusSpec::smoke(config.seed);
+        let mut degraded = CorpusSpec::degraded_smoke(config.seed);
+        smoke.socs_per_recipe = 1;
+        degraded.socs_per_recipe = 1;
+        smoke.fidelity_patterns_cap = Some(2);
+        degraded.fidelity_patterns_cap = Some(2);
+        vec![("smoke", smoke), ("degraded", degraded)]
+    } else {
+        let mut full = CorpusSpec::full(config.seed);
+        let mut degraded = CorpusSpec::degraded_smoke(config.seed);
+        full.fidelity_patterns_cap = Some(2);
+        degraded.fidelity_patterns_cap = Some(2);
+        vec![("full", full), ("degraded", degraded)]
+    }
+}
+
+/// Plans one corpus with replay deferred and returns the collected work,
+/// labelled by request name, in deterministic submission order.
+fn collect(spec: &CorpusSpec) -> Result<(usize, Vec<(String, DeferredFidelity)>), String> {
+    let requests = spec.requests();
+    let executor = Executor::builder().defer_fidelity(true).build();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| executor.submit(r.clone()))
+        .collect();
+    executor.join();
+    let mut failed = 0usize;
+    for handle in &handles {
+        match handle.wait() {
+            JobResult::Completed(_) => {}
+            JobResult::Failed(_) => failed += 1,
+            JobResult::Cancelled => return Err("a corpus job was cancelled".to_owned()),
+        }
+    }
+    let first_id = handles.first().map_or(1, |h| h.id().0);
+    let items = executor
+        .take_deferred_fidelity()
+        .into_iter()
+        .map(|(job, work)| {
+            let index = (job.0 - first_id) as usize;
+            (requests[index].name.clone(), work)
+        })
+        .collect();
+    Ok((failed, items))
+}
+
+/// FNV-1a, 64-bit: the digest primitive for the deterministic section.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Canonical byte rendering of one replay result. Every field is an
+/// integer or a label, so the digest is byte-stable across platforms.
+fn render(result: &Result<ScheduleReplay, NocError>) -> String {
+    match result {
+        Ok(replay) => {
+            let mut s = format!(
+                "cap={};analytic={};simulated={}",
+                replay.patterns_cap, replay.analytic_makespan, replay.simulated_makespan
+            );
+            for session in &replay.sessions {
+                s.push_str(&format!(
+                    ";{}@{}+{}x{}:{}~{}",
+                    session.cut,
+                    session.interface,
+                    session.start,
+                    session.packets,
+                    session.analytic_cycles,
+                    session.simulated_cycles
+                ));
+            }
+            s
+        }
+        Err(error) => format!("error={error:?}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(Some(config)) => config,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("replay-bench: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Plan both corpora with replay deferred; this is setup, not part of
+    // either timed section.
+    let mut items: Vec<(String, DeferredFidelity)> = Vec::new();
+    let mut planned = 0usize;
+    let mut plan_failed = 0usize;
+    for (label, spec) in specs(&config) {
+        planned += spec.scenario_count();
+        match collect(&spec) {
+            Ok((failed, mut work)) => {
+                plan_failed += failed;
+                for (name, item) in work.drain(..) {
+                    items.push((format!("{label}/{name}"), item));
+                }
+            }
+            Err(message) => {
+                eprintln!("replay-bench: planning the {label} corpus failed: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if items.is_empty() {
+        eprintln!("replay-bench: the corpora deferred no replay work");
+        return ExitCode::FAILURE;
+    }
+
+    // Each engine is timed over two full passes and the faster pass is
+    // kept. Both replay paths are deterministic, so the passes do
+    // identical work; the minimum discards scheduling stalls the shared
+    // benchmark host injects into a single pass, symmetrically for both
+    // sides of the ratio.
+    let run_seq = || -> Vec<Result<ScheduleReplay, NocError>> {
+        items
+            .iter()
+            .map(|(_, work)| replay_schedule_baseline(&work.sys, &work.schedule, work.patterns_cap))
+            .collect()
+    };
+    let t_seq = Instant::now();
+    let sequential = run_seq();
+    let mut sequential_micros = t_seq.elapsed().as_micros() as u64;
+    let t_seq = Instant::now();
+    std::hint::black_box(run_seq());
+    sequential_micros = sequential_micros.min(t_seq.elapsed().as_micros() as u64);
+
+    // Batched: every schedule lane-parallel through one ReplayBatch.
+    let assemble = || {
+        let mut batch = ReplayBatch::with_max_lanes(config.lanes);
+        for (_, work) in &items {
+            batch.push(&work.sys, &work.schedule, work.patterns_cap);
+        }
+        batch
+    };
+    let unique_replays = assemble().unique_replays();
+    let run_batch = || assemble().run();
+    let t_batch = Instant::now();
+    let batched = run_batch();
+    let mut batched_micros = t_batch.elapsed().as_micros() as u64;
+    let mut failures = 0u32;
+
+    // The byte-identity wall: every batched result must equal its
+    // sequential twin exactly (per-session fields included).
+    for ((name, _), (seq, bat)) in items.iter().zip(sequential.iter().zip(&batched)) {
+        let identical = match (seq, bat) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(a), Err(b)) => format!("{a:?}") == format!("{b:?}"),
+            _ => false,
+        };
+        if !identical {
+            eprintln!("replay-bench: batched replay diverges from the baseline on `{name}`");
+            failures += 1;
+        }
+    }
+
+    // Determinism: a second batched run must reproduce every digest.
+    // The rerun doubles as the batch path's second timing pass.
+    let digests: Vec<u64> = batched
+        .iter()
+        .map(|r| fnv1a(render(r).as_bytes(), FNV_OFFSET))
+        .collect();
+    let t_batch = Instant::now();
+    let rerun = run_batch();
+    batched_micros = batched_micros.min(t_batch.elapsed().as_micros() as u64);
+    let rerun_digests: Vec<u64> = rerun
+        .iter()
+        .map(|r| fnv1a(render(r).as_bytes(), FNV_OFFSET))
+        .collect();
+    if digests != rerun_digests {
+        eprintln!("replay-bench: two batched runs disagree — the batch path is nondeterministic");
+        failures += 1;
+    }
+    let combined = digests
+        .iter()
+        .fold(FNV_OFFSET, |acc, d| fnv1a(&d.to_le_bytes(), acc));
+
+    let speedup = if batched_micros == 0 {
+        0.0
+    } else {
+        sequential_micros as f64 / batched_micros as f64
+    };
+    // The throughput gate applies to the full sweep (the committed
+    // artefact): the smoke run exists to byte-check determinism in CI,
+    // where wall-clock is deliberately never a gate.
+    if !config.smoke && speedup < 4.0 {
+        eprintln!(
+            "replay-bench: batched speedup {speedup:.2}x is below the 4x gate \
+             ({sequential_micros}us sequential vs {batched_micros}us batched)"
+        );
+        failures += 1;
+    }
+
+    let replay_errors = batched.iter().filter(|r| r.is_err()).count();
+    let deterministic = Json::obj(vec![
+        (
+            "config",
+            Json::obj(vec![
+                (
+                    "mode",
+                    Json::str(if config.smoke { "smoke" } else { "full" }),
+                ),
+                ("seed", Json::int(config.seed)),
+                ("lanes", Json::int(config.lanes as u64)),
+            ]),
+        ),
+        (
+            "scenarios",
+            Json::obj(vec![
+                ("planned", Json::int(planned as u64)),
+                ("plan_failed", Json::int(plan_failed as u64)),
+                ("replayed", Json::int(items.len() as u64)),
+                ("unique_replays", Json::int(unique_replays as u64)),
+                ("replay_errors", Json::int(replay_errors as u64)),
+            ]),
+        ),
+        ("combined_digest", Json::str(format!("{combined:016x}"))),
+        (
+            "digests",
+            Json::Arr(
+                items
+                    .iter()
+                    .zip(&digests)
+                    .map(|((name, _), digest)| {
+                        Json::obj(vec![
+                            ("request", Json::str(name.clone())),
+                            ("digest", Json::str(format!("{digest:016x}"))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let out = Json::obj(vec![
+        ("deterministic", deterministic.clone()),
+        (
+            "measured",
+            Json::obj(vec![
+                ("sequential_micros", Json::int(sequential_micros)),
+                ("batched_micros", Json::int(batched_micros)),
+                ("speedup", Json::Num(speedup)),
+                (
+                    "sequential_scenarios_per_second",
+                    Json::Num(rate(items.len(), sequential_micros)),
+                ),
+                (
+                    "batched_scenarios_per_second",
+                    Json::Num(rate(items.len(), batched_micros)),
+                ),
+            ]),
+        ),
+    ]);
+    if let Err(error) = std::fs::write(&config.out, format!("{}\n", out.pretty())) {
+        eprintln!("replay-bench: cannot write {}: {error}", config.out);
+        return ExitCode::FAILURE;
+    }
+
+    // Stdout carries the deterministic section alone, as one compact
+    // line: the smoke script runs the binary twice and byte-compares.
+    println!("{}", deterministic.compact());
+    eprintln!(
+        "replay-bench: {} replays, {}us sequential vs {}us batched ({speedup:.2}x) -> {}",
+        items.len(),
+        sequential_micros,
+        batched_micros,
+        config.out
+    );
+    if failures > 0 {
+        eprintln!("replay-bench: {failures} gate failure(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn rate(scenarios: usize, micros: u64) -> f64 {
+    if micros == 0 {
+        0.0
+    } else {
+        scenarios as f64 * 1e6 / micros as f64
+    }
+}

@@ -84,8 +84,8 @@ pub use plan::{
 };
 pub use power::{PowerBudget, PowerModel};
 pub use replay::{
-    replay_concurrent_streams, replay_schedule, replay_stimulus_stream, ConcurrentReplay,
-    ScheduleReplay, SessionReplay, StreamReplay,
+    replay_concurrent_streams, replay_schedule, replay_schedule_baseline, replay_stimulus_stream,
+    ConcurrentReplay, ReplayBatch, ScheduleReplay, SessionReplay, StreamReplay,
 };
 pub use sched::{
     CancelToken, GreedyScheduler, OptimalScheduler, ParallelOptimalScheduler, PortfolioScheduler,

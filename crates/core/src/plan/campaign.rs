@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use crate::error::PlanError;
 use crate::plan::error::CampaignError;
-use crate::plan::exec::{Executor, JobResult};
+use crate::plan::exec::{DeferredFidelity, Executor, JobResult};
 use crate::plan::outcome::{PlanOutcome, Stage, StageTiming};
 use crate::plan::registry::SchedulerRegistry;
 use crate::plan::request::PlanRequest;
@@ -34,14 +34,24 @@ pub(crate) fn validate_thread_count(threads: usize) -> Result<usize, CampaignErr
 /// is polled between stages and threaded into
 /// [`crate::sched::Scheduler::schedule_cancellable`].
 ///
-/// With `cancel = None` this is byte-for-byte the behaviour
-/// [`Campaign::run`] always had.
+/// With `cancel = None` and `defer_fidelity = false` this is
+/// byte-for-byte the behaviour [`Campaign::run`] always had.
+///
+/// With `defer_fidelity = true` a fidelity-opted request skips the
+/// inline replay stage: the outcome comes back with `fidelity = None`
+/// and `replay_micros = 0`, and the second tuple member carries the
+/// built system + schedule as a [`DeferredFidelity`] so the caller can
+/// batch many replays through one
+/// [`noctest_noc::BatchNetwork`]-backed
+/// [`crate::replay::ReplayBatch`]. Requests without a fidelity spec
+/// never produce deferred work.
 pub(crate) fn run_pipeline(
     registry: &SchedulerRegistry,
     request: &PlanRequest,
     cancel: Option<&CancelToken>,
     on_stage: &mut dyn FnMut(Stage, u64),
-) -> Result<PlanOutcome, CampaignError> {
+    defer_fidelity: bool,
+) -> Result<(PlanOutcome, Option<DeferredFidelity>), CampaignError> {
     fn check(cancel: Option<&CancelToken>) -> Result<(), CampaignError> {
         if cancel.is_some_and(CancelToken::is_cancelled) {
             Err(CampaignError::Plan(PlanError::Cancelled))
@@ -80,15 +90,16 @@ pub(crate) fn run_pipeline(
         0
     };
 
-    let (fidelity, replay_micros) = if let Some(spec) = &request.fidelity {
-        check(cancel)?;
-        let replay_start = Instant::now();
-        let replay = replay_schedule(&sys, &schedule, spec.patterns_cap)?;
-        let micros = replay_start.elapsed().as_micros() as u64;
-        on_stage(Stage::Replay, micros);
-        (Some(replay), micros)
-    } else {
-        (None, 0)
+    let (fidelity, replay_micros) = match &request.fidelity {
+        Some(spec) if !defer_fidelity => {
+            check(cancel)?;
+            let replay_start = Instant::now();
+            let replay = replay_schedule(&sys, &schedule, spec.patterns_cap)?;
+            let micros = replay_start.elapsed().as_micros() as u64;
+            on_stage(Stage::Replay, micros);
+            (Some(replay), micros)
+        }
+        _ => (None, 0),
     };
 
     let mut outcome = PlanOutcome::from_schedule(
@@ -107,7 +118,15 @@ pub(crate) fn run_pipeline(
         },
     );
     outcome.fidelity = fidelity;
-    Ok(outcome)
+    let deferred = match &request.fidelity {
+        Some(spec) if defer_fidelity => Some(DeferredFidelity {
+            sys,
+            schedule,
+            patterns_cap: spec.patterns_cap,
+        }),
+        _ => None,
+    };
+    Ok((outcome, deferred))
 }
 
 /// Executes planning requests against a [`SchedulerRegistry`].
@@ -207,7 +226,8 @@ impl Campaign {
     /// Any [`CampaignError`] from resolution, construction, scheduling,
     /// validation or the fidelity replay.
     pub fn run(&self, request: &PlanRequest) -> Result<PlanOutcome, CampaignError> {
-        run_pipeline(&self.registry, request, None, &mut |_, _| {})
+        run_pipeline(&self.registry, request, None, &mut |_, _| {}, false)
+            .map(|(outcome, _)| outcome)
     }
 
     /// Runs a request matrix, parallelised over worker threads. Results

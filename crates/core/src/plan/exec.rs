@@ -46,7 +46,26 @@ use crate::plan::error::CampaignError;
 use crate::plan::outcome::{PlanOutcome, Stage};
 use crate::plan::registry::SchedulerRegistry;
 use crate::plan::request::PlanRequest;
-use crate::sched::CancelToken;
+use crate::sched::{CancelToken, Schedule};
+use crate::system::SystemUnderTest;
+
+/// Fidelity replay work a deferring executor put aside: the built system
+/// and schedule of one completed, fidelity-opted job, held so a batch
+/// runner can replay many jobs lane-parallel through
+/// [`crate::replay::ReplayBatch`] instead of one at a time inside each
+/// worker. Produced only by executors built with
+/// [`ExecutorBuilder::defer_fidelity`]`(true)`; collected via
+/// [`Executor::take_deferred_fidelity`].
+#[derive(Debug, Clone)]
+pub struct DeferredFidelity {
+    /// The system the schedule was planned for (owns the mesh geometry,
+    /// timing model and fault set the replay needs).
+    pub sys: SystemUnderTest,
+    /// The schedule to replay.
+    pub schedule: Schedule,
+    /// The per-session pattern cap from the request's fidelity spec.
+    pub patterns_cap: u32,
+}
 
 /// Locks a mutex, recovering the guard if a previous holder panicked —
 /// one panicking job must not poison the pool for every job after it.
@@ -623,6 +642,10 @@ struct Shared {
     /// global order.
     emit_lock: Mutex<()>,
     next_id: AtomicU64,
+    /// When set, fidelity-opted jobs skip their inline replay stage and
+    /// stash the system + schedule here for batched replay.
+    defer_fidelity: bool,
+    deferred: Mutex<Vec<(JobId, DeferredFidelity)>>,
 }
 
 impl Shared {
@@ -731,10 +754,16 @@ impl Shared {
                         micros,
                     });
                 },
+                self.defer_fidelity,
             )
         }));
         let result = match result {
-            Ok(Ok(outcome)) => JobResult::Completed(Box::new(outcome)),
+            Ok(Ok((outcome, deferred))) => {
+                if let Some(work) = deferred {
+                    lock(&self.deferred).push((JobId(inner.id), work));
+                }
+                JobResult::Completed(Box::new(outcome))
+            }
             // `Cancelled` is only a cancellation if *this job's* token
             // tripped; a user scheduler returning it spontaneously is an
             // ordinary failure (callers like `run_all` rely on cancelled
@@ -777,6 +806,7 @@ pub struct ExecutorBuilder {
     campaign: Campaign,
     threads: Option<usize>,
     sinks: Vec<Arc<dyn EventSink>>,
+    defer_fidelity: bool,
 }
 
 impl std::fmt::Debug for ExecutorBuilder {
@@ -785,6 +815,7 @@ impl std::fmt::Debug for ExecutorBuilder {
             .field("campaign", &self.campaign)
             .field("threads", &self.threads)
             .field("sinks", &self.sinks.len())
+            .field("defer_fidelity", &self.defer_fidelity)
             .finish()
     }
 }
@@ -825,6 +856,20 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Defers fidelity replay (default `false`). When set, fidelity-opted
+    /// jobs complete *without* their replay stage — the outcome carries
+    /// `fidelity = None`, no `Replay` stage event is emitted — and the
+    /// built system + schedule are stashed as [`DeferredFidelity`] work
+    /// for the caller to drain via [`Executor::take_deferred_fidelity`]
+    /// and replay lane-parallel through
+    /// [`crate::replay::ReplayBatch`]. Single-request serving keeps the
+    /// default so wire digests are untouched.
+    #[must_use]
+    pub fn defer_fidelity(mut self, defer: bool) -> Self {
+        self.defer_fidelity = defer;
+        self
+    }
+
     /// Spawns the worker pool and returns the executor.
     #[must_use]
     pub fn build(self) -> Executor {
@@ -848,6 +893,8 @@ impl ExecutorBuilder {
             sinks: self.sinks,
             emit_lock: Mutex::new(()),
             next_id: AtomicU64::new(1),
+            defer_fidelity: self.defer_fidelity,
+            deferred: Mutex::new(Vec::new()),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -971,6 +1018,19 @@ impl Executor {
             inner,
             shared: Arc::downgrade(&self.shared),
         }
+    }
+
+    /// Drains the fidelity replay work deferred so far (executors built
+    /// with [`ExecutorBuilder::defer_fidelity`]`(true)` only; always
+    /// empty otherwise), sorted by [`JobId`] so the batch composition is
+    /// deterministic regardless of worker completion order. Call after
+    /// [`Executor::join`] (or after draining [`Executor::outcomes`]) to
+    /// see every completed job's work.
+    #[must_use]
+    pub fn take_deferred_fidelity(&self) -> Vec<(JobId, DeferredFidelity)> {
+        let mut deferred = std::mem::take(&mut *lock(&self.shared.deferred));
+        deferred.sort_by_key(|(job, _)| *job);
+        deferred
     }
 
     /// Jobs submitted so far.
@@ -1447,6 +1507,45 @@ mod tests {
                 "completed"
             ]
         );
+    }
+
+    #[test]
+    fn deferred_fidelity_is_stashed_and_replays_identically_to_inline() {
+        let request = d695("greedy").with_fidelity(2);
+        // Inline (the default): the outcome carries the replay section.
+        let inline = Campaign::new().run(&request).unwrap();
+        let inline_fidelity = inline.fidelity.clone().expect("inline replay ran");
+        // Deferred: the job completes without the section...
+        let executor = Executor::builder()
+            .threads(2)
+            .unwrap()
+            .defer_fidelity(true)
+            .build();
+        let handle = executor.submit(request.clone());
+        let JobResult::Completed(outcome) = handle.wait() else {
+            panic!("job failed");
+        };
+        assert!(outcome.fidelity.is_none());
+        assert_eq!(outcome.timing.replay_micros, 0);
+        // ...and the replay work waits in the stash, keyed by job id.
+        let deferred = executor.take_deferred_fidelity();
+        assert_eq!(deferred.len(), 1);
+        assert_eq!(deferred[0].0, handle.id());
+        let mut batch = crate::replay::ReplayBatch::new();
+        for (_, work) in &deferred {
+            batch.push(&work.sys, &work.schedule, work.patterns_cap);
+        }
+        let replayed = batch.run().pop().unwrap().expect("batched replay runs");
+        assert_eq!(
+            replayed, inline_fidelity,
+            "deferred replay must be byte-identical"
+        );
+        // The stash drains exactly once, and non-deferring executors
+        // never populate it.
+        assert!(executor.take_deferred_fidelity().is_empty());
+        let plain = Executor::builder().threads(1).unwrap().build();
+        let _ = plain.submit(request).wait();
+        assert!(plain.take_deferred_fidelity().is_empty());
     }
 
     #[test]

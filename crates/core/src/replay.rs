@@ -13,7 +13,7 @@
 //! source, not the network, so the stimulus stream is the part where the
 //! analytic and simulated worlds must agree.
 //!
-//! Three granularities are available:
+//! Four granularities are available:
 //!
 //! * [`replay_stimulus_stream`] — one session in isolation;
 //! * [`replay_concurrent_streams`] — two sessions, solo and together, for
@@ -26,19 +26,78 @@
 //!   overlapping sessions; this is where that prediction meets the
 //!   simulator. Results feed the `fidelity` section of
 //!   [`crate::plan::PlanOutcome`].
+//! * [`ReplayBatch`] — **many plans at once**: pending whole-schedule
+//!   replays grouped by fidelity class (mesh shape, timing, routing and
+//!   fault set — degraded meshes batch within their fault class) and
+//!   drained lane-parallel through [`BatchNetwork`]. Each result is
+//!   byte-identical to what [`replay_schedule`] would have produced for
+//!   the same request, because both paths share the staging, simulation
+//!   core and re-association code.
 
-use noctest_noc::{Network, NocConfig, NocError, Packet};
+use std::collections::BTreeMap;
+
+use noctest_noc::{
+    BatchNetwork, DeliveredPacket, LinkId, Network, NocConfig, NocError, NodeId, Packet,
+    RouteTable, RoutingKind,
+};
 
 use crate::cut::CutId;
 use crate::interface::InterfaceId;
-use crate::sched::Schedule;
+use crate::sched::{Schedule, ScheduledTest};
 use crate::system::SystemUnderTest;
 
+/// The fault-application surface shared by the sequential and the batched
+/// simulator, so [`apply_faults`] is written once and cannot drift between
+/// the two paths.
+trait FaultSink {
+    fn kill_router(&mut self, node: NodeId) -> Result<(), NocError>;
+    fn kill_link(&mut self, link: LinkId) -> Result<(), NocError>;
+    fn set_route_table(&mut self, table: RouteTable) -> Result<(), NocError>;
+}
+
+impl FaultSink for Network {
+    fn kill_router(&mut self, node: NodeId) -> Result<(), NocError> {
+        Network::kill_router(self, node)
+    }
+    fn kill_link(&mut self, link: LinkId) -> Result<(), NocError> {
+        Network::kill_link(self, link)
+    }
+    fn set_route_table(&mut self, table: RouteTable) -> Result<(), NocError> {
+        Network::set_route_table(self, table)
+    }
+}
+
+impl FaultSink for noctest_noc::BaselineNetwork {
+    fn kill_router(&mut self, node: NodeId) -> Result<(), NocError> {
+        noctest_noc::BaselineNetwork::kill_router(self, node)
+    }
+    fn kill_link(&mut self, link: LinkId) -> Result<(), NocError> {
+        noctest_noc::BaselineNetwork::kill_link(self, link)
+    }
+    fn set_route_table(&mut self, table: RouteTable) -> Result<(), NocError> {
+        noctest_noc::BaselineNetwork::set_route_table(self, table)
+    }
+}
+
+// Faults on a batch are batch-wide: every lane of a batch shares one fault
+// class by construction.
+impl FaultSink for BatchNetwork {
+    fn kill_router(&mut self, node: NodeId) -> Result<(), NocError> {
+        BatchNetwork::kill_router(self, node)
+    }
+    fn kill_link(&mut self, link: LinkId) -> Result<(), NocError> {
+        BatchNetwork::kill_link(self, link)
+    }
+    fn set_route_table(&mut self, table: RouteTable) -> Result<(), NocError> {
+        BatchNetwork::set_route_table(self, table)
+    }
+}
+
 /// Applies the system's fault set (and its detour route table) to a fresh
-/// network, so the replay degrades exactly as the planner assumed. A
+/// simulator, so the replay degrades exactly as the planner assumed. A
 /// pristine system touches nothing — the simulator stays byte-identical
 /// to the fault-free replay.
-fn apply_faults(sys: &SystemUnderTest, net: &mut Network) -> Result<(), NocError> {
+fn apply_faults(sys: &SystemUnderTest, net: &mut impl FaultSink) -> Result<(), NocError> {
     let faults = sys.faults();
     if faults.is_empty() {
         return Ok(());
@@ -53,6 +112,19 @@ fn apply_faults(sys: &SystemUnderTest, net: &mut Network) -> Result<(), NocError
         net.set_route_table(oracle.route_table())?;
     }
     Ok(())
+}
+
+/// The transport configuration a system replays under — shared by every
+/// replay granularity in this module.
+fn transport_config(sys: &SystemUnderTest) -> Result<NocConfig, NocError> {
+    let t = sys.timing();
+    let mesh = sys.mesh();
+    NocConfig::builder(mesh.width(), mesh.height())
+        .flit_width_bits(t.flit_width_bits)
+        .flow_latency(t.flow_latency)
+        .routing_latency(t.routing_latency)
+        .routing(sys.routing())
+        .build()
 }
 
 /// Outcome of replaying one session's stimulus stream.
@@ -108,14 +180,7 @@ pub fn replay_stimulus_stream(
     patterns_cap: u32,
 ) -> Result<StreamReplay, NocError> {
     let t = sys.timing();
-    let mesh = sys.mesh();
-    let config = NocConfig::builder(mesh.width(), mesh.height())
-        .flit_width_bits(t.flit_width_bits)
-        .flow_latency(t.flow_latency)
-        .routing_latency(t.routing_latency)
-        .routing(sys.routing())
-        .build()?;
-    let mut net = Network::new(config)?;
+    let mut net = Network::new(transport_config(sys)?)?;
     apply_faults(sys, &mut net)?;
 
     let core = sys.cut(cut);
@@ -184,13 +249,7 @@ pub fn replay_concurrent_streams(
     patterns_cap: u32,
 ) -> Result<ConcurrentReplay, NocError> {
     let t = sys.timing();
-    let mesh = sys.mesh();
-    let config = NocConfig::builder(mesh.width(), mesh.height())
-        .flit_width_bits(t.flit_width_bits)
-        .flow_latency(t.flow_latency)
-        .routing_latency(t.routing_latency)
-        .routing(sys.routing())
-        .build()?;
+    let config = transport_config(sys)?;
 
     let stream = |(iface, cut): (InterfaceId, CutId)| {
         let core = sys.cut(cut);
@@ -318,61 +377,146 @@ pub fn replay_schedule(
     schedule: &Schedule,
     patterns_cap: u32,
 ) -> Result<ScheduleReplay, NocError> {
-    let t = sys.timing();
-    let mesh = sys.mesh();
-    let config = NocConfig::builder(mesh.width(), mesh.height())
-        .flit_width_bits(t.flit_width_bits)
-        .flow_latency(t.flow_latency)
-        .routing_latency(t.routing_latency)
-        .routing(sys.routing())
-        .build()?;
-    let mut net = Network::new(config)?;
-    apply_faults(sys, &mut net)?;
     let patterns_cap = patterns_cap.max(1);
+    let mut net = Network::new(transport_config(sys)?)?;
+    apply_faults(sys, &mut net)?;
+    let staged = stage_schedule(sys, schedule, patterns_cap, |packet, at| {
+        net.inject_at(packet, at).map(|_| ())
+    })?;
+    let delivered = net.run_until_idle(staged.budget)?;
+    Ok(finish_schedule(patterns_cap, staged.sessions, &delivered))
+}
 
-    // Session index → tag block; comfortably above any real pattern count.
-    const TAG_BLOCK: u64 = 1_000_000;
+/// [`replay_schedule`] driven through the **frozen** pre-batch engine
+/// ([`noctest_noc::BaselineNetwork`]): identical staging, fault
+/// application and re-association, with only the simulation core swapped.
+/// This is the sequential baseline the `replay-bench` binary times the
+/// batched path against — pinned to the seed engine so the measured
+/// speedup reflects the whole engine refactor (struct-of-arrays lanes,
+/// the shared event arena and busy-cycle skipping), not a handicapped
+/// rewrite of the staging code. Its result must be byte-identical to
+/// [`replay_schedule`] and to [`ReplayBatch`]; `tests/batch_replay.rs`
+/// holds all three paths together.
+///
+/// # Errors
+///
+/// Propagates simulator errors, exactly as [`replay_schedule`] does.
+pub fn replay_schedule_baseline(
+    sys: &SystemUnderTest,
+    schedule: &Schedule,
+    patterns_cap: u32,
+) -> Result<ScheduleReplay, NocError> {
+    let patterns_cap = patterns_cap.max(1);
+    let mut net = noctest_noc::BaselineNetwork::new(transport_config(sys)?)?;
+    apply_faults(sys, &mut net)?;
+    let staged = stage_schedule(sys, schedule, patterns_cap, |packet, at| {
+        net.inject_at(packet, at).map(|_| ())
+    })?;
+    let delivered = net.run_until_idle(staged.budget)?;
+    Ok(finish_schedule(patterns_cap, staged.sessions, &delivered))
+}
 
+/// Session index → tag block; comfortably above any real pattern count.
+const TAG_BLOCK: u64 = 1_000_000;
+
+/// A schedule's sessions staged for replay: the per-session records (with
+/// `simulated_cycles` still zero) plus the drain budget. Produced by
+/// [`stage_schedule`], completed by [`finish_schedule`].
+struct StagedSchedule {
+    sessions: Vec<SessionReplay>,
+    budget: u64,
+}
+
+/// Expands every session of `schedule` into tagged packets through
+/// `inject_at` and builds the per-session records. This is the one place
+/// the whole-schedule traffic shape is defined — [`replay_schedule`]
+/// injects into a sequential [`Network`], [`ReplayBatch`] into one lane of
+/// a [`BatchNetwork`], and both observe identical streams.
+/// Per-session traffic facts derived from one schedule entry: everything
+/// that determines both the injected stimulus stream and the session's
+/// replay record. [`stage_schedule`] stages from this and [`ReplayBatch`]
+/// keys its replay memoisation on it, so the staged traffic and the
+/// memoisation key cannot drift apart.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct EntryTraffic {
+    cut: u32,
+    interface: String,
+    src: NodeId,
+    dst: NodeId,
+    packets: u32,
+    flits_total: u32,
+    start: u64,
+    analytic_cycles: u64,
+}
+
+fn entry_traffic(sys: &SystemUnderTest, entry: &ScheduledTest, patterns_cap: u32) -> EntryTraffic {
+    let core = sys.cut(entry.cut);
+    let iface = sys.interface(entry.interface);
+    // The extra clamp keeps per-session tags inside their block even
+    // for an absurd user-supplied cap.
+    let packets = core.patterns.min(patterns_cap).min(TAG_BLOCK as u32 - 1);
+    let flits_total = sys.timing().flits(core.bits_in);
+    let hops = sys.path(entry.interface, entry.cut).hops_in;
+    EntryTraffic {
+        cut: entry.cut.0,
+        interface: iface.label(),
+        src: iface.source_node(),
+        dst: core.node,
+        packets,
+        flits_total,
+        start: entry.start,
+        analytic_cycles: analytic_stream_cycles(sys, packets, flits_total, hops),
+    }
+}
+
+fn stage_schedule(
+    sys: &SystemUnderTest,
+    schedule: &Schedule,
+    patterns_cap: u32,
+    mut inject_at: impl FnMut(Packet, u64) -> Result<(), NocError>,
+) -> Result<StagedSchedule, NocError> {
     let mut sessions = Vec::with_capacity(schedule.entries().len());
     let mut total_flits: u64 = 0;
     for (index, entry) in schedule.entries().iter().enumerate() {
-        let core = sys.cut(entry.cut);
-        let iface = sys.interface(entry.interface);
-        let src = iface.source_node();
-        let dst = core.node;
-        // The extra clamp keeps per-session tags inside their block even
-        // for an absurd user-supplied cap.
-        let packets = core.patterns.min(patterns_cap).min(TAG_BLOCK as u32 - 1);
-        let flits_total = t.flits(core.bits_in);
-        let payload = flits_total - 1;
-        for p in 0..packets {
-            net.inject_at(
-                Packet::new(src, dst, payload).with_tag(index as u64 * TAG_BLOCK + u64::from(p)),
-                entry.start,
+        let traffic = entry_traffic(sys, entry, patterns_cap);
+        let payload = traffic.flits_total - 1;
+        for p in 0..traffic.packets {
+            inject_at(
+                Packet::new(traffic.src, traffic.dst, payload)
+                    .with_tag(index as u64 * TAG_BLOCK + u64::from(p)),
+                traffic.start,
             )?;
         }
-        total_flits += u64::from(packets) * u64::from(flits_total);
-        let hops = sys.path(entry.interface, entry.cut).hops_in;
+        total_flits += u64::from(traffic.packets) * u64::from(traffic.flits_total);
         sessions.push(SessionReplay {
-            cut: entry.cut.0,
-            interface: iface.label(),
-            start: entry.start,
-            packets,
-            analytic_cycles: analytic_stream_cycles(sys, packets, flits_total, hops),
+            cut: traffic.cut,
+            interface: traffic.interface,
+            start: traffic.start,
+            packets: traffic.packets,
+            analytic_cycles: traffic.analytic_cycles,
             simulated_cycles: 0,
         });
     }
+    let budget =
+        schedule.makespan() + 10_000 + 200 * total_flits * u64::from(sys.timing().flow_latency);
+    Ok(StagedSchedule { sessions, budget })
+}
 
-    let budget = schedule.makespan() + 10_000 + 200 * total_flits * u64::from(t.flow_latency);
-    let delivered = net.run_until_idle(budget)?;
-    for d in &delivered {
+/// Re-associates delivered packets with their sessions by tag block and
+/// assembles the [`ScheduleReplay`] — the shared back half of
+/// [`replay_schedule`] and [`ReplayBatch`].
+fn finish_schedule(
+    patterns_cap: u32,
+    mut sessions: Vec<SessionReplay>,
+    delivered: &[DeliveredPacket],
+) -> ScheduleReplay {
+    for d in delivered {
         let index = (d.tag / TAG_BLOCK) as usize;
         let session = &mut sessions[index];
         session.simulated_cycles = session
             .simulated_cycles
             .max(d.tail_delivered_at - session.start);
     }
-
     let analytic_makespan = sessions
         .iter()
         .map(|s| s.start + s.analytic_cycles)
@@ -383,12 +527,307 @@ pub fn replay_schedule(
         .map(|s| s.start + s.simulated_cycles)
         .max()
         .unwrap_or(0);
-    Ok(ScheduleReplay {
+    ScheduleReplay {
         patterns_cap,
         analytic_makespan,
         simulated_makespan,
         sessions,
-    })
+    }
+}
+
+/// Everything that must agree for two whole-schedule replays to produce
+/// the same result: the [`FidelityClass`] (which fixes the simulated
+/// transport and fault set), the pattern cap, the drain budget, and the
+/// complete derived stimulus traffic ([`EntryTraffic`] per session, the
+/// exact facts [`stage_schedule`] stages from). Requests with equal keys
+/// are *the same simulation*, so [`ReplayBatch::run`] executes one and
+/// clones its result — the memoisation analogue of the planner's
+/// content-addressed plan cache.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ReplayKey {
+    class: FidelityClass,
+    patterns_cap: u32,
+    makespan: u64,
+    traffic: Vec<EntryTraffic>,
+}
+
+impl ReplayKey {
+    fn of(item: &BatchItem<'_>) -> Self {
+        ReplayKey {
+            class: FidelityClass::of(item.sys),
+            patterns_cap: item.patterns_cap,
+            makespan: item.schedule.makespan(),
+            traffic: item
+                .schedule
+                .entries()
+                .iter()
+                .map(|entry| entry_traffic(item.sys, entry, item.patterns_cap.max(1)))
+                .collect(),
+        }
+    }
+}
+
+/// Everything that must agree for two whole-schedule replays to share one
+/// [`BatchNetwork`]: mesh shape, transport timing, routing algorithm and
+/// the exact fault set. Degraded systems thus batch *within* their fault
+/// class and never contaminate healthy lanes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct FidelityClass {
+    width: u16,
+    height: u16,
+    flit_width_bits: u32,
+    flow_latency: u32,
+    routing_latency: u32,
+    routing: u8,
+    dead_routers: Vec<u32>,
+    dead_links: Vec<LinkId>,
+    detour: bool,
+}
+
+impl FidelityClass {
+    fn of(sys: &SystemUnderTest) -> Self {
+        let t = sys.timing();
+        let mesh = sys.mesh();
+        let mut dead_routers: Vec<u32> = sys.faults().routers().map(u32::from).collect();
+        dead_routers.sort_unstable();
+        let mut dead_links: Vec<LinkId> = sys.faults().links().collect();
+        dead_links.sort_unstable();
+        FidelityClass {
+            width: mesh.width(),
+            height: mesh.height(),
+            flit_width_bits: t.flit_width_bits,
+            flow_latency: t.flow_latency,
+            routing_latency: t.routing_latency,
+            routing: match sys.routing() {
+                RoutingKind::Xy => 0,
+                RoutingKind::Yx => 1,
+                RoutingKind::WestFirst => 2,
+                // `RoutingKind` is non-exhaustive; an unknown variant gets
+                // its own class, which is merely conservative batching.
+                _ => u8::MAX,
+            },
+            dead_routers,
+            dead_links,
+            detour: sys.detour().is_some(),
+        }
+    }
+}
+
+/// A set of pending whole-schedule fidelity replays, drained lane-parallel.
+///
+/// Requests are grouped by fidelity class — mesh shape,
+/// timing, routing and fault set — and each group is chunked onto a
+/// [`BatchNetwork`] with one lane per request (at most
+/// [`ReplayBatch::DEFAULT_MAX_LANES`] lanes per chunk, tunable via
+/// [`ReplayBatch::with_max_lanes`]). Results come back in push order and
+/// are **byte-identical** to calling [`replay_schedule`] per request: the
+/// staging, the simulation core and the re-association are the same code,
+/// and `tests/batch_replay.rs` holds the two paths together differentially
+/// across seeds, lane counts and fault classes.
+///
+/// ```no_run
+/// # use noctest_core::replay::ReplayBatch;
+/// # fn demo(sys: &noctest_core::system::SystemUnderTest,
+/// #         schedules: &[noctest_core::sched::Schedule]) {
+/// let mut batch = ReplayBatch::new();
+/// for schedule in schedules {
+///     batch.push(sys, schedule, 2);
+/// }
+/// for replay in batch.run() {
+///     let replay = replay.expect("transport drains");
+///     println!("model error {:.2}%", replay.worst_relative_error() * 100.0);
+/// }
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReplayBatch<'a> {
+    items: Vec<BatchItem<'a>>,
+    max_lanes: usize,
+}
+
+#[derive(Debug)]
+struct BatchItem<'a> {
+    sys: &'a SystemUnderTest,
+    schedule: &'a Schedule,
+    patterns_cap: u32,
+}
+
+impl<'a> ReplayBatch<'a> {
+    /// Default cap on lanes per [`BatchNetwork`] chunk. Bounds the
+    /// struct-of-arrays footprint (FIFO rings scale with lanes × nodes)
+    /// while keeping enough lanes in flight to amortise per-wave overhead.
+    pub const DEFAULT_MAX_LANES: usize = 32;
+
+    /// An empty batch with the default lane cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_max_lanes(Self::DEFAULT_MAX_LANES)
+    }
+
+    /// An empty batch replaying at most `max_lanes` schedules per
+    /// simulator instance (raised to 1 if 0).
+    #[must_use]
+    pub fn with_max_lanes(max_lanes: usize) -> Self {
+        ReplayBatch {
+            items: Vec::new(),
+            max_lanes: max_lanes.max(1),
+        }
+    }
+
+    /// Queues one whole-schedule replay (the same request shape as
+    /// [`replay_schedule`]) and returns its index into the results of
+    /// [`ReplayBatch::run`].
+    pub fn push(
+        &mut self,
+        sys: &'a SystemUnderTest,
+        schedule: &'a Schedule,
+        patterns_cap: u32,
+    ) -> usize {
+        self.items.push(BatchItem {
+            sys,
+            schedule,
+            patterns_cap,
+        });
+        self.items.len() - 1
+    }
+
+    /// Number of queued requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no requests are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of *distinct* simulations [`ReplayBatch::run`] will execute
+    /// for the currently queued requests: requests whose replay keys
+    /// coincide share one lane and one result.
+    #[must_use]
+    pub fn unique_replays(&self) -> usize {
+        let keys: std::collections::BTreeSet<ReplayKey> =
+            self.items.iter().map(ReplayKey::of).collect();
+        keys.len()
+    }
+
+    /// Drains the batch: deduplicates identical requests, groups the
+    /// remainder by fidelity class, replays each group lane-parallel, and
+    /// returns per-request results **in push order**, each exactly what
+    /// [`replay_schedule`] would have returned.
+    ///
+    /// Deduplication is the batch-only half of the speedup: corpus sweeps
+    /// replay the same (system, schedule, cap) triple under many planner
+    /// configurations that turn out not to change it, and collecting the
+    /// requests first makes the coincidence visible. Two requests share a
+    /// simulation only when their replay keys — fidelity class, pattern
+    /// cap, drain budget and the full derived stimulus traffic — are
+    /// equal, which makes their results equal by construction.
+    #[must_use]
+    pub fn run(self) -> Vec<Result<ScheduleReplay, NocError>> {
+        let mut results: Vec<Option<Result<ScheduleReplay, NocError>>> =
+            self.items.iter().map(|_| None).collect();
+        let keys: Vec<ReplayKey> = self.items.iter().map(ReplayKey::of).collect();
+        // First queued request with a given key simulates; later twins
+        // clone its result.
+        let mut rep_of: Vec<usize> = (0..self.items.len()).collect();
+        {
+            let mut seen: BTreeMap<&ReplayKey, usize> = BTreeMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                rep_of[i] = *seen.entry(key).or_insert(i);
+            }
+        }
+        let mut groups: BTreeMap<&FidelityClass, Vec<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            if rep_of[i] == i {
+                groups.entry(&key.class).or_default().push(i);
+            }
+        }
+        for indices in groups.values() {
+            for chunk in indices.chunks(self.max_lanes) {
+                self.run_chunk(chunk, &mut results);
+            }
+        }
+        for i in 0..rep_of.len() {
+            if rep_of[i] != i {
+                results[i] = results[rep_of[i]].clone();
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
+    }
+
+    /// Replays one same-class chunk, one lane per request.
+    fn run_chunk(&self, chunk: &[usize], results: &mut [Option<Result<ScheduleReplay, NocError>>]) {
+        // All chunk members share one fidelity class, so the first
+        // request's system describes the mesh and faults for every lane.
+        let setup = (|| {
+            let sys = self.items[chunk[0]].sys;
+            let mut net = BatchNetwork::new(transport_config(sys)?, chunk.len())?;
+            apply_faults(sys, &mut net)?;
+            Ok::<_, NocError>(net)
+        })();
+        let Ok(mut net) = setup else {
+            // Config or fault application failed — it would fail for every
+            // member identically. Fall back to the sequential path so each
+            // request surfaces exactly the error replay_schedule reports.
+            for &i in chunk {
+                let item = &self.items[i];
+                results[i] = Some(replay_schedule(item.sys, item.schedule, item.patterns_cap));
+            }
+            return;
+        };
+
+        let mut staged: Vec<Option<StagedSchedule>> = Vec::with_capacity(chunk.len());
+        for (lane, &i) in chunk.iter().enumerate() {
+            let item = &self.items[i];
+            let outcome = stage_schedule(
+                item.sys,
+                item.schedule,
+                item.patterns_cap.max(1),
+                |packet, at| net.inject_at(lane, packet, at).map(|_| ()),
+            );
+            match outcome {
+                Ok(s) => staged.push(Some(s)),
+                Err(e) => {
+                    // The lane may hold a partially staged stream, but
+                    // lanes are fully independent: the stray traffic can
+                    // only burn this lane's budget, never touch another's.
+                    results[i] = Some(Err(e));
+                    staged.push(None);
+                }
+            }
+        }
+
+        let budgets: Vec<u64> = staged
+            .iter()
+            .map(|s| s.as_ref().map_or(1, |s| s.budget))
+            .collect();
+        let mut lane_results = net.run_all_until_idle(&budgets).into_iter();
+        for (lane, &i) in chunk.iter().enumerate() {
+            let run = lane_results.next().expect("one result per lane");
+            let Some(stage) = staged[lane].take() else {
+                continue; // staging error already recorded
+            };
+            results[i] = Some(run.map(|delivered| {
+                finish_schedule(
+                    self.items[i].patterns_cap.max(1),
+                    stage.sessions,
+                    &delivered,
+                )
+            }));
+        }
+    }
+}
+
+impl Default for ReplayBatch<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]
@@ -569,6 +1008,34 @@ mod tests {
         assert_eq!(replay.simulated_makespan, 0);
         assert_eq!(replay.analytic_makespan, 0);
         assert_eq!(replay.worst_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn batched_replay_is_byte_identical_to_sequential() {
+        use crate::sched::Scheduler as _;
+        let sys = system();
+        let schedule = crate::sched::GreedyScheduler::new().schedule(&sys).unwrap();
+        // Mixed caps, duplicates, and an empty schedule, chunked three
+        // lanes at a time: every result must equal the sequential replay
+        // of the same request, field for field.
+        let empty = Schedule::default();
+        let requests = [
+            (&schedule, 6),
+            (&schedule, 2),
+            (&schedule, 6),
+            (&empty, 8),
+            (&schedule, 1),
+        ];
+        let mut batch = ReplayBatch::with_max_lanes(3);
+        for &(sched, cap) in &requests {
+            batch.push(&sys, sched, cap);
+        }
+        let results = batch.run();
+        assert_eq!(results.len(), requests.len());
+        for (result, &(sched, cap)) in results.iter().zip(&requests) {
+            let sequential = replay_schedule(&sys, sched, cap).unwrap();
+            assert_eq!(result.as_ref().unwrap(), &sequential);
+        }
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! [`CorpusSpec::run`] blocks for the whole batch;
 //! [`CorpusSpec::run_streaming`] observes scenarios as they complete and
 //! can abort-and-cancel on the first failure.
+//!
+//! Fidelity-enabled corpora do not replay schedules inline in the
+//! workers: replay work is deferred per job and driven through one
+//! lane-parallel [`ReplayBatch`] (struct-of-arrays
+//! `noctest_noc::BatchNetwork` lanes, grouped by mesh and fault class)
+//! once planning completes, with results re-associated by job id —
+//! byte-identical to the inline path, at batch throughput.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,7 +27,7 @@ use noctest_core::plan::{
     profile_cache_stats, ApplicationSpec, Campaign, CampaignError, FidelitySpec, MeshSpec,
     PlanOutcome, PlanRequest, ProcessorSpec, RequestMatrix, SocSource, TimingSpec,
 };
-use noctest_core::{BudgetSpec, PriorityPolicy};
+use noctest_core::{BudgetSpec, PriorityPolicy, ReplayBatch};
 use noctest_faults::{FaultRecipe, FaultSet};
 use noctest_noc::rng::SplitMix64;
 use noctest_noc::{Mesh, RoutingKind};
@@ -205,7 +212,11 @@ impl CorpusSpec {
                 BudgetSpec::Fraction(0.35),
             ],
             schedulers: vec!["serial".to_owned(), "greedy".to_owned(), "smart".to_owned()],
-            fidelity_patterns_cap: None,
+            // Fidelity is on by default: the batched replay path amortises
+            // the cycle-level simulation across lanes (see BENCH_replay.json
+            // for the measured batched-vs-sequential gate), so even the
+            // 2160-scenario sweep can afford a per-session cross-check.
+            fidelity_patterns_cap: Some(2),
         }
     }
 
@@ -435,6 +446,15 @@ impl CorpusSpec {
     /// counted in [`CorpusRun::cancelled`]. Event sinks in
     /// [`StreamOptions::sinks`] receive the full per-job lifecycle stream
     /// (NDJSON event logs, progress UIs).
+    ///
+    /// Fidelity-enabled corpora do **not** replay inside the workers:
+    /// each job defers its replay work, and once every scenario is
+    /// terminal the collected (system, schedule) pairs are driven
+    /// lane-parallel through one [`ReplayBatch`] (grouped by mesh and
+    /// fault class) and re-associated with their outcomes by job id.
+    /// The replay sections this produces are byte-identical to the
+    /// inline path; a scenario whose replay fails is converted to the
+    /// same [`CampaignError`] the inline path would have failed with.
     #[must_use]
     pub fn run_streaming(
         &self,
@@ -446,7 +466,9 @@ impl CorpusSpec {
         let cache_before = profile_cache_stats();
         let started = Instant::now();
 
-        let mut builder = Executor::builder().campaign(campaign.clone());
+        let mut builder = Executor::builder()
+            .campaign(campaign.clone())
+            .defer_fidelity(self.fidelity_patterns_cap.is_some());
         for sink in options.sinks {
             builder = builder.sink(sink);
         }
@@ -472,6 +494,40 @@ impl CorpusSpec {
                 aborted = true;
                 for handle in &handles {
                     handle.cancel();
+                }
+            }
+        }
+        // Every scenario is terminal; drain the deferred fidelity work
+        // and replay it in one lane-parallel batch. The batch groups
+        // lanes by (mesh, fault class) internally, so degraded scenarios
+        // batch within their fault class and healthy ones with each
+        // other.
+        let deferred = executor.take_deferred_fidelity();
+        if !deferred.is_empty() {
+            let replay_started = Instant::now();
+            let mut batch = ReplayBatch::new();
+            for (_, work) in &deferred {
+                batch.push(&work.sys, &work.schedule, work.patterns_cap);
+            }
+            let replays = batch.run();
+            // One wall-clock measurement covers the whole batch; each
+            // outcome records its amortised share (the per-scenario cost
+            // that actually remains once replays share an engine).
+            let per_item_micros =
+                (replay_started.elapsed().as_micros() as u64) / deferred.len() as u64;
+            for ((job, _), replay) in deferred.iter().zip(replays) {
+                let slot = &mut results[(job.0 - first_id) as usize];
+                match replay {
+                    Ok(fidelity) => {
+                        if let Some(Ok(outcome)) = slot.as_mut() {
+                            outcome.fidelity = Some(fidelity);
+                            outcome.timing.replay_micros = per_item_micros;
+                        }
+                    }
+                    // The inline path fails the whole scenario on a
+                    // replay error; the batched path must surface the
+                    // identical failure.
+                    Err(error) => *slot = Some(Err(CampaignError::from(error))),
                 }
             }
         }
@@ -800,6 +856,38 @@ mod tests {
         assert_eq!((sleepy.runs, sleepy.failures), (1, 0));
         // Cancelled scenarios stay out of the accumulators entirely.
         assert_eq!(sleepy.makespan.count, 1);
+    }
+
+    #[test]
+    fn deferred_batch_fidelity_matches_inline_replay() {
+        // The corpus path defers replays and batches them lane-parallel;
+        // the per-scheduler worst fidelity error it aggregates must be
+        // bit-identical (f64 equality, not tolerance) to replaying every
+        // scenario inline through `Campaign::run`.
+        let mut spec = tiny_spec();
+        spec.fidelity_patterns_cap = Some(2);
+        let campaign = Campaign::new();
+        let report = spec.run(&campaign);
+
+        let requests = spec.requests();
+        let scheds = spec.schedulers.len();
+        let mut inline_worst: Vec<Option<f64>> = vec![None; scheds];
+        for (i, request) in requests.iter().enumerate() {
+            let outcome = campaign.run(request).expect("inline scenario plans");
+            let error = outcome
+                .fidelity
+                .expect("inline replay ran")
+                .worst_relative_error();
+            let slot = &mut inline_worst[i % scheds];
+            *slot = Some(slot.map_or(error, |w| w.max(error)));
+        }
+        for (summary, expected) in report.schedulers.iter().zip(inline_worst) {
+            assert_eq!(
+                summary.worst_fidelity_error, expected,
+                "{}: batched and inline fidelity diverge",
+                summary.name
+            );
+        }
     }
 
     #[test]

@@ -164,35 +164,44 @@ impl Packet {
 
     /// Expands the packet into its flit sequence.
     pub(crate) fn flits(&self, id: PacketId) -> Vec<Flit> {
+        let mut out = Vec::new();
+        self.flits_into(id, &mut out);
+        out
+    }
+
+    /// Appends the packet's flit sequence to `out` without an intermediate
+    /// allocation — the batch engine fills its recycled event-arena slots
+    /// through this, and [`Packet::flits`] delegates here so both paths
+    /// expand packets identically.
+    pub(crate) fn flits_into(&self, id: PacketId, out: &mut Vec<Flit>) {
         let total = self.total_flits();
-        (0..total)
-            .map(|seq| {
-                let kind = if total == 1 {
-                    FlitKind::HeadTail
-                } else if seq == 0 {
-                    FlitKind::Head
-                } else if seq == total - 1 {
-                    FlitKind::Tail
-                } else {
-                    FlitKind::Body
-                };
-                let data = if seq == 0 {
-                    u64::from(u32::from(self.dest))
-                } else {
-                    self.payload
-                        .get(seq as usize - 1)
-                        .copied()
-                        .unwrap_or(u64::from(seq))
-                };
-                Flit {
-                    packet: id,
-                    kind,
-                    dest: self.dest,
-                    seq,
-                    data,
-                }
-            })
-            .collect()
+        out.reserve(total as usize);
+        for seq in 0..total {
+            let kind = if total == 1 {
+                FlitKind::HeadTail
+            } else if seq == 0 {
+                FlitKind::Head
+            } else if seq == total - 1 {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            };
+            let data = if seq == 0 {
+                u64::from(u32::from(self.dest))
+            } else {
+                self.payload
+                    .get(seq as usize - 1)
+                    .copied()
+                    .unwrap_or(u64::from(seq))
+            };
+            out.push(Flit {
+                packet: id,
+                kind,
+                dest: self.dest,
+                seq,
+                data,
+            });
+        }
     }
 }
 

@@ -52,6 +52,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
+pub mod batch;
 pub mod characterize;
 pub mod config;
 pub mod error;
@@ -68,6 +70,8 @@ pub mod table;
 pub mod topology;
 pub mod traffic;
 
+pub use baseline::BaselineNetwork;
+pub use batch::BatchNetwork;
 pub use characterize::{characterize, NocCharacterization};
 pub use config::{NocConfig, NocConfigBuilder};
 pub use error::NocError;

@@ -1,4 +1,4 @@
-//! The cycle-level network simulator, on an event-driven core.
+//! The cycle-level network simulator: the 1-lane view over the batch core.
 //!
 //! Per simulated cycle the network performs, in order:
 //!
@@ -22,18 +22,22 @@
 //!    destination are collected; when the tail arrives the packet is
 //!    recorded as delivered.
 //!
-//! # The event-driven core
+//! # One engine, three views
 //!
-//! Stages 2–4 only ever change state at a router that buffers at least one
-//! flit, or at a node whose injection queue is non-empty. The engine
-//! therefore keeps two worklists — `active` (routers with buffered flits)
-//! and `feeding` (nodes with pending injection flits) — and each cycle
-//! touches exactly their members, in ascending index order so arbitration
-//! and staging decisions are **bit-identical** to scanning every router
-//! (the frozen [`crate::reference::ReferenceNetwork`] keeps the full-scan
-//! loop as the executable specification, and a differential test holds the
-//! two engines to the same [`DeliveredPacket`] records, energy charges and
-//! link counters). A router enters `active` when a flit is pushed into any
+//! Since the batch-parallel refactor the simulation loop itself lives in
+//! [`crate::batch::BatchNetwork`]; `Network` is its single-lane view, so
+//! the sequential path exercised by planners and the batched path used by
+//! corpus-wide fidelity replay are the *same code*, not a fork. Two frozen
+//! engines anchor it differentially: [`crate::reference::ReferenceNetwork`]
+//! (the full-scan executable specification) and
+//! [`crate::baseline::BaselineNetwork`] (the pre-batch event-driven engine,
+//! kept as the throughput baseline for `replay-bench`).
+//!
+//! The event-driven core keeps two worklists — `active` (routers with
+//! buffered flits) and `feeding` (nodes with pending injection flits) —
+//! and each cycle touches exactly their members, in ascending index order
+//! so arbitration and staging decisions are **bit-identical** to scanning
+//! every router. A router enters `active` when a flit is pushed into any
 //! of its input FIFOs and leaves it once they all drain; wormhole locks and
 //! route state persist across the idle span, so mid-packet stalls are safe.
 //!
@@ -43,20 +47,23 @@
 //! [`Network::run_until_idle`] then fast-forward straight to that cycle,
 //! charging leakage and the cycle counter in bulk
 //! ([`crate::EnergyLedger::tick_many`]) and recording the span in
-//! [`crate::NetworkStats::idle_cycles`]. Idle routers, empty FIFOs and
-//! paced injectors thus cost zero work — the property whole-schedule test
-//! replay relies on, where sessions start millions of cycles apart.
+//! [`crate::NetworkStats::idle_cycles`]. When `active` is *not* empty but
+//! every port is merely waiting out a pacing or route-computation
+//! countdown, the core skips straight to the earliest cycle anything can
+//! fire, folding the countdown decrements in bulk — see the
+//! [batch module docs](crate::batch) for the proof obligations. Idle
+//! routers, empty FIFOs and paced injectors thus cost zero work — the
+//! property whole-schedule test replay relies on, where sessions start
+//! millions of cycles apart.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 
+use crate::batch::BatchNetwork;
 use crate::config::NocConfig;
 use crate::error::NocError;
-use crate::flit::{Flit, Packet, PacketId};
-use crate::geometry::Direction;
+use crate::flit::{Packet, PacketId};
 use crate::power::EnergyLedger;
-use crate::router::RouterState;
 use crate::stats::NetworkStats;
 use crate::table::RouteTable;
 use crate::topology::{LinkId, Mesh, NodeId};
@@ -92,113 +99,20 @@ impl DeliveredPacket {
     }
 }
 
-#[derive(Debug)]
-struct PendingInjection {
-    flits: VecDeque<Flit>,
-    ready_at: u64,
-}
-
-#[derive(Debug, Clone)]
-struct InFlight {
-    src: NodeId,
-    dest: NodeId,
-    tag: u64,
-    injected_at: u64,
-    head_delivered_at: Option<u64>,
-    flits: u32,
-    flits_delivered: u32,
-}
-
-/// A packet waiting on the event queue for its release cycle.
-#[derive(Debug)]
-struct ScheduledRelease {
-    at: u64,
-    id: PacketId,
-    node: usize,
-    flits: VecDeque<Flit>,
-}
-
-// The event queue orders releases by (cycle, packet id); the flit payload
-// is cargo, not identity.
-impl PartialEq for ScheduledRelease {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.id) == (other.at, other.id)
-    }
-}
-impl Eq for ScheduledRelease {}
-impl PartialOrd for ScheduledRelease {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for ScheduledRelease {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.id).cmp(&(other.at, other.id))
-    }
-}
-
-/// A staged flit movement, decided against start-of-cycle state.
-#[derive(Debug, Clone, Copy)]
-enum Move {
-    /// Pop from (router, input) and push to neighbour (router, input dir).
-    Hop {
-        from_router: usize,
-        from_input: usize,
-        out_dir: Direction,
-        to_router: usize,
-    },
-    /// Pop from (router, input) and eject at the local port.
-    Eject {
-        from_router: usize,
-        from_input: usize,
-    },
-}
-
 /// The simulator. See the [module docs](self) for the cycle semantics and
-/// the event-driven core.
+/// the event-driven core; the implementation is lane 0 of a 1-lane
+/// [`BatchNetwork`].
 pub struct Network {
-    config: NocConfig,
-    routers: Vec<RouterState>,
-    injections: Vec<PendingInjection>,
-    injection_queued: Vec<VecDeque<PacketId>>,
-    scheduled: BinaryHeap<Reverse<ScheduledRelease>>,
-    in_flight: Vec<Option<InFlight>>,
-    delivered: Vec<DeliveredPacket>,
-    energy: EnergyLedger,
-    stats: NetworkStats,
-    link_flits: HashMap<LinkId, u64>,
-    /// Routers with at least one buffered flit (the worklist).
-    active: BTreeSet<usize>,
-    /// Nodes with pending injection flits.
-    feeding: BTreeSet<usize>,
-    /// Snapshot of `active` taken each cycle, reused across cycles.
-    scratch: Vec<usize>,
-    /// Snapshot of `feeding` taken each cycle, reused across cycles.
-    feed_scratch: Vec<usize>,
-    /// Routers marked faulty ([`Network::kill_router`]): they reject
-    /// injection/ejection and, with a detour [`RouteTable`] installed,
-    /// never receive a flit — so they never enter `active` and cost
-    /// exactly zero work in the event core.
-    dead_routers: BTreeSet<usize>,
-    /// Directed links marked faulty ([`Network::kill_link`]); switch
-    /// traversal refuses to stage a flit onto them.
-    dead_links: BTreeSet<LinkId>,
-    /// Per-pair routing override ([`Network::set_route_table`]); `None`
-    /// falls back to the configured algorithmic routing.
-    route_table: Option<RouteTable>,
-    now: u64,
-    next_packet: u64,
-    total_in_flight: usize,
+    core: BatchNetwork,
 }
 
 impl fmt::Debug for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Network")
-            .field("mesh", self.config.mesh())
-            .field("now", &self.now)
-            .field("in_flight", &self.total_in_flight)
-            .field("active_routers", &self.active.len())
-            .field("delivered", &self.delivered.len())
+            .field("mesh", self.config().mesh())
+            .field("now", &self.now())
+            .field("in_flight", &self.in_flight())
+            .field("delivered", &self.delivered().len())
             .finish_non_exhaustive()
     }
 }
@@ -211,93 +125,65 @@ impl Network {
     /// Currently infallible for a valid [`NocConfig`] but returns `Result`
     /// so resource limits can be enforced later without a breaking change.
     pub fn new(config: NocConfig) -> Result<Self, NocError> {
-        let nodes = config.mesh().len();
-        let energy = EnergyLedger::new(nodes, *config.power());
-        let routers = (0..nodes)
-            .map(|i| RouterState::new(NodeId::new(i as u32), config.buffer_depth() as usize))
-            .collect();
         Ok(Network {
-            routers,
-            injections: (0..nodes)
-                .map(|_| PendingInjection {
-                    flits: VecDeque::new(),
-                    ready_at: 0,
-                })
-                .collect(),
-            injection_queued: (0..nodes).map(|_| VecDeque::new()).collect(),
-            scheduled: BinaryHeap::new(),
-            in_flight: Vec::new(),
-            delivered: Vec::new(),
-            energy,
-            stats: NetworkStats::default(),
-            link_flits: HashMap::new(),
-            active: BTreeSet::new(),
-            feeding: BTreeSet::new(),
-            scratch: Vec::new(),
-            feed_scratch: Vec::new(),
-            dead_routers: BTreeSet::new(),
-            dead_links: BTreeSet::new(),
-            route_table: None,
-            now: 0,
-            next_packet: 0,
-            total_in_flight: 0,
-            config,
+            core: BatchNetwork::new(config, 1)?,
         })
     }
 
     /// The mesh this network simulates.
     #[must_use]
     pub fn topology(&self) -> &Mesh {
-        self.config.mesh()
+        self.core.topology()
     }
 
     /// The configuration the network was built from.
     #[must_use]
     pub fn config(&self) -> &NocConfig {
-        &self.config
+        self.core.config()
     }
 
     /// Current simulation time in cycles.
     #[must_use]
     pub fn now(&self) -> u64 {
-        self.now
+        self.core.now(0)
     }
 
     /// Number of packets injected but not yet fully delivered (scheduled
     /// releases included).
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.total_in_flight
+        self.core.in_flight(0)
     }
 
     /// Energy ledger accumulated so far.
     #[must_use]
     pub fn energy(&self) -> &EnergyLedger {
-        &self.energy
+        self.core.energy(0)
     }
 
     /// Statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> &NetworkStats {
-        &self.stats
+        self.core.stats(0)
     }
 
     /// Packets delivered so far (not drained by [`Network::take_delivered`]).
     #[must_use]
     pub fn delivered(&self) -> &[DeliveredPacket] {
-        &self.delivered
+        self.core.delivered(0)
     }
 
     /// Removes and returns all delivery records collected so far.
     pub fn take_delivered(&mut self) -> Vec<DeliveredPacket> {
-        std::mem::take(&mut self.delivered)
+        self.core.take_delivered(0)
     }
 
     /// Flits forwarded over each directed link so far (local ejection
-    /// links included). Links that never carried a flit are absent.
+    /// links included). Links that never carried a flit are absent. The
+    /// map is materialised on demand from the core's dense counters.
     #[must_use]
-    pub fn link_flits(&self) -> &HashMap<LinkId, u64> {
-        &self.link_flits
+    pub fn link_flits(&self) -> HashMap<LinkId, u64> {
+        self.core.link_flits(0)
     }
 
     /// Utilisation of a link: flits forwarded divided by the link's
@@ -305,21 +191,14 @@ impl Network {
     /// any cycle has elapsed.
     #[must_use]
     pub fn link_utilization(&self, link: LinkId) -> f64 {
-        if self.now == 0 {
-            return 0.0;
-        }
-        let capacity = self.now as f64 / f64::from(self.config.flow_latency());
-        self.link_flits.get(&link).copied().unwrap_or(0) as f64 / capacity
+        self.core.link_utilization(0, link)
     }
 
     /// The most heavily used directed link and its utilisation, if any
     /// traffic flowed.
     #[must_use]
     pub fn hottest_link(&self) -> Option<(LinkId, f64)> {
-        self.link_flits
-            .iter()
-            .max_by_key(|&(_, &flits)| flits)
-            .map(|(&link, _)| (link, self.link_utilization(link)))
+        self.core.hottest_link(0)
     }
 
     /// Marks `node`'s router as faulty: packets can no longer be sourced
@@ -334,10 +213,7 @@ impl Network {
     /// Returns [`NocError::NodeOutOfRange`] for a node outside the mesh
     /// and [`NocError::InvalidParameter`] if traffic was already injected.
     pub fn kill_router(&mut self, node: NodeId) -> Result<(), NocError> {
-        self.config.mesh().check(node)?;
-        self.check_pristine()?;
-        self.dead_routers.insert(node.index());
-        Ok(())
+        self.core.kill_router(node)
     }
 
     /// Marks a directed link as faulty: switch traversal will never stage
@@ -351,10 +227,7 @@ impl Network {
     /// outside the mesh and [`NocError::InvalidParameter`] if traffic was
     /// already injected.
     pub fn kill_link(&mut self, link: LinkId) -> Result<(), NocError> {
-        self.config.mesh().check(link.from)?;
-        self.check_pristine()?;
-        self.dead_links.insert(link);
-        Ok(())
+        self.core.kill_link(link)
     }
 
     /// Installs a per-pair routing table, overriding the configured
@@ -366,33 +239,7 @@ impl Network {
     /// Returns [`NocError::InvalidParameter`] if the table does not cover
     /// this mesh or traffic was already injected.
     pub fn set_route_table(&mut self, table: RouteTable) -> Result<(), NocError> {
-        table.check_len(self.config.mesh().len())?;
-        self.check_pristine()?;
-        self.route_table = Some(table);
-        Ok(())
-    }
-
-    /// Fault marks and route overrides change path semantics; applying
-    /// them mid-flight would corrupt wormhole state, so they are only
-    /// legal before the first injection.
-    fn check_pristine(&self) -> Result<(), NocError> {
-        if self.next_packet > 0 {
-            return Err(NocError::InvalidParameter {
-                name: "faults",
-                reason: "faults and route tables must be applied before traffic is injected",
-            });
-        }
-        Ok(())
-    }
-
-    /// Rejects packets whose endpoints are dead routers.
-    fn check_endpoints_alive(&self, packet: &Packet) -> Result<(), NocError> {
-        for node in [packet.src(), packet.dest()] {
-            if self.dead_routers.contains(&node.index()) {
-                return Err(NocError::DeadEndpoint { node });
-            }
-        }
-        Ok(())
+        self.core.set_route_table(table)
     }
 
     /// Queues `packet` for immediate injection at its source node.
@@ -404,18 +251,7 @@ impl Network {
     /// faulty router, and [`NocError::InjectionQueueFull`] if the per-node
     /// queue limit is reached.
     pub fn inject(&mut self, packet: Packet) -> Result<PacketId, NocError> {
-        self.config.mesh().check(packet.src())?;
-        self.config.mesh().check(packet.dest())?;
-        self.check_endpoints_alive(&packet)?;
-        let node = packet.src();
-        if self.injection_queued[node.index()].len() >= self.config.injection_queue_capacity() {
-            return Err(NocError::InjectionQueueFull { node });
-        }
-        let id = self.track(&packet, self.now);
-        self.injections[node.index()].flits.extend(packet.flits(id));
-        self.injection_queued[node.index()].push_back(id);
-        self.feeding.insert(node.index());
-        Ok(id)
+        self.core.inject(0, packet)
     }
 
     /// Schedules `packet` to join its source node's injection queue at
@@ -435,52 +271,17 @@ impl Network {
     /// not in the mesh and [`NocError::DeadEndpoint`] if either endpoint
     /// is a faulty router.
     pub fn inject_at(&mut self, packet: Packet, cycle: u64) -> Result<PacketId, NocError> {
-        self.config.mesh().check(packet.src())?;
-        self.config.mesh().check(packet.dest())?;
-        self.check_endpoints_alive(&packet)?;
-        let at = cycle.max(self.now);
-        let node = packet.src().index();
-        let id = self.track(&packet, at);
-        self.scheduled.push(Reverse(ScheduledRelease {
-            at,
-            id,
-            node,
-            flits: packet.flits(id).into_iter().collect(),
-        }));
-        Ok(id)
-    }
-
-    /// Registers a packet as in flight and returns its id.
-    fn track(&mut self, packet: &Packet, injected_at: u64) -> PacketId {
-        let id = PacketId(self.next_packet);
-        self.next_packet += 1;
-        self.in_flight.push(Some(InFlight {
-            src: packet.src(),
-            dest: packet.dest(),
-            tag: packet.tag(),
-            injected_at,
-            head_delivered_at: None,
-            flits: packet.total_flits(),
-            flits_delivered: 0,
-        }));
-        self.total_in_flight += 1;
-        id
+        self.core.inject_at(0, packet, cycle)
     }
 
     /// Advances the simulation by exactly one cycle.
     pub fn step(&mut self) {
-        self.energy.tick();
-        self.stats.cycles += 1;
-        self.process_cycle();
-        self.now += 1;
+        self.core.step(0);
     }
 
     /// Runs for exactly `cycles` cycles, fast-forwarding over idle spans.
     pub fn run(&mut self, cycles: u64) {
-        let mut left = cycles;
-        while left > 0 {
-            left -= self.advance(left);
-        }
+        self.core.run(0, cycles);
     }
 
     /// Runs until every injected packet has been delivered, then returns and
@@ -492,382 +293,15 @@ impl Network {
     /// Returns [`NocError::Timeout`] if the network has not drained within
     /// `max_cycles`.
     pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<Vec<DeliveredPacket>, NocError> {
-        let mut spent = 0;
-        while self.total_in_flight > 0 {
-            if spent >= max_cycles {
-                return Err(NocError::Timeout {
-                    budget: max_cycles,
-                    in_flight: self.total_in_flight,
-                });
-            }
-            spent += self.advance(max_cycles - spent);
-        }
-        Ok(self.take_delivered())
-    }
-
-    /// Advances by at least one and at most `budget` cycles, stepping when
-    /// any router or injector has work *now* and fast-forwarding to the
-    /// next event otherwise. Returns the cycles consumed.
-    fn advance(&mut self, budget: u64) -> u64 {
-        debug_assert!(budget > 0);
-        if self.active.is_empty() {
-            match self.next_wake() {
-                Some(wake) if wake > self.now => {
-                    let skip = (wake - self.now).min(budget);
-                    self.fast_forward(skip);
-                    return skip;
-                }
-                Some(_) => {}
-                None => {
-                    // Fully drained: nothing buffered, pending or
-                    // scheduled. Burn the whole budget in one hop.
-                    self.fast_forward(budget);
-                    return budget;
-                }
-            }
-        }
-        self.step();
-        1
-    }
-
-    /// The earliest cycle at which anything can happen while every router
-    /// FIFO is empty: the earliest paced injection or scheduled release.
-    fn next_wake(&self) -> Option<u64> {
-        let feeding = self
-            .feeding
-            .iter()
-            .map(|&n| self.injections[n].ready_at)
-            .min();
-        let scheduled = self.scheduled.peek().map(|Reverse(r)| r.at);
-        match (feeding, scheduled) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
-
-    /// Jumps `cycles` forward without touching any router, keeping the
-    /// cycle counter and leakage accounting bit-identical to stepping.
-    fn fast_forward(&mut self, cycles: u64) {
-        self.energy.tick_many(cycles);
-        self.stats.cycles += cycles;
-        self.stats.idle_cycles += cycles;
-        self.now += cycles;
-    }
-
-    /// One cycle of actual work over the worklists.
-    fn process_cycle(&mut self) {
-        self.release_due_packets();
-        self.stage_injections();
-        // Snapshot the active routers *after* injection (a first flit
-        // entering a router this cycle must start route computation this
-        // cycle, as in the reference engine). BTreeSet iteration is
-        // ascending, so staging order matches the full scan.
-        self.scratch.clear();
-        self.scratch.extend(self.active.iter().copied());
-        self.advance_route_computations();
-        let moves = self.stage_switch_traversal();
-        self.apply_moves(&moves);
-        // Routers whose FIFOs all drained this cycle leave the worklist;
-        // anything that received a flit was (re-)inserted by the stages.
-        for i in 0..self.scratch.len() {
-            let router = self.scratch[i];
-            if self.routers[router].buffered_flits() == 0 {
-                self.active.remove(&router);
-            }
-        }
-    }
-
-    /// Moves every scheduled packet whose release cycle has arrived into
-    /// its node's injection queue, in (cycle, packet id) order.
-    fn release_due_packets(&mut self) {
-        while let Some(Reverse(head)) = self.scheduled.peek() {
-            if head.at > self.now {
-                break;
-            }
-            let Reverse(release) = self.scheduled.pop().expect("peeked");
-            self.injections[release.node].flits.extend(release.flits);
-            self.injection_queued[release.node].push_back(release.id);
-            self.feeding.insert(release.node);
-        }
-    }
-
-    fn stage_injections(&mut self) {
-        if self.feeding.is_empty() {
-            return;
-        }
-        // `feeding` nodes always hold flits; iterate a (reused) snapshot
-        // since drained nodes leave the set afterwards.
-        self.feed_scratch.clear();
-        self.feed_scratch.extend(self.feeding.iter().copied());
-        let mut any_drained = false;
-        for i in 0..self.feed_scratch.len() {
-            let node = self.feed_scratch[i];
-            let inj = &mut self.injections[node];
-            if self.now < inj.ready_at {
-                continue;
-            }
-            let local = self.routers[node].input_mut(Direction::Local);
-            if !local.has_space() {
-                continue;
-            }
-            let flit = inj.flits.pop_front().expect("feeding node has flits");
-            if flit.kind.is_tail() {
-                self.injection_queued[node].pop_front();
-            }
-            local.push(flit);
-            inj.ready_at = self.now + u64::from(self.config.flow_latency());
-            self.active.insert(node);
-            any_drained |= inj.flits.is_empty();
-        }
-        if any_drained {
-            let injections = &self.injections;
-            self.feeding
-                .retain(|&node| !injections[node].flits.is_empty());
-        }
-    }
-
-    fn advance_route_computations(&mut self) {
-        let routing = self.config.routing();
-        let latency = self.config.routing_latency();
-        let mesh = self.config.mesh().clone();
-        for i in 0..self.scratch.len() {
-            let router_idx = self.scratch[i];
-            let here = mesh.position(NodeId::new(router_idx as u32));
-            for port in 0..5 {
-                let ready = self.routers[router_idx]
-                    .input_at_mut(port)
-                    .advance_route_computation(latency);
-                if !ready {
-                    continue;
-                }
-                let dest = self.routers[router_idx]
-                    .input_at(port)
-                    .head()
-                    .expect("ready port has a head flit")
-                    .dest;
-                let dir = match &self.route_table {
-                    Some(table) => table
-                        .next_hop(NodeId::new(router_idx as u32), dest)
-                        .expect("route table has no route for an injected pair"),
-                    None => routing.next_hop(here, mesh.position(dest)),
-                };
-                self.routers[router_idx]
-                    .input_at_mut(port)
-                    .set_routed_output(dir.index());
-                self.energy.charge_route(NodeId::new(router_idx as u32));
-            }
-        }
-    }
-
-    fn stage_switch_traversal(&mut self) -> Vec<Move> {
-        let mesh = self.config.mesh().clone();
-        let mut moves = Vec::new();
-        // Only the worklist routers can source a move, and staging never
-        // pops or pushes a FIFO, so reading occupancy live *is* the
-        // start-of-cycle snapshot: a credit freed by a pop this cycle is
-        // not consumed until the next cycle (pops happen in apply_moves).
-        for i in 0..self.scratch.len() {
-            let router_idx = self.scratch[i];
-            let node = NodeId::new(router_idx as u32);
-            for out_dir in Direction::ALL {
-                // Faulty links carry nothing. A correct detour table never
-                // routes a header onto one, so with no faults marked this
-                // check is a single `is_empty` load.
-                if !self.dead_links.is_empty()
-                    && out_dir != Direction::Local
-                    && self.dead_links.contains(&LinkId::cardinal(node, out_dir))
-                {
-                    continue;
-                }
-                let out = *self.routers[router_idx].output(out_dir);
-                if !out.is_ready(self.now) {
-                    continue;
-                }
-                // Select the input to serve: wormhole lock wins, otherwise
-                // round-robin over inputs routed to this output.
-                let serving = match out.locked_to() {
-                    Some(input) => Some(input),
-                    None => {
-                        let start = out.rr_start();
-                        (0..5).map(|k| (start + k) % 5).find(|&input| {
-                            let port = self.routers[router_idx].input_at(input);
-                            port.routed_output() == Some(out_dir.index()) && port.head().is_some()
-                        })
-                    }
-                };
-                let Some(input) = serving else { continue };
-                let port = self.routers[router_idx].input_at(input);
-                let Some(_flit) = port.head() else { continue };
-                debug_assert_eq!(port.routed_output(), Some(out_dir.index()));
-
-                if out_dir == Direction::Local {
-                    // Ejection link: the core always accepts.
-                    moves.push(Move::Eject {
-                        from_router: router_idx,
-                        from_input: input,
-                    });
-                    self.lock_output(router_idx, out_dir, input);
-                } else {
-                    let neighbor = mesh
-                        .neighbor(node, out_dir)
-                        .expect("routing never leaves the mesh");
-                    let in_dir = out_dir.opposite();
-                    let depth = self.config.buffer_depth() as usize;
-                    let pending_here = moves
-                        .iter()
-                        .filter(|m| {
-                            matches!(m, Move::Hop { to_router, out_dir: d, .. }
-                            if *to_router == neighbor.index() && d.opposite() == in_dir)
-                        })
-                        .count();
-                    let occupancy = self.routers[neighbor.index()]
-                        .input_at(in_dir.index())
-                        .occupancy();
-                    if occupancy + pending_here >= depth {
-                        continue; // no credit downstream
-                    }
-                    moves.push(Move::Hop {
-                        from_router: router_idx,
-                        from_input: input,
-                        out_dir,
-                        to_router: neighbor.index(),
-                    });
-                    self.lock_output(router_idx, out_dir, input);
-                }
-            }
-        }
-        moves
-    }
-
-    fn lock_output(&mut self, router_idx: usize, out_dir: Direction, input: usize) {
-        let out = self.routers[router_idx].output_mut(out_dir);
-        if out.locked_to().is_none() {
-            out.lock(input);
-        }
-    }
-
-    fn apply_moves(&mut self, moves: &[Move]) {
-        let flow = self.config.flow_latency();
-        for &mv in moves {
-            match mv {
-                Move::Hop {
-                    from_router,
-                    from_input,
-                    out_dir,
-                    to_router,
-                } => {
-                    let flit = self.routers[from_router]
-                        .input_at_mut(from_input)
-                        .pop()
-                        .expect("staged move lost its flit");
-                    let node = NodeId::new(from_router as u32);
-                    self.energy.charge_flit_hop(node);
-                    *self
-                        .link_flits
-                        .entry(LinkId::cardinal(node, out_dir))
-                        .or_insert(0) += 1;
-                    if flit.kind.is_tail() {
-                        self.routers[from_router]
-                            .input_at_mut(from_input)
-                            .clear_route();
-                        self.routers[from_router].output_mut(out_dir).unlock();
-                    }
-                    self.routers[from_router]
-                        .output_mut(out_dir)
-                        .forwarded(self.now, flow);
-                    let in_dir = out_dir.opposite();
-                    self.routers[to_router].input_mut(in_dir).push(flit);
-                    self.active.insert(to_router);
-                }
-                Move::Eject {
-                    from_router,
-                    from_input,
-                } => {
-                    let flit = self.routers[from_router]
-                        .input_at_mut(from_input)
-                        .pop()
-                        .expect("staged ejection lost its flit");
-                    let node = NodeId::new(from_router as u32);
-                    self.energy.charge_flit_hop(node);
-                    *self.link_flits.entry(LinkId::ejection(node)).or_insert(0) += 1;
-                    if flit.kind.is_tail() {
-                        self.routers[from_router]
-                            .input_at_mut(from_input)
-                            .clear_route();
-                        self.routers[from_router]
-                            .output_mut(Direction::Local)
-                            .unlock();
-                    }
-                    self.routers[from_router]
-                        .output_mut(Direction::Local)
-                        .forwarded(self.now, flow);
-                    self.record_ejection(flit);
-                }
-            }
-        }
-    }
-
-    /// Router-to-router hops a packet travelled: the Manhattan distance
-    /// under algorithmic (minimal) routing, or the length of the next-hop
-    /// chain when a detour table is installed.
-    fn routed_hops(&self, src: NodeId, dest: NodeId) -> u32 {
-        let Some(table) = &self.route_table else {
-            return self.config.mesh().distance(src, dest);
-        };
-        let mesh = self.config.mesh();
-        let mut here = src;
-        let mut hops = 0;
-        while here != dest {
-            let dir = table
-                .next_hop(here, dest)
-                .expect("delivered packet had a route");
-            debug_assert_ne!(dir, Direction::Local);
-            here = mesh.neighbor(here, dir).expect("route left the mesh");
-            hops += 1;
-            debug_assert!(hops <= mesh.len() as u32, "route table cycles");
-        }
-        hops
-    }
-
-    fn record_ejection(&mut self, flit: Flit) {
-        let idx = flit.packet.value() as usize;
-        let entry = self.in_flight[idx]
-            .as_mut()
-            .expect("ejected flit for an already-completed packet");
-        entry.flits_delivered += 1;
-        if flit.kind.is_head() {
-            entry.head_delivered_at = Some(self.now);
-        }
-        self.stats.flits_delivered += 1;
-        if flit.kind.is_tail() {
-            debug_assert_eq!(entry.flits_delivered, entry.flits, "flit loss detected");
-            let record = self.in_flight[idx].take().expect("checked above");
-            let head_at = record.head_delivered_at.unwrap_or(self.now);
-            let delivered = DeliveredPacket {
-                id: flit.packet,
-                src: record.src,
-                dest: record.dest,
-                tag: record.tag,
-                injected_at: record.injected_at,
-                head_delivered_at: head_at,
-                tail_delivered_at: self.now,
-                hops: self.routed_hops(record.src, record.dest),
-                flits: record.flits,
-            };
-            self.stats.delivered += 1;
-            self.stats.packet_latency.record(delivered.latency());
-            self.stats
-                .header_latency
-                .record(head_at - record.injected_at);
-            self.total_in_flight -= 1;
-            self.delivered.push(delivered);
-        }
+        self.core.run_until_idle(0, max_cycles)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::NocError;
+    use crate::geometry::Direction;
     use crate::routing::RoutingKind;
 
     fn net(w: u16, h: u16) -> Network {

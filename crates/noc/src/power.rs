@@ -66,18 +66,18 @@ impl EnergyLedger {
     /// Charges one flit moving through `router`.
     pub fn charge_flit_hop(&mut self, router: NodeId) {
         self.per_router[router.index()] += self.params.energy_per_flit_hop;
-        self.flit_hops += 1;
+        self.flit_hops = self.flit_hops.saturating_add(1);
     }
 
     /// Charges one route computation at `router`.
     pub fn charge_route(&mut self, router: NodeId) {
         self.per_router[router.index()] += self.params.energy_per_route;
-        self.routes += 1;
+        self.routes = self.routes.saturating_add(1);
     }
 
     /// Advances time by one cycle, charging leakage everywhere.
     pub fn tick(&mut self) {
-        self.cycles += 1;
+        self.cycles = self.cycles.saturating_add(1);
         if self.params.leakage_per_router_cycle != 0.0 {
             for e in &mut self.per_router {
                 *e += self.params.leakage_per_router_cycle;
@@ -93,7 +93,7 @@ impl EnergyLedger {
     /// fast path is O(1).
     pub fn tick_many(&mut self, cycles: u64) {
         if self.params.leakage_per_router_cycle == 0.0 {
-            self.cycles += cycles;
+            self.cycles = self.cycles.saturating_add(cycles);
         } else {
             for _ in 0..cycles {
                 self.tick();
@@ -213,6 +213,18 @@ mod tests {
         free.tick_many(1 << 40);
         assert_eq!(free.cycles(), 1 << 40);
         assert_eq!(free.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn cycle_counter_saturates_instead_of_wrapping() {
+        // A pathological pair of maximal fast-forwards must pin the cycle
+        // counter at u64::MAX, not wrap it back to small values (release
+        // builds wrap silently on overflow).
+        let mut ledger = EnergyLedger::new(1, PowerParams::default());
+        ledger.tick_many(u64::MAX);
+        ledger.tick_many(u64::MAX);
+        ledger.tick();
+        assert_eq!(ledger.cycles(), u64::MAX);
     }
 
     #[test]

@@ -15,6 +15,19 @@ use crate::flit::Flit;
 use crate::geometry::Direction;
 use crate::topology::NodeId;
 
+/// The flow-control pacing rule: after a flit crosses a channel at `now`,
+/// the next flit on that channel may move at `now + flow_latency`.
+///
+/// This single helper is the *only* place the pacing arithmetic lives —
+/// output-port forwarding, injector pacing and the batch engine's
+/// next-event computation all call it, so the sequential and batched paths
+/// cannot drift apart.
+#[inline]
+#[must_use]
+pub fn paced_ready_at(now: u64, flow_latency: u32) -> u64 {
+    now + u64::from(flow_latency)
+}
+
 /// One input port: FIFO plus route-computation and wormhole state.
 #[derive(Debug, Clone)]
 pub struct InputPort {
@@ -162,7 +175,7 @@ impl OutputPort {
 
     /// Marks a flit forwarded at `now`, pacing the next transfer.
     pub fn forwarded(&mut self, now: u64, flow_latency: u32) {
-        self.ready_at = now + u64::from(flow_latency);
+        self.ready_at = paced_ready_at(now, flow_latency);
     }
 
     /// Round-robin arbitration start index.

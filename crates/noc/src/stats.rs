@@ -148,6 +148,19 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
+    /// Advances the simulated-cycle counter, saturating at `u64::MAX`
+    /// instead of wrapping — pathological long fast-forwards must pin the
+    /// counter, not silently restart it in release builds.
+    pub fn add_cycles(&mut self, cycles: u64) {
+        self.cycles = self.cycles.saturating_add(cycles);
+    }
+
+    /// Advances the idle-cycle counter (a subset of the cycles counter),
+    /// saturating at `u64::MAX` like [`NetworkStats::add_cycles`].
+    pub fn add_idle_cycles(&mut self, cycles: u64) {
+        self.idle_cycles = self.idle_cycles.saturating_add(cycles);
+    }
+
     /// Delivered flits per cycle across the whole network.
     #[must_use]
     pub fn throughput_flits_per_cycle(&self) -> f64 {
@@ -223,6 +236,19 @@ mod tests {
         assert_eq!(a.min(), Some(2));
         assert_eq!(a.max(), Some(30));
         assert_eq!(a.mean(), Some(14.0));
+    }
+
+    #[test]
+    fn cycle_counters_saturate_instead_of_wrapping() {
+        let mut stats = NetworkStats {
+            cycles: u64::MAX - 1,
+            idle_cycles: u64::MAX - 1,
+            ..NetworkStats::default()
+        };
+        stats.add_cycles(u64::MAX);
+        stats.add_idle_cycles(u64::MAX);
+        assert_eq!(stats.cycles, u64::MAX);
+        assert_eq!(stats.idle_cycles, u64::MAX);
     }
 
     #[test]

@@ -68,7 +68,7 @@ fn event_engine_matches_reference_on_random_traffic() {
         );
         assert_eq!(
             event.link_flits(),
-            reference.link_flits(),
+            *reference.link_flits(),
             "seed {seed}: link counters diverge"
         );
         assert_eq!(
